@@ -1,0 +1,18 @@
+"""Ablation — bound chain GED ≤ 2·TED* and TED ≤ δ_T(W+) (Sections 11-12)."""
+
+from _bench_utils import emit_table
+
+from repro.experiments.ablations import ablation_bounds
+
+
+def test_ablation_bound_chain(benchmark):
+    """Neither analytical bound is violated on sampled neighborhood trees."""
+    table = benchmark.pedantic(
+        lambda: ablation_bounds(pair_count=12, scale=0.4),
+        rounds=1,
+        iterations=1,
+    )
+    emit_table(table)
+    row = table.rows[0]
+    assert row["ged_bound_violations"] == 0
+    assert row["ted_bound_violations"] == 0

@@ -1,0 +1,20 @@
+"""Ablation — from-scratch Hungarian solver vs SciPy's assignment solver."""
+
+import random
+
+from _bench_utils import emit_table
+
+from repro.experiments.ablations import ablation_matching_backend
+from repro.matching.hungarian import hungarian
+
+
+def test_ablation_matching_backend(benchmark):
+    """Both backends return the same optimal cost; report their relative speed."""
+    table = ablation_matching_backend(sizes=(10, 30, 60), trials=3)
+    emit_table(table)
+    assert all(row["cost_mismatches"] == 0 for row in table.rows)
+
+    rng = random.Random(0)
+    matrix = [[float(rng.randrange(0, 50)) for _ in range(40)] for _ in range(40)]
+    assignment, cost = benchmark(hungarian, matrix)
+    assert len(assignment) == 40 and cost >= 0.0

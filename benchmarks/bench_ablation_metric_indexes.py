@@ -1,0 +1,61 @@
+"""Ablation — metric indexes for NED retrieval: VP-tree vs BK-tree vs scan.
+
+The paper uses a VP-tree (Figure 9b).  Because TED* is integer-valued, a
+BK-tree is also applicable; this ablation compares the number of distance
+evaluations each index needs for the same exact kNN queries.
+"""
+
+from _bench_utils import emit_table
+
+from repro.datasets.registry import load_dataset_pair
+from repro.experiments.reporting import ExperimentTable
+from repro.index.bktree import BKTree
+from repro.index.linear_scan import LinearScanIndex
+from repro.index.vptree import VPTree
+from repro.ted.ted_star import ted_star
+from repro.trees.adjacent import k_adjacent_tree
+
+K = 3
+CANDIDATES = 60
+QUERIES = 4
+NEIGHBORS = 5
+
+
+def test_ablation_metric_indexes(benchmark):
+    """All indexes return identical results; both trees prune versus the scan."""
+    graph_q, graph_c = load_dataset_pair("PGP", "PGP", scale=0.25, seed=9)
+    candidates = graph_c.nodes()[:CANDIDATES]
+    trees = [k_adjacent_tree(graph_c, node, K) for node in candidates]
+    metric = lambda a, b: ted_star(a, b, k=K)  # noqa: E731
+
+    vptree = VPTree(trees, metric, leaf_size=8, seed=0)
+    bktree = BKTree(trees, metric)
+    scan = LinearScanIndex(trees, metric)
+    queries = [k_adjacent_tree(graph_q, node, K) for node in graph_q.nodes()[:QUERIES]]
+
+    def run_queries():
+        totals = {"vptree": 0, "bktree": 0, "scan": 0}
+        for query in queries:
+            vp = vptree.knn(query, NEIGHBORS)
+            bk = bktree.knn(query, NEIGHBORS)
+            exact = scan.knn(query, NEIGHBORS)
+            assert [d for _, d in vp] == [d for _, d in exact]
+            assert [d for _, d in bk] == [d for _, d in exact]
+            totals["vptree"] += vptree.last_query_distance_calls
+            totals["bktree"] += bktree.last_query_distance_calls
+            totals["scan"] += scan.last_query_distance_calls
+        return totals
+
+    totals = benchmark.pedantic(run_queries, rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        title="Ablation: distance evaluations per index for identical NED kNN queries",
+        columns=["index", "total_distance_evaluations", "per_query"],
+        notes=[f"candidates={CANDIDATES}, queries={QUERIES}, k={K}"],
+    )
+    for name, total in totals.items():
+        table.add_row(index=name, total_distance_evaluations=total,
+                      per_query=total / QUERIES)
+    emit_table(table)
+    assert totals["vptree"] <= totals["scan"]
+    assert totals["bktree"] <= totals["scan"]

@@ -1,0 +1,18 @@
+"""Ablation — monotonicity of NED in the parameter k (Lemma 5)."""
+
+from _bench_utils import emit_table
+
+from repro.experiments.ablations import ablation_monotonicity
+
+
+def test_ablation_monotonicity(benchmark):
+    """NED never decreases when k grows, on every sampled node pair."""
+    table = benchmark.pedantic(
+        lambda: ablation_monotonicity(pair_count=15, ks=(1, 2, 3, 4, 5), scale=0.4),
+        rounds=1,
+        iterations=1,
+    )
+    emit_table(table)
+    assert all(row["monotonicity_violations"] == 0 for row in table.rows)
+    averages = [row["avg_distance"] for row in table.rows]
+    assert averages == sorted(averages)

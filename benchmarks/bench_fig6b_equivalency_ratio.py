@@ -1,0 +1,20 @@
+"""Figure 6b — fraction of pairs where TED* equals exact TED."""
+
+from _bench_utils import emit_table
+
+from repro.experiments.fig6_ted_agreement import figure6_ted_agreement
+
+
+def test_figure6b_equivalency_ratio(benchmark):
+    """A majority of pairs should agree exactly (paper: >50%, often >80%)."""
+    table = benchmark.pedantic(
+        lambda: figure6_ted_agreement(ks=(2, 3), pairs_per_k=15, scale=0.4)[
+            "figure6b_equivalency"
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    emit_table(table)
+    ratios = [row["equivalency_ratio"] for row in table.rows if row["equivalency_ratio"] is not None]
+    assert ratios, "expected at least one k with computable pairs"
+    assert max(ratios) >= 0.5

@@ -1,0 +1,18 @@
+"""Figure 7a — TED* computation time vs tree size."""
+
+from _bench_utils import emit_table
+
+from repro.experiments.fig7_scalability import figure7a_ted_star_vs_tree_size
+from repro.ted.ted_star import ted_star
+from repro.trees.random_trees import random_tree_with_depth
+
+
+def test_figure7a_tree_size_sweep(benchmark):
+    """TED* handles trees of hundreds of nodes; time grows polynomially with size."""
+    table = figure7a_ted_star_vs_tree_size(pair_count=30, scale=0.7)
+    emit_table(table)
+    # Benchmark a representative mid-size comparison (3-level trees, ~100 nodes).
+    left = random_tree_with_depth(100, 3, seed=1)
+    right = random_tree_with_depth(100, 3, seed=2)
+    result = benchmark(ted_star, left, right, 4)
+    assert result >= 0.0

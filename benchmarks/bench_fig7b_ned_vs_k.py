@@ -1,0 +1,19 @@
+"""Figure 7b — NED computation time as a function of the parameter k."""
+
+from _bench_utils import emit_table
+
+from repro.experiments.fig7_scalability import figure7b_ned_vs_k
+
+
+def test_figure7b_ned_vs_k(benchmark):
+    """NED time grows with k; distances are monotone in k (Lemma 5)."""
+    table = benchmark.pedantic(
+        lambda: figure7b_ned_vs_k(ks=(1, 2, 3, 4, 5), pair_count=20, scale=0.5),
+        rounds=1,
+        iterations=1,
+    )
+    emit_table(table)
+    times = [row["avg_time_seconds"] for row in table.rows]
+    distances = [row["avg_distance"] for row in table.rows]
+    assert times[0] <= times[-1]
+    assert distances == sorted(distances)

@@ -1,0 +1,18 @@
+"""Figure 8a — nearest-neighbor result set size vs parameter k."""
+
+from _bench_utils import emit_tables
+
+from repro.experiments.fig8_parameter_k import figure8_parameter_k
+
+
+def test_figure8a_nn_set_size(benchmark):
+    """Increasing k shrinks the set of candidates tied at the minimal distance."""
+    results = benchmark.pedantic(
+        lambda: figure8_parameter_k(ks=(1, 2, 3, 4), query_count=8, candidate_count=60,
+                                    scale=0.4),
+        rounds=1,
+        iterations=1,
+    )
+    emit_tables({"figure8a": results["figure8a_nn_set_size"]})
+    sizes = [row["avg_nn_set_size"] for row in results["figure8a_nn_set_size"].rows]
+    assert sizes[0] >= sizes[-1]

@@ -1,0 +1,18 @@
+"""Figure 8b — number of ties in the top-l ranking vs parameter k."""
+
+from _bench_utils import emit_tables
+
+from repro.experiments.fig8_parameter_k import figure8_parameter_k
+
+
+def test_figure8b_ranking_ties(benchmark):
+    """Increasing k breaks ties in the top-l ranking."""
+    results = benchmark.pedantic(
+        lambda: figure8_parameter_k(ks=(1, 2, 3, 4), query_count=8, candidate_count=60,
+                                    scale=0.4),
+        rounds=1,
+        iterations=1,
+    )
+    emit_tables({"figure8b": results["figure8b_ranking_ties"]})
+    ties = [row["avg_ties_in_top_l"] for row in results["figure8b_ranking_ties"].rows]
+    assert ties[0] >= ties[-1]

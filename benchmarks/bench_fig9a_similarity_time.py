@@ -1,0 +1,22 @@
+"""Figure 9a — pairwise similarity computation time: NED vs HITS vs Feature."""
+
+from _bench_utils import emit_table
+
+from repro.experiments.fig9_query_comparison import figure9a_similarity_computation_time
+
+
+def test_figure9a_similarity_time(benchmark):
+    """HITS is the slowest method on every dataset; Feature is the fastest."""
+    table = benchmark.pedantic(
+        lambda: figure9a_similarity_computation_time(
+            datasets=("PGP", "GNU", "AMZN", "DBLP", "CAR", "PAR"),
+            pair_count=6,
+            scale=0.2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit_table(table)
+    for row in table.rows:
+        assert row["hits_time"] > row["ned_time"]
+        assert row["feature_time"] < row["hits_time"]

@@ -1,0 +1,20 @@
+"""Figure 9b — nearest-neighbor query: NED + VP-tree vs full scans."""
+
+from _bench_utils import emit_table
+
+from repro.experiments.fig9_query_comparison import figure9b_nearest_neighbor_query_time
+
+
+def test_figure9b_query_time(benchmark):
+    """The VP-tree answers NED kNN queries with fewer distance evaluations than a scan."""
+    table = benchmark.pedantic(
+        lambda: figure9b_nearest_neighbor_query_time(
+            datasets=("PGP", "GNU"), candidate_count=120, query_count=6, scale=0.35
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit_table(table)
+    for row in table.rows:
+        assert row["ned_vptree_distance_evaluations"] <= row["feature_distance_evaluations"]
+        assert row["ned_vptree_query_time"] <= row["ned_scan_query_time"] * 1.25

@@ -1,0 +1,14 @@
+"""Table 2 — dataset summary (generation cost + reproduced table)."""
+
+from _bench_utils import emit_table
+
+from repro.datasets.registry import load_dataset
+from repro.experiments.table2_datasets import table2_dataset_summary
+
+
+def test_table2_dataset_summary(benchmark):
+    """Regenerate Table 2 and benchmark generating the largest stand-in."""
+    table = table2_dataset_summary(scale=0.5)
+    emit_table(table)
+    benchmark.pedantic(lambda: load_dataset("CAR", scale=0.5), rounds=2, iterations=1)
+    assert len(table.rows) == 6

@@ -1,0 +1,22 @@
+"""Benchmark-suite conftest: expose pytest's capture manager to the helpers.
+
+pytest captures stdout/stderr at the file-descriptor level, which would
+swallow the paper-style tables the benchmark modules print; the autouse
+fixture below hands the capture manager to ``_bench_utils`` so
+``emit_table`` can temporarily disable capture and make the tables part of
+the ``pytest benchmarks/ --benchmark-only`` output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import _bench_utils
+
+
+@pytest.fixture(autouse=True)
+def _expose_capture_manager(request):
+    """Make the capture manager available to emit_table for the test's duration."""
+    _bench_utils.CAPTURE_MANAGER = request.config.pluginmanager.getplugin("capturemanager")
+    yield
+    _bench_utils.CAPTURE_MANAGER = None

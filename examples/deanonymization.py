@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Graph de-anonymization with NED vs a feature-based baseline (paper §13.5).
+
+An "attacker" holds a non-anonymised training graph and receives an
+anonymised copy (sparsified + perturbed + identifiers replaced).  For each
+anonymised node the attacker retrieves the top-l most similar training nodes;
+re-identification succeeds when the true identity is among them.
+
+Run with::
+
+    python examples/deanonymization.py
+"""
+
+from __future__ import annotations
+
+from repro.anonymize.anonymizers import perturbation_anonymization
+from repro.anonymize.deanonymize import deanonymize_node
+from repro.baselines.feature_distance import euclidean_distance
+from repro.baselines.refex import refex_feature_matrix
+from repro.core.ned import NedComputer
+from repro.datasets.registry import load_dataset
+
+K = 3
+TOP_L = 5
+PERTURBATION_RATIO = 0.08
+QUERIES = 15
+
+
+def main() -> None:
+    print("== De-anonymization case study (PGP stand-in) ==")
+    training_graph = load_dataset("PGP", scale=0.3, seed=7)
+    anonymized = perturbation_anonymization(training_graph, ratio=PERTURBATION_RATIO, seed=11)
+    print(f"training graph: {training_graph.number_of_nodes()} nodes")
+    print(f"anonymised copy: perturbation ratio {PERTURBATION_RATIO:.0%}, "
+          f"{anonymized.graph.number_of_edges()} edges")
+
+    # --- NED attacker -------------------------------------------------------
+    computer = NedComputer(k=K)
+
+    def ned_distance(train_node, anon_node):
+        return computer.distance(training_graph, train_node, anonymized.graph, anon_node)
+
+    # --- Feature-based attacker (ReFeX + euclidean) -------------------------
+    train_features = refex_feature_matrix(training_graph, recursions=K - 1)
+    anon_features = refex_feature_matrix(anonymized.graph, recursions=K - 1)
+    width = min(len(next(iter(train_features.values()))),
+                len(next(iter(anon_features.values()))))
+
+    def feature_distance(train_node, anon_node):
+        return euclidean_distance(train_features[train_node][:width],
+                                  anon_features[anon_node][:width])
+
+    candidates = training_graph.nodes()
+    targets = anonymized.pseudonyms()[:QUERIES]
+    hits = {"NED": 0, "Feature": 0}
+    for anon_node in targets:
+        truth = anonymized.true_identity[anon_node]
+        for method, distance in (("NED", ned_distance), ("Feature", feature_distance)):
+            top = deanonymize_node(anon_node, candidates, distance, TOP_L)
+            if any(candidate == truth for candidate, _ in top):
+                hits[method] += 1
+
+    print(f"\nre-identification precision over {len(targets)} anonymised nodes "
+          f"(top-{TOP_L} candidates):")
+    for method, count in hits.items():
+        print(f"  {method:<8}: {count}/{len(targets)}  = {count / len(targets):.2f}")
+    print("\nNED captures the full k-level neighborhood topology, so it degrades more "
+          "slowly than ego-net feature statistics as the anonymiser perturbs edges.")
+
+
+if __name__ == "__main__":
+    main()

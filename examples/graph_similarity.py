@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Graph-level similarity from the NED node metric (paper Appendix A).
+
+A graph is a collection of nodes; with a metric over inter-graph nodes,
+collection distances such as the Hausdorff distance become graph distances.
+This example compares three graphs — two road-like grids and one power-law
+graph — and shows that the two structurally similar graphs are Hausdorff-close
+under NED while the power-law graph is far from both.
+
+Run with::
+
+    python examples/graph_similarity.py
+"""
+
+from __future__ import annotations
+
+from repro.datasets.registry import load_dataset
+from repro.graphsim.hausdorff import (
+    hausdorff_graph_distance,
+    modified_hausdorff_graph_distance,
+)
+
+K = 3
+NODE_SAMPLE = 25
+
+
+def main() -> None:
+    print("== Graph similarity via Hausdorff distance over NED ==")
+    road_a = load_dataset("CAR", scale=0.15, seed=1)
+    road_b = load_dataset("PAR", scale=0.15, seed=2)
+    social = load_dataset("PGP", scale=0.2, seed=3)
+    graphs = {"road A (CAR)": road_a, "road B (PAR)": road_b, "power-law (PGP)": social}
+    for name, graph in graphs.items():
+        print(f"  {name}: {graph.number_of_nodes()} nodes, {graph.number_of_edges()} edges")
+
+    print(f"\npairwise Hausdorff distances (k={K}, {NODE_SAMPLE}-node samples):")
+    names = list(graphs)
+    for i, first in enumerate(names):
+        for second in names[i + 1:]:
+            classic = hausdorff_graph_distance(
+                graphs[first], graphs[second], k=K, node_sample=NODE_SAMPLE, seed=0
+            )
+            relaxed = modified_hausdorff_graph_distance(
+                graphs[first], graphs[second], k=K, node_sample=NODE_SAMPLE, seed=0
+            )
+            print(f"  {first:<18} vs {second:<18}: "
+                  f"Hausdorff = {classic:6.1f}   modified = {relaxed:6.2f}")
+
+    print("\nThe two road networks are close to each other and far from the power-law "
+          "graph, purely from neighborhood-tree comparisons — no labels or global "
+          "graph statistics involved.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Across-network node classification ("transfer learning on graphs").
+
+The paper motivates NED with transferring knowledge from an analysed graph to
+a new, unlabelled one: nodes of the new graph are classified by the labels of
+their nearest neighbors (under NED) in the old graph.  This example labels
+nodes of a community graph as "hub" or "peripheral" from their degree, then
+classifies nodes of a *different* community graph using only NED and the old
+graph's labels — no features, no labels from the new graph.
+
+Run with::
+
+    python examples/transfer_learning.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.ned import NedComputer
+from repro.graph.generators import community_graph
+
+K = 2
+NEIGHBORS = 3
+HUB_QUANTILE = 0.8
+
+
+def role_labels(graph) -> dict:
+    """Label each node 'hub' (top degree quantile) or 'peripheral'."""
+    degrees = graph.degrees()
+    ordered = sorted(degrees.values())
+    threshold = ordered[int(HUB_QUANTILE * (len(ordered) - 1))]
+    return {node: ("hub" if degree >= threshold else "peripheral")
+            for node, degree in degrees.items()}
+
+
+def main() -> None:
+    print("== Transfer learning across networks with NED ==")
+    known_graph = community_graph(3, 20, p_intra=0.35, p_inter=0.02, seed=1)
+    new_graph = community_graph(3, 20, p_intra=0.35, p_inter=0.02, seed=2)
+    known_labels = role_labels(known_graph)
+    true_new_labels = role_labels(new_graph)  # ground truth, used only for scoring
+
+    computer = NedComputer(k=K)
+    training_nodes = known_graph.nodes()
+
+    correct = 0
+    evaluated = 0
+    predictions = Counter()
+    for node in new_graph.nodes()[:40]:
+        distances = sorted(
+            (computer.distance(known_graph, train, new_graph, node), train)
+            for train in training_nodes
+        )[:NEIGHBORS]
+        votes = Counter(known_labels[train] for _, train in distances)
+        predicted = votes.most_common(1)[0][0]
+        predictions[predicted] += 1
+        evaluated += 1
+        if predicted == true_new_labels[node]:
+            correct += 1
+
+    print(f"classified {evaluated} nodes of the new graph by {NEIGHBORS}-NN over NED (k={K})")
+    print(f"predicted label distribution: {dict(predictions)}")
+    print(f"accuracy against degree-based ground truth: {correct / evaluated:.2f}")
+    print("\nNo labels or features of the new graph were used: the structural roles "
+          "transferred purely through inter-graph node similarity.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim so editable installs work without network access.
+
+The environment used for reproduction has no access to PyPI, so the build
+backend cannot be bootstrapped in an isolated environment; providing a
+classic ``setup.py`` lets ``pip install -e .`` fall back to the legacy
+editable-install path with the locally available setuptools.
+"""
+
+from setuptools import setup
+
+setup()

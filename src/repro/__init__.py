@@ -1,0 +1,75 @@
+"""repro — a full reproduction of "NED: An Inter-Graph Node Metric Based On Edit Distance".
+
+The package implements the paper's primary contribution (the NED node metric
+and the TED* modified tree edit distance it is built on) together with every
+substrate and baseline its evaluation depends on: a graph substrate with
+synthetic dataset generators, k-adjacent tree extraction, a from-scratch
+Hungarian matcher, exact TED/GED reference solvers, HITS-based and
+feature-based (ReFeX/NetSimile/OddBall) similarities, a VP-tree metric index,
+the graph de-anonymization case study and the Hausdorff graph distance of the
+appendix.
+
+Quickstart
+----------
+>>> from repro import ned, grid_road_graph
+>>> g1 = grid_road_graph(8, 8, seed=1)
+>>> g2 = grid_road_graph(8, 8, seed=2)
+>>> distance = ned(g1, 0, g2, 0, k=3)
+>>> distance >= 0.0
+True
+"""
+
+from repro.core.ned import NedComputer, directed_ned, ned, ned_from_trees, weighted_ned
+from repro.graph.graph import DiGraph, Graph
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    community_graph,
+    erdos_renyi_graph,
+    grid_road_graph,
+    power_law_cluster_graph,
+    watts_strogatz_graph,
+)
+from repro.ted.ted_star import TedStarResult, ted_star, ted_star_detailed
+from repro.ted.weighted import ted_star_upper_bound_weights, weighted_ted_star
+from repro.ted.exact_ted import exact_tree_edit_distance
+from repro.ted.exact_ged import exact_graph_edit_distance
+from repro.trees.adjacent import (
+    incoming_k_adjacent_tree,
+    k_adjacent_tree,
+    outgoing_k_adjacent_tree,
+)
+from repro.trees.tree import Tree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # Core metric
+    "ned",
+    "directed_ned",
+    "weighted_ned",
+    "ned_from_trees",
+    "NedComputer",
+    # Tree edit distances
+    "ted_star",
+    "ted_star_detailed",
+    "TedStarResult",
+    "weighted_ted_star",
+    "ted_star_upper_bound_weights",
+    "exact_tree_edit_distance",
+    "exact_graph_edit_distance",
+    # Trees
+    "Tree",
+    "k_adjacent_tree",
+    "incoming_k_adjacent_tree",
+    "outgoing_k_adjacent_tree",
+    # Graphs
+    "Graph",
+    "DiGraph",
+    "grid_road_graph",
+    "barabasi_albert_graph",
+    "power_law_cluster_graph",
+    "watts_strogatz_graph",
+    "erdos_renyi_graph",
+    "community_graph",
+]

@@ -1,0 +1,31 @@
+"""Graph anonymization and de-anonymization (the paper's case study, §13.5).
+
+The case study splits a graph into a non-anonymised training graph and an
+anonymised testing graph, then tries to re-identify each testing node by
+finding its top-l most similar training nodes under a node similarity
+measure.  This subpackage provides the three anonymization schemes the paper
+uses (naive identifier permutation, sparsification, perturbation) and the
+evaluation harness computing de-anonymization precision.
+"""
+
+from repro.anonymize.anonymizers import (
+    AnonymizedGraph,
+    naive_anonymization,
+    perturbation_anonymization,
+    sparsification_anonymization,
+)
+from repro.anonymize.deanonymize import (
+    DeanonymizationReport,
+    deanonymization_precision,
+    deanonymize_node,
+)
+
+__all__ = [
+    "AnonymizedGraph",
+    "naive_anonymization",
+    "sparsification_anonymization",
+    "perturbation_anonymization",
+    "DeanonymizationReport",
+    "deanonymize_node",
+    "deanonymization_precision",
+]

@@ -1,0 +1,127 @@
+"""Graph anonymization schemes (naive, sparsification, perturbation).
+
+Following Fu, Zhang & Xie (ACM TIST 2015), the paper anonymises the testing
+graph with three schemes of increasing strength:
+
+* **naive anonymization** — node identifiers are replaced by fresh pseudonyms
+  but the structure is untouched;
+* **sparsification** — a fraction of the edges is removed (in addition to the
+  identifier permutation);
+* **perturbation** — a fraction of the edges is removed and the same number
+  of random non-edges is inserted, so structure is distorted in both
+  directions.
+
+Each scheme returns an :class:`AnonymizedGraph` carrying the anonymised graph
+together with the ground-truth mapping from pseudonyms back to the original
+identifiers, which the de-anonymization evaluation needs to score precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple
+
+from repro.graph.graph import Graph
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_probability
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class AnonymizedGraph:
+    """An anonymised graph plus the secret mapping back to original node ids.
+
+    Attributes
+    ----------
+    graph:
+        The anonymised graph whose nodes are pseudonyms ``0..n-1``.
+    true_identity:
+        Mapping from pseudonym to the original node identifier.
+    scheme:
+        Name of the anonymization scheme ("naive", "sparsification",
+        "perturbation").
+    ratio:
+        The edge modification ratio used (0 for naive anonymization).
+    """
+
+    graph: Graph
+    true_identity: Dict[Node, Node]
+    scheme: str
+    ratio: float
+
+    def pseudonyms(self) -> List[Node]:
+        """Return the anonymised node identifiers."""
+        return list(self.graph.nodes())
+
+
+def _permute_identifiers(graph: Graph, rng) -> Tuple[Graph, Dict[Node, Node]]:
+    """Relabel nodes with pseudonyms 0..n-1 in random order."""
+    originals = list(graph.nodes())
+    rng.shuffle(originals)
+    pseudonym_of = {original: pseudonym for pseudonym, original in enumerate(originals)}
+    anonymised = Graph()
+    anonymised.add_nodes_from(range(len(originals)))
+    for u, v in graph.edges():
+        anonymised.add_edge(pseudonym_of[u], pseudonym_of[v])
+    true_identity = {pseudonym: original for original, pseudonym in pseudonym_of.items()}
+    return anonymised, true_identity
+
+
+def naive_anonymization(graph: Graph, seed: RngLike = None) -> AnonymizedGraph:
+    """Replace node identifiers with pseudonyms; keep the structure intact."""
+    rng = ensure_rng(seed)
+    anonymised, identity = _permute_identifiers(graph, rng)
+    return AnonymizedGraph(graph=anonymised, true_identity=identity, scheme="naive", ratio=0.0)
+
+
+def sparsification_anonymization(
+    graph: Graph,
+    ratio: float,
+    seed: RngLike = None,
+) -> AnonymizedGraph:
+    """Remove a ``ratio`` fraction of edges, then permute identifiers."""
+    check_probability(ratio, "ratio")
+    rng = ensure_rng(seed)
+    modified = graph.copy()
+    edges = modified.edges()
+    rng.shuffle(edges)
+    removals = int(round(ratio * len(edges)))
+    for u, v in edges[:removals]:
+        modified.remove_edge(u, v)
+    anonymised, identity = _permute_identifiers(modified, rng)
+    return AnonymizedGraph(
+        graph=anonymised, true_identity=identity, scheme="sparsification", ratio=ratio
+    )
+
+
+def perturbation_anonymization(
+    graph: Graph,
+    ratio: float,
+    seed: RngLike = None,
+) -> AnonymizedGraph:
+    """Remove a ``ratio`` fraction of edges and insert the same number of new ones."""
+    check_probability(ratio, "ratio")
+    rng = ensure_rng(seed)
+    modified = graph.copy()
+    edges = modified.edges()
+    rng.shuffle(edges)
+    removals = int(round(ratio * len(edges)))
+    for u, v in edges[:removals]:
+        modified.remove_edge(u, v)
+    nodes = modified.nodes()
+    inserted = 0
+    attempts = 0
+    max_attempts = 50 * max(removals, 1)
+    while inserted < removals and attempts < max_attempts:
+        attempts += 1
+        u = rng.choice(nodes)
+        v = rng.choice(nodes)
+        if u == v or modified.has_edge(u, v):
+            continue
+        modified.add_edge(u, v)
+        inserted += 1
+    anonymised, identity = _permute_identifiers(modified, rng)
+    return AnonymizedGraph(
+        graph=anonymised, true_identity=identity, scheme="perturbation", ratio=ratio
+    )

@@ -1,0 +1,61 @@
+"""Baseline node-similarity measures the paper compares NED against.
+
+* :mod:`repro.baselines.hits_similarity` — Blondel et al.'s HITS-based
+  similarity between all node pairs of two graphs (iterated similarity
+  matrix; not a metric, slow).
+* :mod:`repro.baselines.refex` — ReFeX-style recursive structural features;
+  the "Feature-based similarity" of the paper's experiments.
+* :mod:`repro.baselines.netsimile` / :mod:`repro.baselines.oddball` —
+  ego-net feature extractors (special cases of ReFeX with one recursion).
+* :mod:`repro.baselines.feature_distance` — distances and full-scan nearest
+  neighbor queries over feature vectors.
+* :mod:`repro.baselines.simrank` — SimRank, the classic intra-graph
+  link-based similarity, included for completeness of the related-work
+  comparison (it cannot compare inter-graph nodes).
+* :mod:`repro.baselines.overlap` — Jaccard / Sørensen–Dice / Ochiai and
+  k-hop neighborhood-overlap coefficients (the "primitive" methods of §2,
+  which are identically zero for inter-graph nodes).
+* :mod:`repro.baselines.graphlets` — graphlet-orbit count features used for
+  biological networks.
+"""
+
+from repro.baselines.hits_similarity import hits_similarity_matrix, hits_node_similarity
+from repro.baselines.refex import refex_features, refex_feature_matrix
+from repro.baselines.netsimile import netsimile_features
+from repro.baselines.oddball import oddball_features
+from repro.baselines.feature_distance import (
+    euclidean_distance,
+    feature_distance,
+    feature_knn,
+    normalize_features,
+)
+from repro.baselines.simrank import simrank
+from repro.baselines.overlap import (
+    dice_similarity,
+    jaccard_similarity,
+    k_hop_overlap_similarity,
+    ochiai_similarity,
+    overlap_similarity,
+)
+from repro.baselines.graphlets import graphlet_feature_table, graphlet_features
+
+__all__ = [
+    "hits_similarity_matrix",
+    "hits_node_similarity",
+    "refex_features",
+    "refex_feature_matrix",
+    "netsimile_features",
+    "oddball_features",
+    "euclidean_distance",
+    "feature_distance",
+    "feature_knn",
+    "normalize_features",
+    "simrank",
+    "jaccard_similarity",
+    "dice_similarity",
+    "ochiai_similarity",
+    "k_hop_overlap_similarity",
+    "overlap_similarity",
+    "graphlet_features",
+    "graphlet_feature_table",
+]

@@ -1,0 +1,107 @@
+"""Distances and nearest-neighbor queries over feature vectors.
+
+The feature-based baselines (ReFeX, NetSimile, OddBall) embed each node into
+a small real vector; comparing two nodes then means comparing vectors.  The
+paper highlights two consequences reproduced here:
+
+* the comparison is *not* a metric over nodes (two structurally different
+  neighborhoods can produce identical vectors), and
+* nearest-neighbor queries require a full scan over all candidate vectors,
+  because general feature weighting/normalisation breaks metric indexing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.exceptions import DistanceError
+
+Node = Hashable
+Vector = Sequence[float]
+
+
+def euclidean_distance(first: Vector, second: Vector) -> float:
+    """Euclidean distance between two equal-length vectors."""
+    if len(first) != len(second):
+        raise DistanceError(
+            f"feature vectors must have the same length ({len(first)} != {len(second)})"
+        )
+    return math.sqrt(sum((a - b) ** 2 for a, b in zip(first, second)))
+
+
+def manhattan_distance(first: Vector, second: Vector) -> float:
+    """Manhattan (L1) distance between two equal-length vectors."""
+    if len(first) != len(second):
+        raise DistanceError(
+            f"feature vectors must have the same length ({len(first)} != {len(second)})"
+        )
+    return sum(abs(a - b) for a, b in zip(first, second))
+
+
+def canberra_distance(first: Vector, second: Vector) -> float:
+    """Canberra distance, the per-feature-normalised distance used by NetSimile."""
+    if len(first) != len(second):
+        raise DistanceError(
+            f"feature vectors must have the same length ({len(first)} != {len(second)})"
+        )
+    total = 0.0
+    for a, b in zip(first, second):
+        denominator = abs(a) + abs(b)
+        if denominator > 0:
+            total += abs(a - b) / denominator
+    return total
+
+
+_DISTANCES = {
+    "euclidean": euclidean_distance,
+    "manhattan": manhattan_distance,
+    "canberra": canberra_distance,
+}
+
+
+def feature_distance(first: Vector, second: Vector, kind: str = "euclidean") -> float:
+    """Return the ``kind`` distance between two feature vectors."""
+    if kind not in _DISTANCES:
+        raise DistanceError(f"unknown feature distance {kind!r}; expected one of {sorted(_DISTANCES)}")
+    return _DISTANCES[kind](first, second)
+
+
+def normalize_features(table: Dict[Node, List[float]]) -> Dict[Node, List[float]]:
+    """Min-max normalise each feature column to [0, 1] across the table."""
+    if not table:
+        return {}
+    width = len(next(iter(table.values())))
+    minima = [math.inf] * width
+    maxima = [-math.inf] * width
+    for vector in table.values():
+        for i, value in enumerate(vector):
+            minima[i] = min(minima[i], value)
+            maxima[i] = max(maxima[i], value)
+    spans = [maxima[i] - minima[i] for i in range(width)]
+    normalised: Dict[Node, List[float]] = {}
+    for node, vector in table.items():
+        normalised[node] = [
+            (value - minima[i]) / spans[i] if spans[i] > 0 else 0.0
+            for i, value in enumerate(vector)
+        ]
+    return normalised
+
+
+def feature_knn(
+    query_vector: Vector,
+    table: Dict[Node, List[float]],
+    k: int,
+    kind: str = "euclidean",
+) -> List[Tuple[Node, float]]:
+    """Full-scan k-nearest-neighbor query over a feature table.
+
+    Returns the ``k`` nodes with the smallest feature distance to
+    ``query_vector`` as ``(node, distance)`` pairs, closest first.  This is
+    deliberately a linear scan: the feature baselines have no metric index.
+    """
+    if k <= 0:
+        raise DistanceError(f"k must be positive, got {k}")
+    scored = [(node, feature_distance(query_vector, vector, kind)) for node, vector in table.items()]
+    scored.sort(key=lambda pair: (pair[1], repr(pair[0])))
+    return scored[:k]

@@ -1,0 +1,81 @@
+"""NetSimile node features (Berlingerio et al., ASONAM 2013).
+
+NetSimile describes each node by seven ego-net statistics; the original paper
+aggregates them over a whole graph for graph-level comparison, but — as in
+the NED paper — the per-node vectors can also be compared directly, which
+makes NetSimile another "feature-based" inter-graph node similarity limited
+to the one-hop neighborhood.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+from repro.graph.graph import Graph
+
+Node = Hashable
+
+FEATURE_NAMES = (
+    "degree",
+    "clustering_coefficient",
+    "avg_neighbor_degree",
+    "avg_neighbor_clustering",
+    "ego_edges",
+    "ego_out_edges",
+    "ego_neighbors",
+)
+
+
+def clustering_coefficient(graph: Graph, node: Node) -> float:
+    """Return the local clustering coefficient of ``node``."""
+    neighbors = list(graph.neighbors(node))
+    degree = len(neighbors)
+    if degree < 2:
+        return 0.0
+    links = 0
+    for i in range(degree):
+        for j in range(i + 1, degree):
+            if graph.has_edge(neighbors[i], neighbors[j]):
+                links += 1
+    return 2.0 * links / (degree * (degree - 1))
+
+
+def netsimile_features(graph: Graph, node: Node) -> List[float]:
+    """Return the seven NetSimile features of ``node``."""
+    neighbors = list(graph.neighbors(node))
+    degree = len(neighbors)
+    clustering = clustering_coefficient(graph, node)
+    if degree:
+        avg_neighbor_degree = sum(graph.degree(n) for n in neighbors) / degree
+        avg_neighbor_clustering = sum(clustering_coefficient(graph, n) for n in neighbors) / degree
+    else:
+        avg_neighbor_degree = 0.0
+        avg_neighbor_clustering = 0.0
+
+    ego_nodes = set(neighbors) | {node}
+    ego_edges = 0
+    out_edges = 0
+    ego_neighbor_set = set()
+    for member in ego_nodes:
+        for other in graph.neighbors(member):
+            if other in ego_nodes:
+                ego_edges += 1
+            else:
+                out_edges += 1
+                ego_neighbor_set.add(other)
+    ego_edges //= 2
+
+    return [
+        float(degree),
+        clustering,
+        float(avg_neighbor_degree),
+        float(avg_neighbor_clustering),
+        float(ego_edges),
+        float(out_edges),
+        float(len(ego_neighbor_set)),
+    ]
+
+
+def netsimile_feature_table(graph: Graph) -> Dict[Node, List[float]]:
+    """Return NetSimile features for every node of ``graph``."""
+    return {node: netsimile_features(graph, node) for node in graph.nodes()}

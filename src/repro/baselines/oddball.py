@@ -1,0 +1,56 @@
+"""OddBall ego-net features (Akoglu, McGlohon & Faloutsos, PAKDD 2010).
+
+OddBall characterises a node by a handful of statistics of its *ego-net* (the
+node, its direct neighbors and all edges among them).  The paper treats
+OddBall — like NetSimile — as a simplified version of ReFeX limited to the
+instant neighborhood (k = 1), which is why it misses structural differences
+deeper in the neighborhood.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+from repro.graph.graph import Graph
+
+Node = Hashable
+
+FEATURE_NAMES = (
+    "degree",
+    "ego_edges",
+    "ego_total_degree",
+    "ego_out_edges",
+)
+
+
+def oddball_features(graph: Graph, node: Node) -> List[float]:
+    """Return the OddBall feature vector of ``node``.
+
+    Features: degree of the node, number of edges inside the ego-net, total
+    degree of ego-net members, and number of edges leaving the ego-net.
+    """
+    neighbors = graph.neighbors(node)
+    ego_nodes = set(neighbors) | {node}
+    ego_edges = 0
+    out_edges = 0
+    total_degree = 0
+    for member in ego_nodes:
+        member_neighbors = graph.neighbors(member)
+        total_degree += len(member_neighbors)
+        for other in member_neighbors:
+            if other in ego_nodes:
+                ego_edges += 1
+            else:
+                out_edges += 1
+    ego_edges //= 2  # each intra-ego edge counted from both endpoints
+    return [
+        float(len(neighbors)),
+        float(ego_edges),
+        float(total_degree),
+        float(out_edges),
+    ]
+
+
+def oddball_feature_table(graph: Graph) -> Dict[Node, List[float]]:
+    """Return OddBall features for every node of ``graph``."""
+    return {node: oddball_features(graph, node) for node in graph.nodes()}

@@ -1,0 +1,115 @@
+"""Neighborhood-overlap node similarities (Jaccard, Sørensen–Dice, Ochiai, k-hop).
+
+Section 2 of the paper lists these as the "primitive" neighborhood-based
+methods (structural equivalence, co-citation, SCAN) and points out their key
+limitation for inter-graph comparison: they measure the overlap of the two
+nodes' neighbor *sets*, so two nodes from different graphs — which share no
+neighbors by construction — always get similarity 0, even when their
+neighborhoods are isomorphic.  Ness/NeMa extend the idea to k-hop
+neighborhoods but inherit the same limitation.
+
+They are implemented here (a) to serve as additional intra-graph baselines
+for the examples and tests, and (b) to demonstrate that limitation
+explicitly, which is the motivation for NED.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Set
+
+from repro.exceptions import DistanceError
+from repro.graph.graph import Graph
+from repro.utils.validation import check_positive_int
+
+Node = Hashable
+
+
+def _neighbor_sets(graph_u: Graph, u: Node, graph_v: Graph, v: Node) -> (Set[Node], Set[Node]):
+    return graph_u.neighbors(u), graph_v.neighbors(v)
+
+
+def jaccard_similarity(graph_u: Graph, u: Node, graph_v: Graph, v: Node) -> float:
+    """Jaccard coefficient of the two nodes' neighbor sets.
+
+    ``|N(u) ∩ N(v)| / |N(u) ∪ N(v)|``; for nodes of different graphs with
+    disjoint node identifier spaces this is always 0.
+    """
+    neighbors_u, neighbors_v = _neighbor_sets(graph_u, u, graph_v, v)
+    union = neighbors_u | neighbors_v
+    if not union:
+        return 0.0
+    return len(neighbors_u & neighbors_v) / len(union)
+
+
+def dice_similarity(graph_u: Graph, u: Node, graph_v: Graph, v: Node) -> float:
+    """Sørensen–Dice coefficient: ``2·|N(u) ∩ N(v)| / (|N(u)| + |N(v)|)``."""
+    neighbors_u, neighbors_v = _neighbor_sets(graph_u, u, graph_v, v)
+    total = len(neighbors_u) + len(neighbors_v)
+    if total == 0:
+        return 0.0
+    return 2.0 * len(neighbors_u & neighbors_v) / total
+
+
+def ochiai_similarity(graph_u: Graph, u: Node, graph_v: Graph, v: Node) -> float:
+    """Ochiai (cosine) coefficient: ``|N(u) ∩ N(v)| / sqrt(|N(u)|·|N(v)|)``."""
+    neighbors_u, neighbors_v = _neighbor_sets(graph_u, u, graph_v, v)
+    if not neighbors_u or not neighbors_v:
+        return 0.0
+    return len(neighbors_u & neighbors_v) / math.sqrt(len(neighbors_u) * len(neighbors_v))
+
+
+def k_hop_overlap_similarity(
+    graph_u: Graph,
+    u: Node,
+    graph_v: Graph,
+    v: Node,
+    k: int,
+) -> float:
+    """Ness/NeMa-style overlap of the two nodes' k-hop neighborhood node sets.
+
+    The Jaccard coefficient is computed over all nodes within ``k`` hops
+    (excluding the nodes themselves).  Like the one-hop variants, it is 0 for
+    inter-graph nodes that share no identifiers, regardless of how similar
+    their neighborhood *topologies* are.
+    """
+    check_positive_int(k, "k")
+    reachable_u = {node for level in graph_u.bfs_levels(u, max_depth=k)[1:] for node in level}
+    reachable_v = {node for level in graph_v.bfs_levels(v, max_depth=k)[1:] for node in level}
+    union = reachable_u | reachable_v
+    if not union:
+        return 0.0
+    return len(reachable_u & reachable_v) / len(union)
+
+
+_SIMILARITIES = {
+    "jaccard": jaccard_similarity,
+    "dice": dice_similarity,
+    "ochiai": ochiai_similarity,
+}
+
+
+def overlap_similarity(
+    graph_u: Graph,
+    u: Node,
+    graph_v: Graph,
+    v: Node,
+    kind: str = "jaccard",
+) -> float:
+    """Dispatch to one of the one-hop overlap coefficients by name."""
+    if kind not in _SIMILARITIES:
+        raise DistanceError(
+            f"unknown overlap similarity {kind!r}; expected one of {sorted(_SIMILARITIES)}"
+        )
+    return _SIMILARITIES[kind](graph_u, u, graph_v, v)
+
+
+def overlap_similarity_table(graph: Graph, kind: str = "jaccard") -> Dict[tuple, float]:
+    """All-pairs overlap similarity inside one graph (intra-graph use only)."""
+    nodes = graph.nodes()
+    return {
+        (u, v): overlap_similarity(graph, u, graph, v, kind=kind)
+        for u in nodes
+        for v in nodes
+        if u != v
+    }

@@ -1,0 +1,73 @@
+"""SimRank (Jeh & Widom, KDD 2002) — intra-graph link-based similarity.
+
+SimRank is the canonical *intra-graph* node similarity discussed in the
+paper's related-work section: two nodes are similar when their neighbors are
+similar.  It cannot compare nodes that live in different graphs (they share
+no links, so their similarity is identically zero), which is exactly the gap
+NED fills; SimRank is included here so the related-work comparison and the
+transfer-learning example can demonstrate that limitation concretely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+from repro.exceptions import DistanceError
+from repro.graph.graph import Graph
+from repro.utils.validation import check_positive_int, check_probability
+
+Node = Hashable
+
+
+def simrank(
+    graph: Graph,
+    decay: float = 0.8,
+    iterations: int = 10,
+) -> Dict[Tuple[Node, Node], float]:
+    """Return SimRank scores for every ordered node pair of ``graph``.
+
+    ``decay`` is the usual damping constant ``C`` and ``iterations`` the
+    number of fixed-point iterations.  The similarity of a node with itself
+    is 1 by definition.
+    """
+    check_probability(decay, "decay")
+    check_positive_int(iterations, "iterations")
+    nodes = list(graph.nodes())
+    if not nodes:
+        raise DistanceError("simrank requires a non-empty graph")
+    scores: Dict[Tuple[Node, Node], float] = {}
+    for a in nodes:
+        for b in nodes:
+            scores[(a, b)] = 1.0 if a == b else 0.0
+
+    for _ in range(iterations):
+        updated: Dict[Tuple[Node, Node], float] = {}
+        for a in nodes:
+            neighbors_a = graph.neighbors(a)
+            for b in nodes:
+                if a == b:
+                    updated[(a, b)] = 1.0
+                    continue
+                neighbors_b = graph.neighbors(b)
+                if not neighbors_a or not neighbors_b:
+                    updated[(a, b)] = 0.0
+                    continue
+                total = sum(scores[(na, nb)] for na in neighbors_a for nb in neighbors_b)
+                updated[(a, b)] = decay * total / (len(neighbors_a) * len(neighbors_b))
+        scores = updated
+    return scores
+
+
+def simrank_pair(
+    graph: Graph,
+    first: Node,
+    second: Node,
+    decay: float = 0.8,
+    iterations: int = 10,
+) -> float:
+    """Return the SimRank similarity of one node pair of the same graph."""
+    scores = simrank(graph, decay=decay, iterations=iterations)
+    key = (first, second)
+    if key not in scores:
+        raise DistanceError(f"nodes {first!r}, {second!r} not both present in the graph")
+    return scores[key]

@@ -1,0 +1,24 @@
+"""NED: the inter-graph node metric (the paper's primary contribution).
+
+NED compares two nodes — possibly from different graphs — by extracting
+their k-adjacent trees and computing TED* between them (Section 3).  The
+directed-graph variant sums TED* over the incoming and outgoing k-adjacent
+trees (Section 3.3), and the weighted variant applies Section 12's per-level
+weights.
+"""
+
+from repro.core.ned import (
+    NedComputer,
+    directed_ned,
+    ned,
+    ned_from_trees,
+    weighted_ned,
+)
+
+__all__ = [
+    "ned",
+    "directed_ned",
+    "weighted_ned",
+    "ned_from_trees",
+    "NedComputer",
+]

@@ -1,0 +1,27 @@
+"""Synthetic stand-ins for the paper's six evaluation datasets (Table 2).
+
+The paper evaluates on CA road (CAR), PA road (PAR), Amazon (AMZN), DBLP,
+Gnutella (GNU) and PGP graphs from SNAP/KONECT.  Those datasets cannot be
+downloaded in this offline environment, so this subpackage generates
+structural stand-ins from the generators in :mod:`repro.graph.generators`,
+scaled down by default so that every experiment runs on a laptop while
+preserving the neighborhood-level structure NED actually consumes.
+"""
+
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    DatasetSpec,
+    dataset_spec,
+    dataset_summary_table,
+    load_dataset,
+    load_dataset_pair,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "DatasetSpec",
+    "dataset_spec",
+    "load_dataset",
+    "load_dataset_pair",
+    "dataset_summary_table",
+]

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the NED reproduction library.
+
+All exceptions raised by this package derive from :class:`ReproError`, so that
+callers can catch library-specific failures without accidentally swallowing
+programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid graph construction or queries (e.g. unknown node)."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """Raised when a node referenced by a query does not exist in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """Raised when an edge referenced by a query does not exist in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class TreeError(ReproError):
+    """Raised for invalid tree construction or malformed tree structures."""
+
+
+class MatchingError(ReproError):
+    """Raised when a bipartite matching problem is malformed or infeasible."""
+
+
+class DistanceError(ReproError):
+    """Raised when a distance computation receives invalid input."""
+
+
+class IndexingError(ReproError):
+    """Raised for invalid metric index construction or queries."""
+
+
+class DatasetError(ReproError):
+    """Raised when a synthetic dataset request cannot be satisfied."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment driver receives an invalid configuration."""

@@ -1,0 +1,15 @@
+"""Experiment drivers reproducing every table and figure of the paper's §13.
+
+Each ``figN_*`` module exposes one or more functions that run the
+corresponding experiment on the synthetic datasets and return
+:class:`repro.experiments.reporting.ExperimentTable` objects — the same rows
+or series the paper plots.  The benchmark harness under ``benchmarks/`` calls
+these drivers with laptop-scale parameters, and
+:mod:`repro.experiments.harness` can run the full suite in one go
+(``python -m repro.experiments.cli``).
+"""
+
+from repro.experiments.reporting import ExperimentTable, format_table
+from repro.experiments.harness import run_all_experiments
+
+__all__ = ["ExperimentTable", "format_table", "run_all_experiments"]

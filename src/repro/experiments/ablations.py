@@ -1,0 +1,137 @@
+"""Ablation experiments for design choices called out in DESIGN.md.
+
+These do not correspond to a numbered figure of the paper, but they verify
+(and quantify) the analytical claims the design relies on:
+
+* the bound chain ``GED ≤ 2·TED*`` and ``TED ≤ δ_T(W+)`` (Sections 11-12),
+* the monotonicity of NED in ``k`` (Lemma 5),
+* the equivalence (and relative speed) of the from-scratch Hungarian solver
+  and SciPy's assignment solver.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.datasets.registry import load_dataset_pair
+from repro.experiments.common import default_backend, mean, sample_node_pairs, sample_small_tree_pairs
+from repro.experiments.reporting import ExperimentTable
+from repro.matching.hungarian import hungarian
+from repro.matching.scipy_backend import scipy_assignment, scipy_available
+from repro.core.ned import NedComputer
+from repro.ted.bounds import tree_as_graph
+from repro.ted.exact_ged import exact_graph_edit_distance
+from repro.ted.exact_ted import exact_tree_edit_distance
+from repro.ted.ted_star import ted_star
+from repro.ted.weighted import ted_star_upper_bound_weights
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.timer import time_call
+
+
+def ablation_bounds(
+    pair_count: int = 20,
+    k: int = 3,
+    max_tree_size: int = 9,
+    scale: float = 0.5,
+    seed: RngLike = 59,
+) -> ExperimentTable:
+    """Check GED ≤ 2·TED* and TED ≤ δ_T(W+) on sampled neighborhood trees."""
+    graph_a, graph_b = load_dataset_pair("CAR", "PAR", scale=scale, seed=seed)
+    samples = sample_small_tree_pairs(
+        graph_a, graph_b, k=k, count=pair_count, max_tree_size=max_tree_size, seed=seed
+    )
+    table = ExperimentTable(
+        title="Ablation: bound chain GED <= 2*TED* and TED <= weighted TED*(W+)",
+        columns=["pairs", "ged_bound_violations", "ted_bound_violations",
+                 "avg_ted_star", "avg_ted", "avg_ged", "avg_w_plus"],
+    )
+    ged_violations = 0
+    ted_violations = 0
+    star_values, ted_values, ged_values, w_plus_values = [], [], [], []
+    for _, _, tree_u, tree_v in samples:
+        star = ted_star(tree_u, tree_v, k=k)
+        exact_ted = exact_tree_edit_distance(tree_u, tree_v)
+        ged = exact_graph_edit_distance(tree_as_graph(tree_u), tree_as_graph(tree_v))
+        w_plus = ted_star_upper_bound_weights(tree_u, tree_v, k=k)
+        star_values.append(star)
+        ted_values.append(float(exact_ted))
+        ged_values.append(float(ged))
+        w_plus_values.append(w_plus)
+        if ged > 2 * star + 1e-9:
+            ged_violations += 1
+        if exact_ted > w_plus + 1e-9:
+            ted_violations += 1
+    table.add_row(
+        pairs=len(samples),
+        ged_bound_violations=ged_violations,
+        ted_bound_violations=ted_violations,
+        avg_ted_star=mean(star_values),
+        avg_ted=mean(ted_values),
+        avg_ged=mean(ged_values),
+        avg_w_plus=mean(w_plus_values),
+    )
+    return table
+
+
+def ablation_monotonicity(
+    pair_count: int = 25,
+    ks: Sequence[int] = (1, 2, 3, 4, 5),
+    scale: float = 0.5,
+    seed: RngLike = 61,
+) -> ExperimentTable:
+    """Verify Lemma 5: NED is non-decreasing in k on sampled node pairs."""
+    graph_a, graph_b = load_dataset_pair("CAR", "PAR", scale=scale, seed=seed)
+    backend = default_backend()
+    pairs = sample_node_pairs(graph_a, graph_b, pair_count, seed=seed)
+    table = ExperimentTable(
+        title="Ablation: monotonicity of NED in k (Lemma 5)",
+        columns=["k", "avg_distance", "monotonicity_violations"],
+    )
+    previous = {pair: 0.0 for pair in pairs}
+    for k in ks:
+        computer = NedComputer(k=k, backend=backend)
+        violations = 0
+        values = []
+        for pair in pairs:
+            u, v = pair
+            value = computer.distance(graph_a, u, graph_b, v)
+            values.append(value)
+            if value < previous[pair] - 1e-9:
+                violations += 1
+            previous[pair] = value
+        table.add_row(k=k, avg_distance=mean(values), monotonicity_violations=violations)
+    return table
+
+
+def ablation_matching_backend(
+    sizes: Sequence[int] = (10, 30, 60),
+    trials: int = 5,
+    seed: RngLike = 67,
+) -> ExperimentTable:
+    """Compare the from-scratch Hungarian solver against SciPy on random costs."""
+    rng = ensure_rng(seed)
+    table = ExperimentTable(
+        title="Ablation: assignment backends (from-scratch Hungarian vs SciPy)",
+        columns=["matrix_size", "trials", "hungarian_time", "scipy_time", "cost_mismatches"],
+        notes=["SciPy column is empty when SciPy is not installed."],
+    )
+    for size in sizes:
+        hungarian_times, scipy_times = [], []
+        mismatches = 0
+        for _ in range(trials):
+            matrix = [[float(rng.randrange(0, 50)) for _ in range(size)] for _ in range(size)]
+            (_, cost_a), elapsed_a = time_call(hungarian, matrix)
+            hungarian_times.append(elapsed_a)
+            if scipy_available():
+                (_, cost_b), elapsed_b = time_call(scipy_assignment, matrix)
+                scipy_times.append(elapsed_b)
+                if abs(cost_a - cost_b) > 1e-6:
+                    mismatches += 1
+        table.add_row(
+            matrix_size=size,
+            trials=trials,
+            hungarian_time=mean(hungarian_times),
+            scipy_time=mean(scipy_times),
+            cost_mismatches=mismatches,
+        )
+    return table

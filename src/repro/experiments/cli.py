@@ -1,0 +1,83 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    ned-experiments                 # run the quick version of every experiment
+    ned-experiments --full          # full-size workloads
+    ned-experiments --only figure7b_ned_vs_k table2
+    python -m repro.experiments.cli --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.harness import run_all_experiments
+from repro.experiments.reporting import format_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="ned-experiments",
+        description="Reproduce the tables and figures of the NED paper on synthetic datasets.",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the full-size workloads (slower; default is the quick version)",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        metavar="NAME",
+        help="run/print only the experiments with these names",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list experiment names and exit",
+    )
+    parser.add_argument(
+        "--csv-dir",
+        metavar="DIR",
+        help="also write every selected experiment table to DIR/<name>.csv",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI main; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    results = run_all_experiments(quick=not args.full)
+    if args.list:
+        for name in results:
+            print(name)
+        return 0
+    selected = results
+    if args.only:
+        missing = [name for name in args.only if name not in results]
+        if missing:
+            print(f"unknown experiment names: {missing}", file=sys.stderr)
+            print(f"available: {sorted(results)}", file=sys.stderr)
+            return 2
+        selected = {name: results[name] for name in args.only}
+    csv_dir = None
+    if args.csv_dir:
+        from pathlib import Path
+
+        csv_dir = Path(args.csv_dir)
+        csv_dir.mkdir(parents=True, exist_ok=True)
+    for name, table in selected.items():
+        print()
+        print(f"=== {name} ===")
+        print(format_table(table))
+        if csv_dir is not None:
+            table.to_csv(csv_dir / f"{name}.csv")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    raise SystemExit(main())

@@ -1,0 +1,96 @@
+"""Shared helpers for the experiment drivers.
+
+Everything here exists to keep the per-figure modules small: default
+matching-backend selection (SciPy when available, because the figures sweep
+thousands of TED* computations), node-pair sampling across two graphs, and
+tree-size-bounded sampling for the exact-TED/GED comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from repro.graph.graph import Graph
+from repro.matching.scipy_backend import scipy_available
+from repro.trees.adjacent import k_adjacent_tree
+from repro.trees.tree import Tree
+from repro.utils.rng import RngLike, ensure_rng
+
+Node = Hashable
+
+
+def default_backend() -> str:
+    """Return the preferred matching backend for large experiment sweeps.
+
+    The from-scratch Hungarian solver is the library default, but the
+    experiment harness prefers SciPy's C implementation when present so the
+    figure sweeps finish quickly; the two backends are cross-validated
+    against each other in the test suite.
+    """
+    return "scipy" if scipy_available() else "hungarian"
+
+
+def sample_node_pairs(
+    graph_a: Graph,
+    graph_b: Graph,
+    count: int,
+    seed: RngLike = 0,
+) -> List[Tuple[Node, Node]]:
+    """Sample ``count`` random (node-of-A, node-of-B) pairs."""
+    rng = ensure_rng(seed)
+    nodes_a = graph_a.nodes()
+    nodes_b = graph_b.nodes()
+    return [(rng.choice(nodes_a), rng.choice(nodes_b)) for _ in range(count)]
+
+
+def sample_small_tree_pairs(
+    graph_a: Graph,
+    graph_b: Graph,
+    k: int,
+    count: int,
+    max_tree_size: int,
+    seed: RngLike = 0,
+    max_attempts_factor: int = 30,
+) -> List[Tuple[Node, Node, Tree, Tree]]:
+    """Sample node pairs whose k-adjacent trees stay below ``max_tree_size``.
+
+    The exact TED and GED baselines are exponential, so — exactly like the
+    paper — they are only evaluated on neighborhoods of roughly a dozen
+    nodes.  Rejection-samples node pairs until ``count`` suitable ones are
+    found or the attempt budget is exhausted.
+    """
+    rng = ensure_rng(seed)
+    nodes_a = graph_a.nodes()
+    nodes_b = graph_b.nodes()
+    pairs: List[Tuple[Node, Node, Tree, Tree]] = []
+    attempts = 0
+    budget = max_attempts_factor * count
+    while len(pairs) < count and attempts < budget:
+        attempts += 1
+        u = rng.choice(nodes_a)
+        v = rng.choice(nodes_b)
+        tree_u = k_adjacent_tree(graph_a, u, k)
+        if tree_u.size() > max_tree_size:
+            continue
+        tree_v = k_adjacent_tree(graph_b, v, k)
+        if tree_v.size() > max_tree_size:
+            continue
+        pairs.append((u, v, tree_u, tree_v))
+    return pairs
+
+
+def mean(values: Sequence[float]) -> Optional[float]:
+    """Arithmetic mean, or ``None`` for an empty sequence."""
+    values = list(values)
+    if not values:
+        return None
+    return sum(values) / len(values)
+
+
+def std(values: Sequence[float]) -> Optional[float]:
+    """Population standard deviation, or ``None`` for an empty sequence."""
+    values = list(values)
+    if not values:
+        return None
+    centre = sum(values) / len(values)
+    return (sum((value - centre) ** 2 for value in values) / len(values)) ** 0.5

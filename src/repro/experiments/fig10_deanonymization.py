@@ -1,0 +1,168 @@
+"""Figure 10 — de-anonymization precision on PGP and DBLP (NED vs Feature).
+
+The training graph keeps its identities; the testing graph is an anonymised
+copy produced by one of three schemes (naive, sparsification, perturbation).
+For every anonymised node the attacker retrieves the top-l most similar
+training nodes; a hit means the true identity is among them.  The paper uses
+k = 3, top-5 for PGP (1% perturbation) and top-10 for DBLP (5% perturbation)
+and finds NED clearly more precise than the feature-based similarity —
+especially under sparsification/perturbation, where ad-hoc ego-net statistics
+drift more than the neighborhood tree structure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Sequence
+
+from repro.anonymize.anonymizers import (
+    AnonymizedGraph,
+    naive_anonymization,
+    perturbation_anonymization,
+    sparsification_anonymization,
+)
+from repro.anonymize.deanonymize import deanonymize_node
+from repro.baselines.feature_distance import euclidean_distance
+from repro.baselines.refex import refex_feature_matrix
+from repro.core.ned import NedComputer
+from repro.datasets.registry import load_dataset
+from repro.experiments.common import default_backend
+from repro.experiments.reporting import ExperimentTable
+from repro.graph.graph import Graph
+from repro.utils.rng import RngLike, ensure_rng, sample_distinct
+
+Node = Hashable
+
+SCHEMES = ("naive", "sparsification", "perturbation")
+
+
+def _anonymize(graph: Graph, scheme: str, ratio: float, seed: int) -> AnonymizedGraph:
+    if scheme == "naive":
+        return naive_anonymization(graph, seed=seed)
+    if scheme == "sparsification":
+        return sparsification_anonymization(graph, ratio=ratio, seed=seed)
+    if scheme == "perturbation":
+        return perturbation_anonymization(graph, ratio=ratio, seed=seed)
+    raise ValueError(f"unknown anonymization scheme {scheme!r}")
+
+
+def _ned_distance_fn(
+    training_graph: Graph, anonymous_graph: Graph, k: int, backend: str
+) -> Callable[[Node, Node], float]:
+    computer = NedComputer(k=k, backend=backend)
+
+    def distance(training_node: Node, anonymous_node: Node) -> float:
+        return computer.distance(training_graph, training_node, anonymous_graph, anonymous_node)
+
+    return distance
+
+
+def _feature_distance_fn(
+    training_graph: Graph, anonymous_graph: Graph, k: int
+) -> Callable[[Node, Node], float]:
+    recursions = max(1, k - 1)
+    training_features = refex_feature_matrix(training_graph, recursions=recursions)
+    anonymous_features = refex_feature_matrix(anonymous_graph, recursions=recursions)
+    width = min(
+        len(next(iter(training_features.values()))),
+        len(next(iter(anonymous_features.values()))),
+    )
+
+    def distance(training_node: Node, anonymous_node: Node) -> float:
+        return euclidean_distance(
+            training_features[training_node][:width], anonymous_features[anonymous_node][:width]
+        )
+
+    return distance
+
+
+def deanonymization_experiment(
+    dataset: str,
+    top_l: int,
+    ratio: float,
+    k: int = 3,
+    schemes: Sequence[str] = SCHEMES,
+    scale: float = 0.4,
+    query_sample: int = 20,
+    candidate_sample: Optional[int] = None,
+    seed: RngLike = 43,
+) -> ExperimentTable:
+    """Run the Figure 10 experiment for one dataset.
+
+    ``query_sample`` anonymised nodes are evaluated against a candidate pool
+    of ``candidate_sample`` training nodes (always including the true
+    identities of the sampled queries, so the task is solvable); ``None``
+    uses the full training graph as candidates.  The pool restriction keeps
+    the quadratic NED evaluation laptop-sized while preserving the relative
+    precision of the two methods, which is the figure's claim.
+    """
+    rng = ensure_rng(seed)
+    graph = load_dataset(dataset, scale=scale, seed=rng.randrange(1 << 30))
+    backend = default_backend()
+
+    table = ExperimentTable(
+        title=f"Figure 10: de-anonymization precision on {dataset} (top-{top_l}, ratio={ratio})",
+        columns=["scheme", "method", "precision", "evaluated", "hits"],
+        notes=[
+            f"k={k}, scale={scale}, query_sample={query_sample}, "
+            f"candidate_sample={candidate_sample}",
+            "The paper perturbs 1%-5% of the edges of graphs 30-1000x larger; on the reduced "
+            "stand-ins an equivalent amount of per-node structural damage needs a larger ratio, "
+            "hence the default ratios used here.",
+        ],
+    )
+
+    for scheme in schemes:
+        anonymized = _anonymize(graph, scheme, ratio, seed=rng.randrange(1 << 30))
+        # Choose the anonymised nodes to attack, then build a candidate pool
+        # that contains their true identities plus random distractors.
+        targets = sample_distinct(anonymized.pseudonyms(), query_sample, rng)
+        truths = [anonymized.true_identity[node] for node in targets]
+        if candidate_sample is None:
+            candidates: List[Node] = graph.nodes()
+        else:
+            distractors = [node for node in graph.nodes() if node not in set(truths)]
+            extra = sample_distinct(distractors, max(0, candidate_sample - len(truths)), rng)
+            candidates = list(dict.fromkeys(truths + extra))
+
+        for method, distance in (
+            ("NED", _ned_distance_fn(graph, anonymized.graph, k, backend)),
+            ("Feature", _feature_distance_fn(graph, anonymized.graph, k)),
+        ):
+            hits = 0
+            for anon_node in targets:
+                truth = anonymized.true_identity[anon_node]
+                top = deanonymize_node(anon_node, candidates, distance, top_l)
+                if any(candidate == truth for candidate, _ in top):
+                    hits += 1
+            precision = hits / len(targets) if targets else 0.0
+            table.add_row(
+                scheme=scheme,
+                method=method,
+                precision=precision,
+                evaluated=len(targets),
+                hits=hits,
+            )
+    return table
+
+
+def figure10a_pgp(**overrides) -> ExperimentTable:
+    """Figure 10a: PGP, top-5 candidates.
+
+    The paper uses a 1% permutation ratio on the full 10k-node PGP graph; on
+    the reduced stand-in the default ratio is 10% so that a comparable share
+    of each node's neighborhood is disturbed (override ``ratio`` to change).
+    """
+    parameters = dict(dataset="PGP", top_l=5, ratio=0.10)
+    parameters.update(overrides)
+    return deanonymization_experiment(**parameters)
+
+
+def figure10b_dblp(**overrides) -> ExperimentTable:
+    """Figure 10b: DBLP, top-10 candidates.
+
+    The paper uses a 5% permutation ratio on the full 317k-node DBLP graph;
+    the reduced stand-in defaults to 10% (see :func:`figure10a_pgp`).
+    """
+    parameters = dict(dataset="DBLP", top_l=10, ratio=0.10)
+    parameters.update(overrides)
+    return deanonymization_experiment(**parameters)

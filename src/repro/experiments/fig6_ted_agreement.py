@@ -1,0 +1,73 @@
+"""Figure 6 — agreement between TED* and exact TED.
+
+Figure 6a reports the mean and standard deviation of the relative error
+``|TED − TED*| / TED`` over random node pairs, per k; Figure 6b reports the
+fraction of pairs on which the two distances are exactly equal.
+
+Expected shape (paper): mean relative error between ~0.04 and ~0.14 with
+standard deviation below 0.2, and more than half of the pairs agreeing
+exactly for most k.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.datasets.registry import load_dataset_pair
+from repro.experiments.common import default_backend, mean, sample_small_tree_pairs, std
+from repro.experiments.reporting import ExperimentTable
+from repro.ted.exact_ted import exact_tree_edit_distance
+from repro.ted.ted_star import ted_star
+from repro.utils.rng import RngLike
+
+
+def figure6_ted_agreement(
+    ks: Sequence[int] = (2, 3, 4),
+    pairs_per_k: int = 30,
+    max_tree_size: int = 12,
+    scale: float = 0.5,
+    seed: RngLike = 11,
+    datasets: Sequence[str] = ("CAR", "PAR"),
+) -> Dict[str, ExperimentTable]:
+    """Run the Figure 6 agreement analysis; returns the 6a and 6b tables."""
+    graph_a, graph_b = load_dataset_pair(datasets[0], datasets[1], scale=scale, seed=seed)
+    backend = default_backend()
+
+    error_table = ExperimentTable(
+        title="Figure 6a: relative error |TED - TED*| / TED",
+        columns=["k", "pairs", "mean_relative_error", "std_relative_error"],
+        notes=[f"datasets={datasets}, max_tree_size={max_tree_size}"],
+    )
+    equality_table = ExperimentTable(
+        title="Figure 6b: fraction of pairs with TED* exactly equal to TED",
+        columns=["k", "pairs", "equivalency_ratio"],
+    )
+
+    for k in ks:
+        samples = sample_small_tree_pairs(
+            graph_a, graph_b, k=k, count=pairs_per_k, max_tree_size=max_tree_size, seed=seed,
+            max_attempts_factor=120,
+        )
+        relative_errors: List[float] = []
+        equal = 0
+        compared = 0
+        for _, _, tree_u, tree_v in samples:
+            star_value = ted_star(tree_u, tree_v, k=k, backend=backend)
+            exact_value = exact_tree_edit_distance(tree_u, tree_v)
+            compared += 1
+            if abs(star_value - exact_value) < 1e-9:
+                equal += 1
+            if exact_value > 0:
+                relative_errors.append(abs(exact_value - star_value) / exact_value)
+        error_table.add_row(
+            k=k,
+            pairs=compared,
+            mean_relative_error=mean(relative_errors),
+            std_relative_error=std(relative_errors),
+        )
+        equality_table.add_row(
+            k=k,
+            pairs=compared,
+            equivalency_ratio=(equal / compared) if compared else None,
+        )
+    return {"figure6a_relative_error": error_table, "figure6b_equivalency": equality_table}

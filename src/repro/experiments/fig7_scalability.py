@@ -1,0 +1,113 @@
+"""Figure 7 — scalability of TED* and NED.
+
+Figure 7a: TED* computation time as a function of tree size, on 3-adjacent
+trees extracted from the AMZN and DBLP stand-ins (the paper reports
+sub-millisecond times for trees of up to ~500 nodes on its Java testbed; the
+shape to reproduce is polynomial growth, in contrast to the exponential exact
+solvers of Figure 5a).
+
+Figure 7b: NED computation time as a function of the parameter ``k`` on node
+pairs from the CAR and PAR stand-ins; time grows with ``k`` because deeper
+levels add more (and larger) bipartite matchings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.ned import NedComputer
+from repro.datasets.registry import load_dataset_pair
+from repro.experiments.common import default_backend, mean, sample_node_pairs
+from repro.experiments.reporting import ExperimentTable
+from repro.ted.ted_star import ted_star
+from repro.trees.adjacent import k_adjacent_tree
+from repro.trees.tree import Tree
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.timer import time_call
+
+
+def figure7a_ted_star_vs_tree_size(
+    k: int = 3,
+    pair_count: int = 60,
+    size_buckets: Sequence[Tuple[int, int]] = ((1, 25), (26, 50), (51, 100), (101, 200), (201, 400)),
+    scale: float = 1.0,
+    seed: RngLike = 23,
+    datasets: Sequence[str] = ("AMZN", "DBLP"),
+) -> ExperimentTable:
+    """TED* computation time bucketed by the size of the larger tree."""
+    graph_a, graph_b = load_dataset_pair(datasets[0], datasets[1], scale=scale, seed=seed)
+    backend = default_backend()
+    rng = ensure_rng(seed)
+    nodes_a = graph_a.nodes()
+    nodes_b = graph_b.nodes()
+
+    samples: List[Tuple[Tree, Tree, int]] = []
+    for _ in range(pair_count):
+        u = rng.choice(nodes_a)
+        v = rng.choice(nodes_b)
+        tree_u = k_adjacent_tree(graph_a, u, k)
+        tree_v = k_adjacent_tree(graph_b, v, k)
+        samples.append((tree_u, tree_v, max(tree_u.size(), tree_v.size())))
+
+    table = ExperimentTable(
+        title="Figure 7a: TED* computation time vs tree size",
+        columns=["tree_size_bucket", "pairs", "avg_tree_size", "avg_time_seconds"],
+        notes=[f"k={k}, datasets={datasets}, backend={backend}"],
+    )
+    for low, high in size_buckets:
+        bucket = [s for s in samples if low <= s[2] <= high]
+        times: List[float] = []
+        sizes: List[float] = []
+        for tree_u, tree_v, size in bucket:
+            _, elapsed = time_call(ted_star, tree_u, tree_v, k, backend)
+            times.append(elapsed)
+            sizes.append(float(size))
+        table.add_row(
+            tree_size_bucket=f"{low}-{high}",
+            pairs=len(bucket),
+            avg_tree_size=mean(sizes),
+            avg_time_seconds=mean(times),
+        )
+    return table
+
+
+def figure7b_ned_vs_k(
+    ks: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    pair_count: int = 40,
+    scale: float = 0.6,
+    seed: RngLike = 29,
+    datasets: Sequence[str] = ("CAR", "PAR"),
+) -> ExperimentTable:
+    """Average NED computation time (tree extraction + TED*) per value of k."""
+    graph_a, graph_b = load_dataset_pair(datasets[0], datasets[1], scale=scale, seed=seed)
+    backend = default_backend()
+    pairs = sample_node_pairs(graph_a, graph_b, pair_count, seed=seed)
+
+    table = ExperimentTable(
+        title="Figure 7b: NED computation time vs parameter k",
+        columns=["k", "pairs", "avg_time_seconds", "avg_distance"],
+        notes=[f"datasets={datasets}, backend={backend}"],
+    )
+    for k in ks:
+        computer = NedComputer(k=k, backend=backend)
+        times: List[float] = []
+        distances: List[float] = []
+        for u, v in pairs:
+            value, elapsed = time_call(computer.distance, graph_a, u, graph_b, v)
+            times.append(elapsed)
+            distances.append(value)
+        table.add_row(
+            k=k,
+            pairs=len(pairs),
+            avg_time_seconds=mean(times),
+            avg_distance=mean(distances),
+        )
+    return table
+
+
+def figure7_scalability(**kwargs) -> Dict[str, ExperimentTable]:
+    """Run both halves of Figure 7 with their default parameters."""
+    return {
+        "figure7a_tree_size": figure7a_ted_star_vs_tree_size(),
+        "figure7b_ned_vs_k": figure7b_ned_vs_k(),
+    }

@@ -1,0 +1,72 @@
+"""Figure 8 — effect of the parameter k on query results.
+
+Figure 8a: size of the *nearest neighbor result set* — how many candidate
+nodes attain the minimal NED distance to a query node — as a function of k.
+Because NED is monotonically non-decreasing in k (Lemma 5), small k produces
+many ties at distance 0 and increasing k shrinks the set.
+
+Figure 8b: number of *ties* in the top-l ranking (candidates sharing a
+distance value with another candidate inside the top-l) as a function of k;
+increasing k breaks ties.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.ned import NedComputer
+from repro.datasets.registry import load_dataset_pair
+from repro.experiments.common import default_backend, mean
+from repro.experiments.reporting import ExperimentTable
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def figure8_parameter_k(
+    ks: Sequence[int] = (1, 2, 3, 4, 5),
+    query_count: int = 12,
+    candidate_count: int = 120,
+    top_l: int = 10,
+    scale: float = 0.5,
+    seed: RngLike = 31,
+    datasets: Sequence[str] = ("CAR", "PAR"),
+) -> Dict[str, ExperimentTable]:
+    """Run both halves of Figure 8 and return their tables.
+
+    Query nodes are sampled from the first dataset and candidates from the
+    second (inter-graph queries, as in the paper).  ``candidate_count``
+    bounds the candidate pool so the sweep stays laptop-sized.
+    """
+    graph_q, graph_c = load_dataset_pair(datasets[0], datasets[1], scale=scale, seed=seed)
+    backend = default_backend()
+    rng = ensure_rng(seed)
+    queries = [rng.choice(graph_q.nodes()) for _ in range(query_count)]
+    candidates = [rng.choice(graph_c.nodes()) for _ in range(candidate_count)]
+
+    nn_table = ExperimentTable(
+        title="Figure 8a: nearest-neighbor result set size vs k",
+        columns=["k", "queries", "avg_nn_set_size"],
+        notes=[f"datasets={datasets}, candidates={candidate_count}"],
+    )
+    tie_table = ExperimentTable(
+        title="Figure 8b: number of ties in the top-l ranking vs k",
+        columns=["k", "queries", "top_l", "avg_ties_in_top_l"],
+    )
+
+    for k in ks:
+        computer = NedComputer(k=k, backend=backend)
+        nn_sizes: List[float] = []
+        tie_counts: List[float] = []
+        for query in queries:
+            distances = [
+                computer.distance(graph_q, query, graph_c, candidate) for candidate in candidates
+            ]
+            minimum = min(distances)
+            nn_sizes.append(float(sum(1 for d in distances if abs(d - minimum) < 1e-9)))
+            ranked = sorted(distances)[:top_l]
+            ties = sum(1 for d in ranked if ranked.count(d) > 1)
+            tie_counts.append(float(ties))
+        nn_table.add_row(k=k, queries=len(queries), avg_nn_set_size=mean(nn_sizes))
+        tie_table.add_row(
+            k=k, queries=len(queries), top_l=top_l, avg_ties_in_top_l=mean(tie_counts)
+        )
+    return {"figure8a_nn_set_size": nn_table, "figure8b_ranking_ties": tie_table}

@@ -1,0 +1,99 @@
+"""Run the complete experiment suite (all tables and figures) in one call.
+
+``run_all_experiments`` is used by the command-line entry point
+(``ned-experiments`` / ``python -m repro.experiments.cli``) and by the
+integration tests; each individual figure can also be run through its own
+driver module.  The ``quick`` flag shrinks every workload so the full suite
+finishes in a couple of minutes on a laptop; the benchmark harness under
+``benchmarks/`` uses its own per-figure parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.ablations import (
+    ablation_bounds,
+    ablation_matching_backend,
+    ablation_monotonicity,
+)
+from repro.experiments.fig5_ted_ted_ged import figure5_ted_ted_ged
+from repro.experiments.fig6_ted_agreement import figure6_ted_agreement
+from repro.experiments.fig7_scalability import figure7a_ted_star_vs_tree_size, figure7b_ned_vs_k
+from repro.experiments.fig8_parameter_k import figure8_parameter_k
+from repro.experiments.fig9_query_comparison import (
+    figure9a_similarity_computation_time,
+    figure9b_nearest_neighbor_query_time,
+)
+from repro.experiments.fig10_deanonymization import figure10a_pgp, figure10b_dblp
+from repro.experiments.fig11_deanonymization_sweeps import (
+    figure11a_precision_vs_permutation_ratio,
+    figure11b_precision_vs_top_l,
+)
+from repro.experiments.reporting import ExperimentTable
+from repro.experiments.table2_datasets import table2_dataset_summary
+
+
+def run_all_experiments(quick: bool = True) -> Dict[str, ExperimentTable]:
+    """Run every experiment and return a mapping ``name -> ExperimentTable``.
+
+    ``quick=True`` (default) uses reduced sample counts; ``quick=False`` uses
+    each driver's default parameters (slower, smoother curves).
+    """
+    results: Dict[str, ExperimentTable] = {}
+    results["table2"] = table2_dataset_summary(scale=0.5 if quick else 1.0)
+
+    fig5 = figure5_ted_ted_ged(pairs_per_k=8 if quick else 25)
+    results.update(fig5)
+
+    fig6 = figure6_ted_agreement(pairs_per_k=10 if quick else 30)
+    results.update(fig6)
+
+    results["figure7a_tree_size"] = figure7a_ted_star_vs_tree_size(
+        pair_count=20 if quick else 60, scale=0.5 if quick else 1.0
+    )
+    results["figure7b_ned_vs_k"] = figure7b_ned_vs_k(
+        pair_count=10 if quick else 40, ks=(1, 2, 3, 4) if quick else (1, 2, 3, 4, 5, 6)
+    )
+
+    fig8 = figure8_parameter_k(
+        query_count=5 if quick else 12, candidate_count=40 if quick else 120
+    )
+    results.update(fig8)
+
+    results["figure9a_similarity_time"] = figure9a_similarity_computation_time(
+        datasets=("PGP", "GNU") if quick else ("PGP", "GNU", "AMZN", "DBLP", "CAR", "PAR"),
+        pair_count=5 if quick else 10,
+        scale=0.15 if quick else 0.25,
+    )
+    results["figure9b_query_time"] = figure9b_nearest_neighbor_query_time(
+        datasets=("PGP",) if quick else ("PGP", "GNU"),
+        candidate_count=60 if quick else 150,
+        query_count=4 if quick else 8,
+        scale=0.3 if quick else 0.4,
+    )
+
+    results["figure10a_pgp"] = figure10a_pgp(
+        query_sample=8 if quick else 20, candidate_sample=50 if quick else 120,
+        scale=0.25 if quick else 0.4,
+    )
+    results["figure10b_dblp"] = figure10b_dblp(
+        query_sample=8 if quick else 20, candidate_sample=50 if quick else 120,
+        scale=0.25 if quick else 0.4,
+    )
+
+    results["figure11a_permutation_ratio"] = figure11a_precision_vs_permutation_ratio(
+        query_sample=6 if quick else 15, candidate_sample=40 if quick else 100,
+        scale=0.25 if quick else 0.4,
+    )
+    results["figure11b_top_l"] = figure11b_precision_vs_top_l(
+        query_sample=6 if quick else 15, candidate_sample=40 if quick else 100,
+        scale=0.25 if quick else 0.4,
+    )
+
+    results["ablation_bounds"] = ablation_bounds(pair_count=8 if quick else 20)
+    results["ablation_monotonicity"] = ablation_monotonicity(pair_count=8 if quick else 25)
+    results["ablation_matching_backend"] = ablation_matching_backend(
+        sizes=(10, 30) if quick else (10, 30, 60)
+    )
+    return results

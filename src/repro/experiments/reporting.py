@@ -1,0 +1,85 @@
+"""Result tables, plain-text rendering and CSV export for the experiment harness."""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+
+@dataclass
+class ExperimentTable:
+    """A table of experiment results (one per figure or table of the paper).
+
+    Attributes
+    ----------
+    title:
+        Human-readable title, e.g. ``"Figure 5a: computation time"``.
+    columns:
+        Column names in display order.
+    rows:
+        One dict per row; keys must be a subset of ``columns``.
+    notes:
+        Free-form notes (parameters used, substitutions, caveats).
+    """
+
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        """Append a row given as keyword arguments."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise ValueError(f"row has columns {sorted(unknown)} not declared in {self.columns}")
+        self.rows.append(dict(values))
+
+    def column(self, name: str) -> List[object]:
+        """Return all values of one column (missing cells become ``None``)."""
+        return [row.get(name) for row in self.rows]
+
+    def to_csv(self, path: Union[str, Path]) -> None:
+        """Write the table to ``path`` as CSV (header row = column names)."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=self.columns)
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow({column: row.get(column, "") for column in self.columns})
+
+    def __str__(self) -> str:
+        return format_table(self)
+
+
+def format_table(table: ExperimentTable) -> str:
+    """Render an :class:`ExperimentTable` as aligned plain text."""
+    header = list(table.columns)
+    body: List[List[str]] = []
+    for row in table.rows:
+        body.append([_format_cell(row.get(column)) for column in header])
+    widths = [len(name) for name in header]
+    for rendered in body:
+        for i, cell in enumerate(rendered):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [table.title, "-" * len(table.title), render_line(header),
+             "-+-".join("-" * width for width in widths)]
+    lines.extend(render_line(rendered) for rendered in body)
+    for note in table.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e6):
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".") if "." in f"{value:.4f}" else f"{value:.4f}"
+    return str(value)

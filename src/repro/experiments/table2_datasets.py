@@ -1,0 +1,42 @@
+"""Table 2 — dataset summary (paper sizes vs generated stand-in sizes)."""
+
+from __future__ import annotations
+
+from repro.datasets.registry import dataset_summary_table
+from repro.experiments.reporting import ExperimentTable
+from repro.utils.rng import RngLike
+
+
+def table2_dataset_summary(scale: float = 1.0, seed: RngLike = None) -> ExperimentTable:
+    """Reproduce Table 2: one row per dataset with node and edge counts.
+
+    The paper's counts are reported verbatim next to the sizes of the
+    synthetic stand-ins generated at the requested ``scale``, making the
+    substitution explicit in the output itself.
+    """
+    table = ExperimentTable(
+        title="Table 2: datasets summary (paper originals vs synthetic stand-ins)",
+        columns=[
+            "dataset",
+            "family",
+            "paper_nodes",
+            "paper_edges",
+            "generated_nodes",
+            "generated_edges",
+        ],
+        notes=[
+            "Original SNAP/KONECT graphs are unavailable offline; stand-ins preserve the "
+            "per-node neighborhood structure (degree profile / tree shape) at reduced scale.",
+            f"scale factor = {scale}",
+        ],
+    )
+    for row in dataset_summary_table(scale=scale, seed=seed):
+        table.add_row(
+            dataset=row["dataset"],
+            family=row["family"],
+            paper_nodes=row["paper_nodes"],
+            paper_edges=row["paper_edges"],
+            generated_nodes=row["generated_nodes"],
+            generated_edges=row["generated_edges"],
+        )
+    return table

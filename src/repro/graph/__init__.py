@@ -1,0 +1,39 @@
+"""Graph substrate: adjacency graphs, generators, I/O and conversion.
+
+The NED paper operates on plain undirected (and optionally directed) graphs.
+This subpackage provides a from-scratch adjacency-set implementation used by
+every other component, together with synthetic generators that stand in for
+the paper's real-world datasets, edge-list I/O, and conversion to/from
+:mod:`networkx` for interoperability.
+"""
+
+from repro.graph.graph import DiGraph, Graph
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    community_graph,
+    erdos_renyi_graph,
+    grid_road_graph,
+    power_law_cluster_graph,
+    random_regular_graphish,
+    random_tree_graph,
+    watts_strogatz_graph,
+)
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.convert import from_networkx, to_networkx
+
+__all__ = [
+    "Graph",
+    "DiGraph",
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "watts_strogatz_graph",
+    "grid_road_graph",
+    "community_graph",
+    "power_law_cluster_graph",
+    "random_tree_graph",
+    "random_regular_graphish",
+    "read_edge_list",
+    "write_edge_list",
+    "from_networkx",
+    "to_networkx",
+]

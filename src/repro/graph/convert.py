@@ -1,0 +1,42 @@
+"""Conversion between :mod:`repro` graphs and :mod:`networkx` graphs.
+
+networkx is an optional dependency: the core library never imports it, but
+users who already hold networkx graphs can convert them with
+:func:`from_networkx` and inspect results with :func:`to_networkx`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+from repro.exceptions import GraphError
+from repro.graph.graph import DiGraph, Graph
+
+
+def _require_networkx() -> Any:
+    try:
+        import networkx
+    except ImportError as exc:  # pragma: no cover - environment dependent
+        raise GraphError(
+            "networkx is required for graph conversion; install the 'networkx' extra"
+        ) from exc
+    return networkx
+
+
+def from_networkx(nx_graph: Any) -> Union[Graph, DiGraph]:
+    """Convert a networkx (Di)Graph into the matching :mod:`repro` graph type."""
+    _require_networkx()
+    directed = nx_graph.is_directed()
+    graph: Union[Graph, DiGraph] = DiGraph() if directed else Graph()
+    graph.add_nodes_from(nx_graph.nodes())
+    graph.add_edges_from(nx_graph.edges())
+    return graph
+
+
+def to_networkx(graph: Union[Graph, DiGraph]) -> Any:
+    """Convert a :mod:`repro` graph into the matching networkx graph type."""
+    networkx = _require_networkx()
+    nx_graph = networkx.DiGraph() if graph.directed else networkx.Graph()
+    nx_graph.add_nodes_from(graph.nodes())
+    nx_graph.add_edges_from(graph.edges())
+    return nx_graph

@@ -1,0 +1,412 @@
+"""Adjacency-set graph substrate.
+
+The paper's algorithms only need a handful of graph operations: node and edge
+enumeration, neighbor queries, degree queries, and breadth-first traversal for
+k-adjacent tree extraction.  :class:`Graph` (undirected) and :class:`DiGraph`
+(directed) implement exactly that with ``dict``-of-``set`` adjacency, which is
+simple, fast enough for the laptop-scale synthetic datasets, and has no
+third-party dependencies.
+
+Node identifiers may be any hashable object.  Self-loops are allowed but
+ignored by the BFS-tree extraction (a node is never its own neighbor for the
+purpose of a k-adjacent tree).  Parallel edges are not representable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.exceptions import EdgeNotFoundError, NodeNotFoundError
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+class Graph:
+    """An undirected graph backed by adjacency sets.
+
+    Example
+    -------
+    >>> g = Graph()
+    >>> g.add_edge(1, 2)
+    >>> g.add_edge(2, 3)
+    >>> sorted(g.neighbors(2))
+    [1, 3]
+    >>> g.degree(2)
+    2
+    """
+
+    directed = False
+
+    def __init__(self, edges: Optional[Iterable[Edge]] = None) -> None:
+        self._adj: Dict[Node, Set[Node]] = {}
+        if edges is not None:
+            self.add_edges_from(edges)
+
+    # ------------------------------------------------------------------ nodes
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` to the graph (no-op if already present)."""
+        if node not in self._adj:
+            self._adj[node] = set()
+
+    def add_nodes_from(self, nodes: Iterable[Node]) -> None:
+        """Add every node in ``nodes``."""
+        for node in nodes:
+            self.add_node(node)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident edges."""
+        if node not in self._adj:
+            raise NodeNotFoundError(node)
+        for neighbor in list(self._adj[node]):
+            self._adj[neighbor].discard(node)
+        del self._adj[node]
+
+    def has_node(self, node: Node) -> bool:
+        """Return whether ``node`` is in the graph."""
+        return node in self._adj
+
+    def nodes(self) -> List[Node]:
+        """Return a list of all nodes (insertion order)."""
+        return list(self._adj)
+
+    def number_of_nodes(self) -> int:
+        """Return the node count."""
+        return len(self._adj)
+
+    # ------------------------------------------------------------------ edges
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Add the undirected edge ``{u, v}``, creating missing endpoints."""
+        self.add_node(u)
+        self.add_node(v)
+        if u == v:
+            # Self-loop: record it on the single endpoint.
+            self._adj[u].add(u)
+            return
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    def add_edges_from(self, edges: Iterable[Edge]) -> None:
+        """Add every edge in ``edges``."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the edge ``{u, v}``."""
+        if not self.has_edge(u, v):
+            raise EdgeNotFoundError(u, v)
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Return whether the edge ``{u, v}`` exists."""
+        return u in self._adj and v in self._adj[u]
+
+    def edges(self) -> List[Edge]:
+        """Return a list of edges, each reported once."""
+        seen: Set[frozenset] = set()
+        result: List[Edge] = []
+        for u, neighbors in self._adj.items():
+            for v in neighbors:
+                key = frozenset((u, v))
+                if key in seen:
+                    continue
+                seen.add(key)
+                result.append((u, v))
+        return result
+
+    def number_of_edges(self) -> int:
+        """Return the edge count (self-loops counted once)."""
+        loops = sum(1 for u, nbrs in self._adj.items() if u in nbrs)
+        total = sum(len(nbrs) for nbrs in self._adj.values())
+        return (total - loops) // 2 + loops
+
+    # -------------------------------------------------------------- neighbors
+    def neighbors(self, node: Node) -> Set[Node]:
+        """Return the set of neighbors of ``node``."""
+        if node not in self._adj:
+            raise NodeNotFoundError(node)
+        return set(self._adj[node])
+
+    def degree(self, node: Node) -> int:
+        """Return the degree of ``node`` (self-loops count once)."""
+        if node not in self._adj:
+            raise NodeNotFoundError(node)
+        return len(self._adj[node])
+
+    def degrees(self) -> Dict[Node, int]:
+        """Return a mapping ``node -> degree`` for the whole graph."""
+        return {node: len(nbrs) for node, nbrs in self._adj.items()}
+
+    # ------------------------------------------------------------- traversal
+    def bfs_levels(self, source: Node, max_depth: Optional[int] = None) -> List[List[Node]]:
+        """Breadth-first levels from ``source``.
+
+        Returns a list of levels where level 0 is ``[source]``.  If
+        ``max_depth`` is given, traversal stops after that many levels beyond
+        the source (i.e. at most ``max_depth + 1`` levels are returned).
+        """
+        if source not in self._adj:
+            raise NodeNotFoundError(source)
+        visited: Set[Node] = {source}
+        levels: List[List[Node]] = [[source]]
+        frontier = [source]
+        depth = 0
+        while frontier:
+            if max_depth is not None and depth >= max_depth:
+                break
+            next_frontier: List[Node] = []
+            for node in frontier:
+                for neighbor in self._adj[node]:
+                    if neighbor not in visited:
+                        visited.add(neighbor)
+                        next_frontier.append(neighbor)
+            if not next_frontier:
+                break
+            levels.append(next_frontier)
+            frontier = next_frontier
+            depth += 1
+        return levels
+
+    def connected_components(self) -> List[Set[Node]]:
+        """Return the connected components as a list of node sets."""
+        seen: Set[Node] = set()
+        components: List[Set[Node]] = []
+        for start in self._adj:
+            if start in seen:
+                continue
+            component: Set[Node] = set()
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                if node in component:
+                    continue
+                component.add(node)
+                stack.extend(self._adj[node] - component)
+            seen |= component
+            components.append(component)
+        return components
+
+    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        """Return the induced subgraph over ``nodes``."""
+        node_set = set(nodes)
+        sub = Graph()
+        for node in node_set:
+            if node in self._adj:
+                sub.add_node(node)
+        for u in node_set:
+            if u not in self._adj:
+                continue
+            for v in self._adj[u]:
+                if v in node_set:
+                    sub.add_edge(u, v)
+        return sub
+
+    def k_hop_subgraph(self, source: Node, k: int) -> "Graph":
+        """Return the induced subgraph over nodes within ``k`` hops of ``source``."""
+        levels = self.bfs_levels(source, max_depth=k)
+        reachable = [node for level in levels for node in level]
+        return self.subgraph(reachable)
+
+    def copy(self) -> "Graph":
+        """Return a deep structural copy of the graph."""
+        clone = Graph()
+        clone.add_nodes_from(self._adj)
+        clone.add_edges_from(self.edges())
+        return clone
+
+    # ----------------------------------------------------------------- dunder
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(nodes={self.number_of_nodes()}, "
+            f"edges={self.number_of_edges()})"
+        )
+
+
+class DiGraph:
+    """A directed graph backed by separate successor and predecessor sets.
+
+    Used for the directed-graph extension of NED (Section 3.3 of the paper),
+    where a node has both an *incoming* and an *outgoing* k-adjacent tree.
+    """
+
+    directed = True
+
+    def __init__(self, edges: Optional[Iterable[Edge]] = None) -> None:
+        self._succ: Dict[Node, Set[Node]] = {}
+        self._pred: Dict[Node, Set[Node]] = {}
+        if edges is not None:
+            self.add_edges_from(edges)
+
+    # ------------------------------------------------------------------ nodes
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` to the graph (no-op if already present)."""
+        if node not in self._succ:
+            self._succ[node] = set()
+            self._pred[node] = set()
+
+    def add_nodes_from(self, nodes: Iterable[Node]) -> None:
+        """Add every node in ``nodes``."""
+        for node in nodes:
+            self.add_node(node)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident edges."""
+        if node not in self._succ:
+            raise NodeNotFoundError(node)
+        for succ in list(self._succ[node]):
+            self._pred[succ].discard(node)
+        for pred in list(self._pred[node]):
+            self._succ[pred].discard(node)
+        del self._succ[node]
+        del self._pred[node]
+
+    def has_node(self, node: Node) -> bool:
+        """Return whether ``node`` is in the graph."""
+        return node in self._succ
+
+    def nodes(self) -> List[Node]:
+        """Return a list of all nodes (insertion order)."""
+        return list(self._succ)
+
+    def number_of_nodes(self) -> int:
+        """Return the node count."""
+        return len(self._succ)
+
+    # ------------------------------------------------------------------ edges
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Add the directed edge ``u -> v``, creating missing endpoints."""
+        self.add_node(u)
+        self.add_node(v)
+        self._succ[u].add(v)
+        self._pred[v].add(u)
+
+    def add_edges_from(self, edges: Iterable[Edge]) -> None:
+        """Add every edge in ``edges``."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the directed edge ``u -> v``."""
+        if not self.has_edge(u, v):
+            raise EdgeNotFoundError(u, v)
+        self._succ[u].discard(v)
+        self._pred[v].discard(u)
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Return whether the directed edge ``u -> v`` exists."""
+        return u in self._succ and v in self._succ[u]
+
+    def edges(self) -> List[Edge]:
+        """Return a list of directed edges."""
+        return [(u, v) for u, succs in self._succ.items() for v in succs]
+
+    def number_of_edges(self) -> int:
+        """Return the directed edge count."""
+        return sum(len(succs) for succs in self._succ.values())
+
+    # -------------------------------------------------------------- neighbors
+    def successors(self, node: Node) -> Set[Node]:
+        """Return the set of out-neighbors of ``node``."""
+        if node not in self._succ:
+            raise NodeNotFoundError(node)
+        return set(self._succ[node])
+
+    def predecessors(self, node: Node) -> Set[Node]:
+        """Return the set of in-neighbors of ``node``."""
+        if node not in self._pred:
+            raise NodeNotFoundError(node)
+        return set(self._pred[node])
+
+    def out_degree(self, node: Node) -> int:
+        """Return the out-degree of ``node``."""
+        if node not in self._succ:
+            raise NodeNotFoundError(node)
+        return len(self._succ[node])
+
+    def in_degree(self, node: Node) -> int:
+        """Return the in-degree of ``node``."""
+        if node not in self._pred:
+            raise NodeNotFoundError(node)
+        return len(self._pred[node])
+
+    # ------------------------------------------------------------- traversal
+    def bfs_levels(
+        self,
+        source: Node,
+        max_depth: Optional[int] = None,
+        direction: str = "out",
+    ) -> List[List[Node]]:
+        """Breadth-first levels from ``source`` along ``direction`` edges.
+
+        ``direction`` is ``"out"`` (follow successors, the outgoing adjacent
+        tree of the paper) or ``"in"`` (follow predecessors, the incoming
+        adjacent tree).
+        """
+        if source not in self._succ:
+            raise NodeNotFoundError(source)
+        if direction == "out":
+            adjacency = self._succ
+        elif direction == "in":
+            adjacency = self._pred
+        else:
+            raise ValueError(f"direction must be 'out' or 'in', got {direction!r}")
+        visited: Set[Node] = {source}
+        levels: List[List[Node]] = [[source]]
+        frontier = [source]
+        depth = 0
+        while frontier:
+            if max_depth is not None and depth >= max_depth:
+                break
+            next_frontier: List[Node] = []
+            for node in frontier:
+                for neighbor in adjacency[node]:
+                    if neighbor not in visited:
+                        visited.add(neighbor)
+                        next_frontier.append(neighbor)
+            if not next_frontier:
+                break
+            levels.append(next_frontier)
+            frontier = next_frontier
+            depth += 1
+        return levels
+
+    def to_undirected(self) -> Graph:
+        """Return the undirected projection of this graph."""
+        g = Graph()
+        g.add_nodes_from(self.nodes())
+        for u, v in self.edges():
+            g.add_edge(u, v)
+        return g
+
+    def copy(self) -> "DiGraph":
+        """Return a deep structural copy of the graph."""
+        clone = DiGraph()
+        clone.add_nodes_from(self._succ)
+        clone.add_edges_from(self.edges())
+        return clone
+
+    # ----------------------------------------------------------------- dunder
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succ
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._succ)
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(nodes={self.number_of_nodes()}, "
+            f"edges={self.number_of_edges()})"
+        )

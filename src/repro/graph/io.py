@@ -1,0 +1,56 @@
+"""Edge-list I/O for graphs.
+
+The paper's datasets (SNAP / KONECT) ship as whitespace-separated edge lists,
+so this module reads and writes that format.  Lines starting with ``#`` or
+``%`` are treated as comments, matching both SNAP and KONECT conventions.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import GraphError
+from repro.graph.graph import DiGraph, Graph
+
+PathLike = Union[str, Path]
+
+
+def read_edge_list(path: PathLike, directed: bool = False) -> Union[Graph, DiGraph]:
+    """Read a whitespace-separated edge list from ``path``.
+
+    Node identifiers are parsed as integers when possible and kept as strings
+    otherwise.  ``directed`` selects the returned graph class.
+    """
+    graph: Union[Graph, DiGraph] = DiGraph() if directed else Graph()
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line or line.startswith("#") or line.startswith("%"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphError(
+                    f"{path}:{line_number}: expected at least two columns, got {line!r}"
+                )
+            u, v = _parse_node(parts[0]), _parse_node(parts[1])
+            graph.add_edge(u, v)
+    return graph
+
+
+def write_edge_list(graph: Union[Graph, DiGraph], path: PathLike) -> None:
+    """Write ``graph`` to ``path`` as a whitespace-separated edge list."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"# nodes={graph.number_of_nodes()} edges={graph.number_of_edges()}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u}\t{v}\n")
+
+
+def _parse_node(token: str) -> Union[int, str]:
+    """Parse an edge-list token as ``int`` when possible, else keep the string."""
+    try:
+        return int(token)
+    except ValueError:
+        return token

@@ -1,0 +1,5 @@
+"""Graph-level similarity built on the NED node metric (paper Appendix A)."""
+
+from repro.graphsim.hausdorff import hausdorff_graph_distance, modified_hausdorff_graph_distance
+
+__all__ = ["hausdorff_graph_distance", "modified_hausdorff_graph_distance"]

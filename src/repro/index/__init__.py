@@ -1,0 +1,23 @@
+"""Metric indexing for similarity retrieval with NED.
+
+Because NED is a metric (Section 7), nearest-neighbor and range queries can
+be answered with standard metric indexes instead of a full scan.  The paper
+uses a VP-tree (Figure 9b); this subpackage provides that index, a
+linear-scan baseline with the same interface, and a small query front-end
+that works with arbitrary metric callables (so it can index trees, nodes or
+any other objects).
+"""
+
+from repro.index.bktree import BKTree
+from repro.index.linear_scan import LinearScanIndex
+from repro.index.vptree import VPTree
+from repro.index.knn import MetricIndexBase, knn_query, range_query
+
+__all__ = [
+    "VPTree",
+    "BKTree",
+    "LinearScanIndex",
+    "MetricIndexBase",
+    "knn_query",
+    "range_query",
+]

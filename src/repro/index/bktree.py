@@ -1,0 +1,99 @@
+"""Burkhard–Keller tree: a metric index specialised for integer-valued metrics.
+
+TED* (and therefore NED with unit costs) always returns a non-negative
+*integer*, which makes the BK-tree a natural alternative to the VP-tree: each
+node stores one item and its children are bucketed by their exact distance to
+it, so range and kNN queries prune entire distance buckets with the triangle
+inequality.  The index is included as an ablation against the VP-tree used in
+the paper's Figure 9b.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import IndexingError
+from repro.index.knn import DistanceFn, MetricIndexBase
+
+
+class _BKNode:
+    __slots__ = ("item", "children")
+
+    def __init__(self, item: Any) -> None:
+        self.item = item
+        self.children: Dict[int, "_BKNode"] = {}
+
+
+class BKTree(MetricIndexBase):
+    """BK-tree over arbitrary items under an integer-valued metric distance."""
+
+    def __init__(self, items: Sequence[Any], distance: DistanceFn) -> None:
+        super().__init__(items, distance)
+        self.build_distance_calls = 0
+        iterator = iter(self._items)
+        self._root = _BKNode(next(iterator))
+        for item in iterator:
+            self._insert(item)
+
+    def _build_measure(self, a: Any, b: Any) -> float:
+        self.build_distance_calls += 1
+        return self._distance(a, b)
+
+    def _insert(self, item: Any) -> None:
+        node = self._root
+        while True:
+            separation = int(round(self._build_measure(item, node.item)))
+            child = node.children.get(separation)
+            if child is None:
+                node.children[separation] = _BKNode(item)
+                return
+            node = child
+
+    # --------------------------------------------------------------- queries
+    def range_search(self, query: Any, radius: float) -> List[Tuple[Any, float]]:
+        """Return every indexed item within ``radius`` of ``query``."""
+        if radius < 0:
+            raise IndexingError(f"radius must be non-negative, got {radius}")
+        self.last_query_distance_calls = 0
+        matches: List[Tuple[Any, float]] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            distance = self._measure(query, node.item)
+            if distance <= radius:
+                matches.append((node.item, distance))
+            low = distance - radius
+            high = distance + radius
+            for separation, child in node.children.items():
+                if low <= separation <= high:
+                    stack.append(child)
+        matches.sort(key=lambda pair: pair[1])
+        return matches
+
+    def knn(self, query: Any, k: int) -> List[Tuple[Any, float]]:
+        """Return the ``k`` indexed items closest to ``query``."""
+        if k <= 0:
+            raise IndexingError(f"k must be positive, got {k}")
+        self.last_query_distance_calls = 0
+        best: List[Tuple[float, int, Any]] = []  # max-heap by -distance
+        counter = 0
+
+        def tau() -> float:
+            return -best[0][0] if len(best) == k else float("inf")
+
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            distance = self._measure(query, node.item)
+            if len(best) < k:
+                heapq.heappush(best, (-distance, counter, node.item))
+            elif distance < -best[0][0]:
+                heapq.heapreplace(best, (-distance, counter, node.item))
+            counter += 1
+            threshold = tau()
+            for separation, child in node.children.items():
+                if distance - threshold <= separation <= distance + threshold:
+                    stack.append(child)
+        ordered = sorted(((-negative, item) for negative, _, item in best), key=lambda p: p[0])
+        return [(item, distance) for distance, item in ordered]

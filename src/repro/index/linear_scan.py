@@ -1,0 +1,44 @@
+"""Linear-scan "index": the brute-force baseline for similarity retrieval.
+
+Feature-based similarities cannot use metric indexes (their distances do not
+satisfy the metric properties across pairs), so every query degenerates to a
+scan of all candidates — the behaviour this class models.  It also serves as
+the ground truth the VP-tree results are checked against in the tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, List, Sequence, Tuple
+
+from repro.exceptions import IndexingError
+from repro.index.knn import DistanceFn, MetricIndexBase
+
+
+class LinearScanIndex(MetricIndexBase):
+    """Answers kNN and range queries by evaluating every indexed item."""
+
+    def __init__(self, items: Sequence[Any], distance: DistanceFn) -> None:
+        super().__init__(items, distance)
+
+    def knn(self, query: Any, k: int) -> List[Tuple[Any, float]]:
+        """Return the ``k`` closest items by scanning all of them."""
+        if k <= 0:
+            raise IndexingError(f"k must be positive, got {k}")
+        self.last_query_distance_calls = 0
+        scored = [(self._measure(query, item), index) for index, item in enumerate(self._items)]
+        best = heapq.nsmallest(k, scored)
+        return [(self._items[index], distance) for distance, index in best]
+
+    def range_search(self, query: Any, radius: float) -> List[Tuple[Any, float]]:
+        """Return every item within ``radius`` by scanning all of them."""
+        if radius < 0:
+            raise IndexingError(f"radius must be non-negative, got {radius}")
+        self.last_query_distance_calls = 0
+        result = []
+        for item in self._items:
+            distance = self._measure(query, item)
+            if distance <= radius:
+                result.append((item, distance))
+        result.sort(key=lambda pair: pair[1])
+        return result

@@ -1,0 +1,27 @@
+"""Minimum-cost bipartite matching (assignment problem) backends.
+
+TED* solves a minimum-cost perfect matching on a complete weighted bipartite
+graph at every level (Section 5.5 of the paper, solved there with the
+Hungarian algorithm).  This subpackage provides:
+
+* :func:`repro.matching.hungarian.hungarian` — a from-scratch O(n³)
+  implementation (Jonker-Volgenant style shortest augmenting paths with
+  potentials).
+* :func:`repro.matching.scipy_backend.scipy_assignment` — an optional backend
+  delegating to :func:`scipy.optimize.linear_sum_assignment`, used to
+  cross-validate the from-scratch solver and for ablation benchmarks.
+* :func:`repro.matching.bipartite.min_cost_matching` — the front-end used by
+  TED*, selecting a backend and validating inputs.
+"""
+
+from repro.matching.bipartite import AssignmentResult, min_cost_matching
+from repro.matching.hungarian import hungarian
+from repro.matching.scipy_backend import scipy_assignment, scipy_available
+
+__all__ = [
+    "AssignmentResult",
+    "min_cost_matching",
+    "hungarian",
+    "scipy_assignment",
+    "scipy_available",
+]

@@ -1,0 +1,74 @@
+"""Front-end for minimum-cost perfect bipartite matching.
+
+TED* calls :func:`min_cost_matching` once per tree level with the complete
+weighted bipartite graph of Section 5.4.  The function validates the cost
+matrix, dispatches to a backend ("hungarian" from scratch by default,
+"scipy" optionally), and returns an :class:`AssignmentResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.exceptions import MatchingError
+from repro.matching.hungarian import hungarian
+from repro.matching.scipy_backend import scipy_assignment
+
+_BACKENDS = {
+    "hungarian": hungarian,
+    "scipy": scipy_assignment,
+}
+
+
+@dataclass(frozen=True)
+class AssignmentResult:
+    """Result of a minimum-cost perfect matching.
+
+    Attributes
+    ----------
+    assignment:
+        ``assignment[i]`` is the column matched to row ``i``.
+    cost:
+        Total cost of the matching (``m(G²_i)`` in the paper's notation).
+    """
+
+    assignment: List[int]
+    cost: float
+
+    def pairs(self) -> List[tuple]:
+        """Return the matching as (row, column) pairs."""
+        return [(row, col) for row, col in enumerate(self.assignment)]
+
+    def inverse(self) -> List[int]:
+        """Return the inverse mapping: ``inverse[col] == row``."""
+        inverse = [0] * len(self.assignment)
+        for row, col in enumerate(self.assignment):
+            inverse[col] = row
+        return inverse
+
+
+def min_cost_matching(
+    cost_matrix: Sequence[Sequence[float]],
+    backend: str = "hungarian",
+) -> AssignmentResult:
+    """Solve the assignment problem for a square ``cost_matrix``.
+
+    Parameters
+    ----------
+    cost_matrix:
+        Square matrix of non-negative costs (TED* weights are multiset
+        symmetric-difference sizes, hence non-negative integers).
+    backend:
+        ``"hungarian"`` (default, no dependencies) or ``"scipy"``.
+    """
+    if backend not in _BACKENDS:
+        raise MatchingError(
+            f"unknown matching backend {backend!r}; expected one of {sorted(_BACKENDS)}"
+        )
+    n = len(cost_matrix)
+    for row in cost_matrix:
+        if len(row) != n:
+            raise MatchingError("cost matrix must be square")
+    assignment, cost = _BACKENDS[backend](cost_matrix)
+    return AssignmentResult(assignment=assignment, cost=cost)

@@ -1,0 +1,96 @@
+"""From-scratch O(n³) solver for the assignment problem.
+
+This is the "improved Hungarian algorithm" the paper relies on for the
+per-level bipartite matching of TED*.  The implementation uses the standard
+shortest-augmenting-path formulation with dual potentials (as in the
+Jonker-Volgenant algorithm), which runs in O(n³) time for an ``n × n`` cost
+matrix and returns both the optimal assignment and its total cost.
+
+Costs may be any finite real numbers (TED* only uses non-negative integers,
+but the solver does not assume that).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import MatchingError
+
+INF = float("inf")
+
+
+def hungarian(cost_matrix: Sequence[Sequence[float]]) -> Tuple[List[int], float]:
+    """Solve the square assignment problem for ``cost_matrix``.
+
+    Parameters
+    ----------
+    cost_matrix:
+        An ``n × n`` matrix; ``cost_matrix[i][j]`` is the cost of assigning
+        row ``i`` to column ``j``.
+
+    Returns
+    -------
+    (assignment, total_cost):
+        ``assignment[i]`` is the column assigned to row ``i``; ``total_cost``
+        is the minimal total assignment cost.
+
+    Raises
+    ------
+    MatchingError
+        If the matrix is empty, ragged or not square.
+    """
+    n = len(cost_matrix)
+    if n == 0:
+        return [], 0.0
+    for row in cost_matrix:
+        if len(row) != n:
+            raise MatchingError("cost matrix must be square")
+
+    # Potentials over rows (u) and columns (v); way[j] remembers the previous
+    # column on the shortest augmenting path.  Index 0 is a sentinel.
+    u = [0.0] * (n + 1)
+    v = [0.0] * (n + 1)
+    match_col = [0] * (n + 1)  # match_col[j] = row matched to column j (1-based; 0 = free)
+
+    for i in range(1, n + 1):
+        match_col[0] = i
+        j0 = 0
+        minv = [INF] * (n + 1)
+        used = [False] * (n + 1)
+        way = [0] * (n + 1)
+        while True:
+            used[j0] = True
+            i0 = match_col[j0]
+            delta = INF
+            j1 = -1
+            for j in range(1, n + 1):
+                if used[j]:
+                    continue
+                cur = cost_matrix[i0 - 1][j - 1] - u[i0] - v[j]
+                if cur < minv[j]:
+                    minv[j] = cur
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(n + 1):
+                if used[j]:
+                    u[match_col[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if match_col[j0] == 0:
+                break
+        # Augment along the found path.
+        while j0:
+            j1 = way[j0]
+            match_col[j0] = match_col[j1]
+            j0 = j1
+
+    assignment = [0] * n
+    for j in range(1, n + 1):
+        if match_col[j] != 0:
+            assignment[match_col[j] - 1] = j - 1
+    total = sum(cost_matrix[i][assignment[i]] for i in range(n))
+    return assignment, float(total)

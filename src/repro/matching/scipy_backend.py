@@ -1,0 +1,47 @@
+"""Optional SciPy backend for the assignment problem.
+
+SciPy's :func:`scipy.optimize.linear_sum_assignment` is a battle-tested
+implementation of the same problem the from-scratch Hungarian solver handles.
+It is used to cross-validate our solver in tests and as an alternative TED*
+backend in the ablation benchmarks; the core library never requires SciPy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import MatchingError
+
+
+def scipy_available() -> bool:
+    """Return whether SciPy can be imported in this environment."""
+    try:
+        import scipy.optimize  # noqa: F401
+    except ImportError:  # pragma: no cover - environment dependent
+        return False
+    return True
+
+
+def scipy_assignment(cost_matrix: Sequence[Sequence[float]]) -> Tuple[List[int], float]:
+    """Solve the square assignment problem using SciPy.
+
+    Mirrors the return convention of :func:`repro.matching.hungarian.hungarian`.
+    """
+    try:
+        import numpy as np
+        from scipy.optimize import linear_sum_assignment
+    except ImportError as exc:  # pragma: no cover - environment dependent
+        raise MatchingError("scipy is not installed; use the 'hungarian' backend") from exc
+
+    n = len(cost_matrix)
+    if n == 0:
+        return [], 0.0
+    matrix = np.asarray(cost_matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise MatchingError("cost matrix must be square")
+    rows, cols = linear_sum_assignment(matrix)
+    assignment = [0] * n
+    for r, c in zip(rows, cols):
+        assignment[int(r)] = int(c)
+    total = float(matrix[rows, cols].sum())
+    return assignment, total

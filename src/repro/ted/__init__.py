@@ -1,0 +1,36 @@
+"""Tree edit distances: TED*, weighted TED*, exact TED and exact GED.
+
+* :mod:`repro.ted.ted_star` — the paper's polynomial-time modified tree edit
+  distance (Sections 4-7, 9).
+* :mod:`repro.ted.weighted` — the weighted variant δ_T(W) and the TED upper
+  bound δ_T(W+) (Section 12).
+* :mod:`repro.ted.exact_ted` — exact unordered tree edit distance
+  (NP-hard; branch-and-bound, usable for small trees, Section 13.1 baseline).
+* :mod:`repro.ted.exact_ged` — exact graph edit distance (NP-hard;
+  branch-and-bound, small graphs, Section 13.1 baseline).
+* :mod:`repro.ted.bounds` — the relations among the three distances
+  (Section 11: GED ≤ 2·TED*, TED ≤ δ_T(W+)).
+"""
+
+from repro.ted.ted_star import TedStarResult, ted_star, ted_star_detailed
+from repro.ted.weighted import (
+    level_weighted_ted_star,
+    ted_star_upper_bound_weights,
+    weighted_ted_star,
+)
+from repro.ted.exact_ted import exact_tree_edit_distance
+from repro.ted.exact_ged import exact_graph_edit_distance
+from repro.ted.bounds import ged_upper_bound_from_ted_star, ted_upper_bound_from_weighted
+
+__all__ = [
+    "ted_star",
+    "ted_star_detailed",
+    "TedStarResult",
+    "weighted_ted_star",
+    "level_weighted_ted_star",
+    "ted_star_upper_bound_weights",
+    "exact_tree_edit_distance",
+    "exact_graph_edit_distance",
+    "ged_upper_bound_from_ted_star",
+    "ted_upper_bound_from_weighted",
+]

@@ -1,0 +1,37 @@
+"""Relations among TED*, exact TED and exact GED (Sections 11-12).
+
+Two inequalities from the paper are exposed here both as documented helper
+functions and as checkable predicates used by the ablation benchmarks and the
+property tests:
+
+* ``GED(t1, t2) ≤ 2 · TED*(t1, t2)`` — every TED* edit operation maps to
+  exactly two GED edit operations on the tree seen as a graph (Equation 18).
+* ``TED(t1, t2) ≤ δ_T(W+)(t1, t2)`` — the weighted TED* with ``w²_i = 4·i``
+  dominates exact TED (Lemma 7).
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+from repro.ted.ted_star import ted_star
+from repro.ted.weighted import ted_star_upper_bound_weights
+from repro.trees.tree import Tree
+
+
+def ged_upper_bound_from_ted_star(first: Tree, second: Tree, k=None) -> float:
+    """Return ``2 · TED*``, an upper bound on the GED of the two trees."""
+    return 2.0 * ted_star(first, second, k=k)
+
+
+def ted_upper_bound_from_weighted(first: Tree, second: Tree, k=None) -> float:
+    """Return ``δ_T(W+)``, an upper bound on the exact TED of the two trees."""
+    return ted_star_upper_bound_weights(first, second, k=k)
+
+
+def tree_as_graph(tree: Tree) -> Graph:
+    """Convert a rooted tree into an undirected graph (for GED baselines)."""
+    graph = Graph()
+    graph.add_nodes_from(tree.nodes())
+    for parent, child in tree.edges():
+        graph.add_edge(parent, child)
+    return graph

@@ -1,0 +1,288 @@
+"""TED*: the modified tree edit distance (Sections 4-7 and 9 of the paper).
+
+TED* compares two unordered rooted trees level by level, bottom-up, using
+three depth-preserving edit operations: insert a leaf, delete a leaf, and
+move a node to a new parent on the same level.  The distance is the total
+number of such operations (unit costs); the weighted variant lives in
+:mod:`repro.ted.weighted`.
+
+Per level ``i`` the algorithm performs the six steps of Algorithm 1:
+
+1. node padding (cost ``P_i``, the size difference of the two levels),
+2. node canonization (integer labels from children-label multisets),
+3. complete weighted bipartite graph construction (weights are multiset
+   symmetric differences of children labels; padded nodes have no children),
+4. minimum-cost bipartite matching (Hungarian algorithm, O(n³)),
+5. matching cost ``M_i = (m(G²_i) − P_{i+1}) / 2``,
+6. re-canonization of the padded side using the matched partner's label.
+
+``TED* = Σ_i (P_i + M_i)``.  The overall complexity is O(k·n³) where ``n``
+is the largest level size (Section 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import DistanceError
+from repro.matching.bipartite import min_cost_matching
+from repro.trees.canonize import canonical_string
+from repro.trees.levels import LevelView
+from repro.trees.tree import Tree
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class LevelCost:
+    """Per-level cost breakdown of a TED* computation.
+
+    Attributes
+    ----------
+    level:
+        Paper-style level number (1 = root level).
+    padding_cost:
+        ``P_i``: number of leaf insertions/deletions attributable to the level.
+    matching_cost:
+        ``M_i``: number of same-level move operations attributable to the level.
+    bipartite_cost:
+        ``m(G²_i)``: the raw minimum bipartite matching cost for the level.
+    size_left, size_right:
+        Sizes of the two levels before padding.
+    """
+
+    level: int
+    padding_cost: int
+    matching_cost: float
+    bipartite_cost: float
+    size_left: int
+    size_right: int
+
+
+@dataclass(frozen=True)
+class TedStarResult:
+    """Full result of a TED* computation.
+
+    ``distance`` is the TED* value; ``level_costs`` contains one
+    :class:`LevelCost` per level (ordered from the bottom level up to the
+    root), which is enough to recompute any weighted variant without running
+    the algorithm again.
+    """
+
+    distance: float
+    k: int
+    level_costs: Tuple[LevelCost, ...] = field(default_factory=tuple)
+
+    @property
+    def total_padding_cost(self) -> int:
+        """Total number of insert/delete-leaf operations."""
+        return sum(cost.padding_cost for cost in self.level_costs)
+
+    @property
+    def total_matching_cost(self) -> float:
+        """Total number of move operations."""
+        return sum(cost.matching_cost for cost in self.level_costs)
+
+    def reweighted(
+        self,
+        insert_delete_weight,
+        move_weight,
+    ) -> float:
+        """Recompute the distance under per-level weights.
+
+        ``insert_delete_weight(i)`` and ``move_weight(i)`` give the weights
+        ``w¹_i`` and ``w²_i`` of Section 12 for paper-style level ``i``.
+        """
+        total = 0.0
+        for cost in self.level_costs:
+            total += insert_delete_weight(cost.level) * cost.padding_cost
+            total += move_weight(cost.level) * cost.matching_cost
+        return total
+
+
+def ted_star(
+    first: Tree,
+    second: Tree,
+    k: Optional[int] = None,
+    backend: str = "hungarian",
+) -> float:
+    """Return the TED* distance between two unordered rooted trees.
+
+    Parameters
+    ----------
+    first, second:
+        The trees to compare (typically k-adjacent trees, but any rooted
+        unordered trees are accepted).
+    k:
+        Number of levels to compare (paper-style: level 1 is the root).  When
+        omitted, enough levels to cover both trees entirely are used.
+    backend:
+        Bipartite matching backend, ``"hungarian"`` (default) or ``"scipy"``.
+    """
+    return ted_star_detailed(first, second, k=k, backend=backend).distance
+
+
+def ted_star_detailed(
+    first: Tree,
+    second: Tree,
+    k: Optional[int] = None,
+    backend: str = "hungarian",
+) -> TedStarResult:
+    """Return the TED* distance together with its per-level cost breakdown."""
+    if not isinstance(first, Tree) or not isinstance(second, Tree):
+        raise DistanceError("ted_star expects two Tree instances")
+    if k is None:
+        k = max(first.height(), second.height()) + 1
+    check_positive_int(k, "k")
+
+    # The level-by-level matching can admit several optimal solutions; which
+    # one the Hungarian solver returns depends on the orientation of the cost
+    # matrix, and the re-canonization step propagates that choice upwards.
+    # Normalising the argument order ("without loss of generality", as the
+    # paper's Section 5.7 puts it) makes the computed value independent of the
+    # caller's argument order, i.e. exactly symmetric.
+    first, second = _normalise_order(first, second)
+
+    left = LevelView(first, k)
+    right = LevelView(second, k)
+
+    # Canonization labels of the *previous* (deeper) level, keyed by tree node.
+    labels_left: Dict[int, int] = {}
+    labels_right: Dict[int, int] = {}
+    padding_below = 0  # P_{i+1}; zero below the bottom level.
+    level_costs: List[LevelCost] = []
+
+    for level_number in range(k, 0, -1):
+        nodes_left = left.level(level_number)
+        nodes_right = right.level(level_number)
+        size_left, size_right = len(nodes_left), len(nodes_right)
+        padding_cost = abs(size_left - size_right)
+
+        # Children-label collections (sorted tuples = canonical multisets).
+        collections_left = [
+            _children_collection(left, node, labels_left) for node in nodes_left
+        ]
+        collections_right = [
+            _children_collection(right, node, labels_right) for node in nodes_right
+        ]
+        # Padding nodes on the smaller side: leaves with empty collections.
+        padded = size_left - size_right  # positive: right is smaller
+        if padded > 0:
+            collections_right = collections_right + [tuple()] * padded
+        elif padded < 0:
+            collections_left = collections_left + [tuple()] * (-padded)
+
+        # Node canonization: joint label assignment across both sides so the
+        # same children multiset receives the same integer on both trees.
+        canon = _canonize(collections_left + collections_right)
+        canon_left = canon[: len(collections_left)]
+        canon_right = canon[len(collections_left):]
+
+        # Complete weighted bipartite graph + minimum matching.
+        weights = [
+            [
+                _multiset_symmetric_difference(s_left, s_right)
+                for s_right in collections_right
+            ]
+            for s_left in collections_left
+        ]
+        if weights:
+            matching = min_cost_matching(weights, backend=backend)
+            bipartite_cost = matching.cost
+            assignment = matching.assignment
+        else:
+            bipartite_cost = 0.0
+            assignment = []
+
+        matching_cost = (bipartite_cost - padding_below) / 2.0
+        if matching_cost < 0:
+            # Cannot happen for well-formed inputs (every padded child forces
+            # at least one unit of disagreement), but guard against numerical
+            # surprises so the distance never becomes negative.
+            matching_cost = 0.0
+
+        # Re-canonization: the padded (smaller) side adopts the label of the
+        # node it was matched to, so the next level up sees agreeing labels
+        # (Section 5.7).  When the levels have equal sizes the right side is
+        # re-canonized; the caller normalises the argument order, so the
+        # distance stays symmetric.
+        final_left = list(canon_left)
+        final_right = list(canon_right)
+        if size_left < size_right:
+            for row, col in enumerate(assignment):
+                final_left[row] = canon_right[col]
+        else:
+            for row, col in enumerate(assignment):
+                final_right[col] = canon_left[row]
+
+        # Persist labels of the *real* nodes for the next (shallower) level.
+        labels_left = {node: final_left[i] for i, node in enumerate(nodes_left)}
+        labels_right = {node: final_right[i] for i, node in enumerate(nodes_right)}
+
+        level_costs.append(
+            LevelCost(
+                level=level_number,
+                padding_cost=padding_cost,
+                matching_cost=matching_cost,
+                bipartite_cost=bipartite_cost,
+                size_left=size_left,
+                size_right=size_right,
+            )
+        )
+        padding_below = padding_cost
+
+    distance = sum(cost.padding_cost + cost.matching_cost for cost in level_costs)
+    return TedStarResult(distance=float(distance), k=k, level_costs=tuple(level_costs))
+
+
+def _normalise_order(first: Tree, second: Tree) -> Tuple[Tree, Tree]:
+    """Order a tree pair canonically so TED* is invariant to argument order.
+
+    The AHU canonical string is a total order up to isomorphism; when the two
+    keys are equal the trees are isomorphic and the distance is zero either
+    way, so the result is symmetric in every case.
+    """
+    key_first = (first.size(), first.height(), canonical_string(first))
+    key_second = (second.size(), second.height(), canonical_string(second))
+    if key_second < key_first:
+        return second, first
+    return first, second
+
+
+def _children_collection(
+    view: LevelView,
+    node: int,
+    child_labels: Dict[int, int],
+) -> Tuple[int, ...]:
+    """Return the sorted tuple of canonization labels of ``node``'s children."""
+    return tuple(sorted(child_labels[child] for child in view.children(node)))
+
+
+def _canonize(collections: Sequence[Tuple[int, ...]]) -> List[int]:
+    """Assign integer canonization labels to children-label collections.
+
+    Collections are sorted lexicographically (size first, then content, as in
+    Algorithm 2) and equal collections receive equal labels.  The specific
+    integer values are irrelevant; only equality matters.
+    """
+    order = sorted(range(len(collections)), key=lambda i: (len(collections[i]), collections[i]))
+    labels = [0] * len(collections)
+    next_label = 0
+    previous: Optional[Tuple[int, ...]] = None
+    for index in order:
+        collection = collections[index]
+        if previous is not None and collection != previous:
+            next_label += 1
+        labels[index] = next_label
+        previous = collection
+    return labels
+
+
+def _multiset_symmetric_difference(first: Tuple[int, ...], second: Tuple[int, ...]) -> int:
+    """Size of the multiset symmetric difference of two sorted label tuples."""
+    counts: Dict[int, int] = {}
+    for label in first:
+        counts[label] = counts.get(label, 0) + 1
+    for label in second:
+        counts[label] = counts.get(label, 0) - 1
+    return sum(abs(value) for value in counts.values())

@@ -1,0 +1,39 @@
+"""Rooted unordered trees, k-adjacent tree extraction and canonization.
+
+The NED metric compares two nodes through their *k-adjacent trees* — the top
+``k`` levels of the BFS tree rooted at each node (Definition 1 of the paper).
+This subpackage provides:
+
+* :class:`repro.trees.tree.Tree` — a compact rooted unordered tree.
+* :func:`repro.trees.adjacent.k_adjacent_tree` — extraction from undirected
+  graphs, plus the incoming/outgoing variants for directed graphs.
+* :mod:`repro.trees.canonize` — AHU canonical forms and rooted-tree
+  isomorphism, used by TED*'s per-level canonization and by tests.
+* :mod:`repro.trees.levels` — the level-indexed view of a tree consumed by
+  the TED* algorithm.
+* :mod:`repro.trees.random_trees` — random tree generators for tests and
+  benchmarks.
+"""
+
+from repro.trees.tree import Tree
+from repro.trees.adjacent import (
+    incoming_k_adjacent_tree,
+    k_adjacent_tree,
+    outgoing_k_adjacent_tree,
+)
+from repro.trees.canonize import ahu_signature, canonical_string, trees_isomorphic
+from repro.trees.levels import LevelView
+from repro.trees.random_trees import random_tree, random_tree_with_depth
+
+__all__ = [
+    "Tree",
+    "k_adjacent_tree",
+    "incoming_k_adjacent_tree",
+    "outgoing_k_adjacent_tree",
+    "ahu_signature",
+    "canonical_string",
+    "trees_isomorphic",
+    "LevelView",
+    "random_tree",
+    "random_tree_with_depth",
+]

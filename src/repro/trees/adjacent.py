@@ -1,0 +1,91 @@
+"""k-adjacent tree extraction (Definition 1 and Definition 2 of the paper).
+
+The *adjacent tree* ``T(v)`` of a vertex ``v`` is the breadth-first search
+tree rooted at ``v``; the *k-adjacent tree* ``T(v, k)`` is its top ``k``
+levels.  The paper treats the root as level 1, so a k-adjacent tree has the
+root plus ``k - 1`` levels of descendants (depth ``k - 1`` in 0-based terms).
+
+For directed graphs, the incoming k-adjacent tree follows incoming edges only
+and the outgoing k-adjacent tree follows outgoing edges only (Definition 2).
+
+BFS ties are broken deterministically by sorting neighbors, so extraction is
+reproducible: given the same graph and root, the same tree (up to node
+relabeling, which NED ignores) is returned on every call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple, Union
+
+from repro.exceptions import GraphError
+from repro.graph.graph import DiGraph, Graph
+from repro.trees.tree import Tree
+from repro.utils.validation import check_positive_int
+
+Node = Hashable
+
+
+def k_adjacent_tree(graph: Graph, root: Node, k: int) -> Tree:
+    """Return the unordered k-adjacent tree of ``root`` in an undirected graph.
+
+    ``k`` counts levels as in the paper: ``k = 1`` yields the single-node
+    tree, ``k = 2`` the root plus its direct neighbors, and so on.
+    """
+    check_positive_int(k, "k")
+    if graph.directed:
+        raise GraphError("k_adjacent_tree expects an undirected Graph; "
+                         "use incoming_/outgoing_k_adjacent_tree for DiGraph")
+    return _bfs_tree(lambda node: graph.neighbors(node), root, k, graph)
+
+
+def outgoing_k_adjacent_tree(graph: DiGraph, root: Node, k: int) -> Tree:
+    """Return the outgoing k-adjacent tree of ``root`` in a directed graph."""
+    check_positive_int(k, "k")
+    if not graph.directed:
+        raise GraphError("outgoing_k_adjacent_tree expects a DiGraph")
+    return _bfs_tree(lambda node: graph.successors(node), root, k, graph)
+
+
+def incoming_k_adjacent_tree(graph: DiGraph, root: Node, k: int) -> Tree:
+    """Return the incoming k-adjacent tree of ``root`` in a directed graph."""
+    check_positive_int(k, "k")
+    if not graph.directed:
+        raise GraphError("incoming_k_adjacent_tree expects a DiGraph")
+    return _bfs_tree(lambda node: graph.predecessors(node), root, k, graph)
+
+
+def _bfs_tree(neighbor_fn, root: Node, k: int, graph: Union[Graph, DiGraph]) -> Tree:
+    """Shared BFS-tree builder used by the three public extraction functions."""
+    if not graph.has_node(root):
+        # Delegate to the graph for a consistent error type.
+        graph.neighbors(root) if not graph.directed else graph.successors(root)
+    parents: List[int] = [-1]
+    original: List[Node] = [root]
+    index_of: Dict[Node, int] = {root: 0}
+    frontier: List[Node] = [root]
+    depth = 0
+    max_depth = k - 1
+    while frontier and depth < max_depth:
+        next_frontier: List[Node] = []
+        for node in frontier:
+            parent_index = index_of[node]
+            for neighbor in sorted(neighbor_fn(node), key=_sort_key):
+                if neighbor in index_of:
+                    continue
+                index_of[neighbor] = len(parents)
+                parents.append(parent_index)
+                original.append(neighbor)
+                next_frontier.append(neighbor)
+        frontier = next_frontier
+        depth += 1
+    tree = Tree(parents)
+    # Attach the original graph node for each tree node, useful for examples
+    # and de-anonymization reporting.  Stored as a plain attribute so the Tree
+    # class itself stays label-free.
+    tree.graph_nodes = tuple(original)  # type: ignore[attr-defined]
+    return tree
+
+
+def _sort_key(node: Node) -> Tuple[str, str]:
+    """Deterministic sort key for heterogeneous node identifiers."""
+    return (type(node).__name__, repr(node))

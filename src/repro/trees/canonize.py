@@ -1,0 +1,69 @@
+"""Tree canonization and rooted-tree isomorphism (AHU algorithm).
+
+Two rooted unordered trees are isomorphic exactly when their AHU canonical
+forms agree.  TED* uses per-level integer canonization labels (Definition 5);
+this module provides the whole-tree canonical string used by tests, the
+identity checks of NED (distance zero iff trees isomorphic), and the per-node
+subtree signatures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.trees.tree import Tree
+
+
+def canonical_string(tree: Tree, node: int = 0) -> str:
+    """Return the AHU canonical string of the subtree rooted at ``node``.
+
+    The canonical string of a leaf is ``"()"``; the canonical string of an
+    internal node is ``"(" + sorted children strings concatenated + ")"``.
+    Two subtrees are isomorphic iff their canonical strings are equal.
+    """
+    # Iterative post-order to avoid recursion limits on deep trees.
+    result: Dict[int, str] = {}
+    stack: List[Tuple[int, bool]] = [(node, False)]
+    while stack:
+        current, processed = stack.pop()
+        if processed:
+            children = tree.children(current)
+            result[current] = "(" + "".join(sorted(result[c] for c in children)) + ")"
+            continue
+        stack.append((current, True))
+        for child in tree.children(current):
+            stack.append((child, False))
+    return result[node]
+
+
+def ahu_signature(tree: Tree) -> Tuple[int, ...]:
+    """Return integer AHU labels for every node of ``tree``.
+
+    ``signature[v] == signature[w]`` iff the subtrees rooted at ``v`` and
+    ``w`` are isomorphic.  Labels are assigned per-tree; they are *not*
+    comparable across different calls (use :func:`canonical_string` for a
+    cross-tree invariant).
+    """
+    strings = {node: None for node in tree.nodes()}
+    # Compute canonical strings bottom-up, then intern them as integers.
+    order = sorted(tree.nodes(), key=tree.depth, reverse=True)
+    cache: Dict[int, str] = {}
+    for node in order:
+        children = tree.children(node)
+        cache[node] = "(" + "".join(sorted(cache[c] for c in children)) + ")"
+    intern: Dict[str, int] = {}
+    labels: List[int] = [0] * tree.size()
+    for node in tree.nodes():
+        key = cache[node]
+        if key not in intern:
+            intern[key] = len(intern)
+        labels[node] = intern[key]
+    del strings
+    return tuple(labels)
+
+
+def trees_isomorphic(first: Tree, second: Tree) -> bool:
+    """Return whether two rooted unordered trees are isomorphic."""
+    if first.size() != second.size() or first.height() != second.height():
+        return False
+    return canonical_string(first) == canonical_string(second)

@@ -1,0 +1,67 @@
+"""Level-indexed view of a tree, the data layout consumed by TED*.
+
+TED* (Algorithm 1 of the paper) walks two trees bottom-up and level by level.
+:class:`LevelView` pre-computes, for a tree padded/truncated to ``k`` levels,
+the list of nodes per level and the children of each node, so the TED* inner
+loop never touches the original :class:`~repro.trees.tree.Tree` again.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.exceptions import TreeError
+from repro.trees.tree import Tree
+from repro.utils.validation import check_positive_int
+
+
+class LevelView:
+    """Per-level node and children lists for a tree with exactly ``k`` levels.
+
+    Levels are numbered 1..k as in the paper (level 1 is the root).  A tree
+    whose height is smaller than ``k - 1`` simply has empty deeper levels —
+    TED* handles those through padding, exactly like levels that merely differ
+    in size.
+    """
+
+    def __init__(self, tree: Tree, k: int) -> None:
+        check_positive_int(k, "k")
+        self.k = k
+        self.tree = tree
+        natural_levels = tree.levels()
+        self._levels: List[List[int]] = []
+        for depth in range(k):
+            if depth < len(natural_levels):
+                self._levels.append(list(natural_levels[depth]))
+            else:
+                self._levels.append([])
+        # Children restricted to the truncated view: a node at the deepest
+        # retained level has no children here even if it does in the tree.
+        self._children: List[List[int]] = []
+        for node in tree.nodes():
+            if tree.depth(node) >= k - 1:
+                self._children.append([])
+            else:
+                self._children.append(list(tree.children(node)))
+
+    def level(self, level_number: int) -> List[int]:
+        """Return the nodes on paper-style level ``level_number`` (1-based)."""
+        if not 1 <= level_number <= self.k:
+            raise TreeError(f"level must be in 1..{self.k}, got {level_number}")
+        return self._levels[level_number - 1]
+
+    def level_size(self, level_number: int) -> int:
+        """Return the number of nodes on level ``level_number``."""
+        return len(self.level(level_number))
+
+    def children(self, node: int) -> Sequence[int]:
+        """Return the (truncated) children of ``node``."""
+        return self._children[node]
+
+    def total_nodes(self) -> int:
+        """Return the number of nodes retained in the k-level view."""
+        return sum(len(level) for level in self._levels)
+
+    def level_sizes(self) -> List[int]:
+        """Return the sizes of levels 1..k in order."""
+        return [len(level) for level in self._levels]

@@ -1,0 +1,93 @@
+"""Random tree generators for tests and benchmarks.
+
+Figures 5-7 of the paper compare TED* with exact TED/GED on small trees and
+measure TED*'s scalability on trees of up to ~500 nodes; these generators
+provide the corresponding workloads without requiring graph extraction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.trees.tree import Tree
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+def random_tree(n: int, seed: RngLike = None, max_children: Optional[int] = None) -> Tree:
+    """Return a random recursive tree with ``n`` nodes.
+
+    Each node ``i > 0`` attaches to a uniformly random earlier node, subject
+    to the optional ``max_children`` cap (useful for generating narrow,
+    road-network-like trees).
+    """
+    check_positive_int(n, "n")
+    rng = ensure_rng(seed)
+    parents: List[int] = [-1]
+    child_count: List[int] = [0]
+    for node in range(1, n):
+        while True:
+            parent = rng.randrange(node)
+            if max_children is None or child_count[parent] < max_children:
+                break
+        parents.append(parent)
+        child_count.append(0)
+        child_count[parent] += 1
+    return Tree(parents)
+
+
+def random_tree_with_depth(
+    n: int,
+    max_depth: int,
+    seed: RngLike = None,
+) -> Tree:
+    """Return a random tree with ``n`` nodes and depth at most ``max_depth``.
+
+    Matches the shape of k-adjacent trees (bounded depth, varying width) used
+    throughout the paper's experiments.
+    """
+    check_positive_int(n, "n")
+    check_positive_int(max_depth, "max_depth")
+    rng = ensure_rng(seed)
+    parents: List[int] = [-1]
+    depths: List[int] = [0]
+    for node in range(1, n):
+        eligible = [i for i in range(node) if depths[i] < max_depth]
+        parent = rng.choice(eligible) if eligible else 0
+        parents.append(parent)
+        depths.append(depths[parent] + 1)
+    return Tree(parents)
+
+
+def perturbed_copy(tree: Tree, operations: int, seed: RngLike = None) -> Tree:
+    """Return a structurally perturbed copy of ``tree``.
+
+    Applies ``operations`` random TED*-style edits (delete a random leaf or
+    attach a new leaf at a random node whose depth allows it), producing pairs
+    of trees at a controlled edit radius — the workload used to sanity-check
+    TED* against exact TED in the agreement experiments.
+    """
+    rng = ensure_rng(seed)
+    parents = tree.parent_array()
+    for _ in range(operations):
+        current = Tree(parents)
+        if current.size() > 1 and rng.random() < 0.5:
+            leaf = rng.choice(current.leaves() or [0])
+            if leaf == 0:
+                continue
+            parents = _delete_node(parents, leaf)
+        else:
+            target = rng.randrange(current.size())
+            parents = parents + [target]
+    return Tree(parents)
+
+
+def _delete_node(parents: List[int], victim: int) -> List[int]:
+    """Remove leaf ``victim`` from a parent array, relabeling the remainder."""
+    remaining = [i for i in range(len(parents)) if i != victim]
+    relabel = {old: new for new, old in enumerate(remaining)}
+    new_parents: List[int] = []
+    for old in remaining:
+        parent = parents[old]
+        new_parents.append(-1 if parent == -1 else relabel[parent])
+    return new_parents

@@ -1,0 +1,255 @@
+"""Rooted unordered tree structure.
+
+A :class:`Tree` stores nodes as consecutive integers ``0..n-1`` with node 0
+always the root, and a parent array (``parent[0] == -1``).  This is the most
+convenient representation for the TED* algorithm, which needs per-level node
+lists, children lookups and depths — all available in O(1)/O(children).
+
+Trees are *unordered*: the order of children carries no meaning.  They are
+also *unlabeled* for the purposes of the paper; a node's identity only exists
+so the edit scripts and matchings can be reported.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import TreeError
+
+
+class Tree:
+    """A rooted unordered tree with integer nodes ``0..n-1`` and root ``0``."""
+
+    def __init__(self, parents: Sequence[int]) -> None:
+        """Build a tree from a parent array.
+
+        ``parents[i]`` is the parent of node ``i``; the root (node 0) must
+        have parent ``-1``.  Parents must precede children is *not* required,
+        but every non-root parent index must be a valid node and the structure
+        must be acyclic and connected (i.e. a single tree rooted at 0).
+        """
+        self._parent: List[int] = list(parents)
+        self._validate()
+        self._children: List[List[int]] = [[] for _ in self._parent]
+        for node, parent in enumerate(self._parent):
+            if parent >= 0:
+                self._children[parent].append(node)
+        self._depth: List[int] = self._compute_depths()
+
+    # ------------------------------------------------------------ validation
+    def _validate(self) -> None:
+        if not self._parent:
+            raise TreeError("a tree must contain at least the root node")
+        if self._parent[0] != -1:
+            raise TreeError("node 0 must be the root (parent -1)")
+        n = len(self._parent)
+        for node, parent in enumerate(self._parent):
+            if node == 0:
+                continue
+            if not 0 <= parent < n:
+                raise TreeError(f"node {node} has invalid parent {parent}")
+        # Detect cycles / disconnected nodes by walking to the root.
+        for node in range(n):
+            seen = set()
+            current = node
+            while current != 0:
+                if current in seen:
+                    raise TreeError(f"cycle detected involving node {node}")
+                seen.add(current)
+                current = self._parent[current]
+                if len(seen) > n:
+                    raise TreeError("malformed parent array")
+
+    def _compute_depths(self) -> List[int]:
+        depths = [0] * len(self._parent)
+        # Nodes may appear in any order; compute depths by chasing parents with
+        # memoisation.
+        for node in range(len(self._parent)):
+            chain = []
+            current = node
+            while current != 0 and depths[current] == 0:
+                chain.append(current)
+                current = self._parent[current]
+            base = depths[current]
+            for offset, member in enumerate(reversed(chain), start=1):
+                depths[member] = base + offset
+        return depths
+
+    # --------------------------------------------------------------- factory
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[Tuple[int, int]], root: int = 0) -> "Tree":
+        """Build a tree from undirected parent/child edges.
+
+        ``edges`` are (parent, child) or arbitrary-orientation tree edges; the
+        orientation is recovered by a BFS from ``root``.  Node identifiers
+        must be ``0..n-1``; ``root`` is relabeled to node 0 in the result.
+        """
+        adjacency: Dict[int, List[int]] = {i: [] for i in range(n)}
+        for u, v in edges:
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+        order = [root]
+        parent_of: Dict[int, int] = {root: -1}
+        index = 0
+        while index < len(order):
+            node = order[index]
+            index += 1
+            for neighbor in adjacency[node]:
+                if neighbor not in parent_of:
+                    parent_of[neighbor] = node
+                    order.append(neighbor)
+        if len(order) != n:
+            raise TreeError("edges do not form a single tree spanning all nodes")
+        relabel = {old: new for new, old in enumerate(order)}
+        parents = [0] * n
+        for old, new in relabel.items():
+            parent_old = parent_of[old]
+            parents[new] = -1 if parent_old == -1 else relabel[parent_old]
+        return cls(parents)
+
+    @classmethod
+    def single_node(cls) -> "Tree":
+        """Return the one-node tree (just a root)."""
+        return cls([-1])
+
+    @classmethod
+    def from_levels(cls, children_counts: Sequence[Sequence[int]]) -> "Tree":
+        """Build a tree from per-level children counts.
+
+        ``children_counts[i][j]`` is the number of children of the ``j``-th
+        node on level ``i``.  Level 0 must contain exactly one entry (the
+        root).  Convenient for constructing test fixtures.
+        """
+        if not children_counts or len(children_counts[0]) != 1:
+            raise TreeError("level 0 must contain exactly the root")
+        parents: List[int] = [-1]
+        level_nodes: List[int] = [0]
+        for level_counts in children_counts:
+            if len(level_counts) != len(level_nodes):
+                raise TreeError("children_counts rows must match the size of each level")
+            next_level: List[int] = []
+            for parent_node, count in zip(level_nodes, level_counts):
+                for _ in range(count):
+                    parents.append(parent_node)
+                    next_level.append(len(parents) - 1)
+            level_nodes = next_level
+            if not level_nodes:
+                break
+        return cls(parents)
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def root(self) -> int:
+        """The root node (always 0)."""
+        return 0
+
+    def parent(self, node: int) -> int:
+        """Return the parent of ``node`` (-1 for the root)."""
+        return self._parent[node]
+
+    def children(self, node: int) -> List[int]:
+        """Return the children of ``node`` (order is not meaningful)."""
+        return list(self._children[node])
+
+    def depth(self, node: int) -> int:
+        """Return the depth of ``node`` (root has depth 0)."""
+        return self._depth[node]
+
+    def height(self) -> int:
+        """Return the height of the tree (max depth; 0 for a single node)."""
+        return max(self._depth)
+
+    def size(self) -> int:
+        """Return the number of nodes."""
+        return len(self._parent)
+
+    def nodes(self) -> range:
+        """Return all node identifiers."""
+        return range(len(self._parent))
+
+    def is_leaf(self, node: int) -> bool:
+        """Return whether ``node`` has no children."""
+        return not self._children[node]
+
+    def leaves(self) -> List[int]:
+        """Return all leaf nodes."""
+        return [node for node in self.nodes() if self.is_leaf(node)]
+
+    def levels(self) -> List[List[int]]:
+        """Return nodes grouped by depth; index 0 is ``[root]``."""
+        result: List[List[int]] = [[] for _ in range(self.height() + 1)]
+        for node in self.nodes():
+            result[self._depth[node]].append(node)
+        return result
+
+    def level(self, depth: int) -> List[int]:
+        """Return the nodes at ``depth`` (empty list beyond the height)."""
+        if depth < 0:
+            raise TreeError(f"depth must be non-negative, got {depth}")
+        if depth > self.height():
+            return []
+        return [node for node in self.nodes() if self._depth[node] == depth]
+
+    def subtree_nodes(self, node: int) -> List[int]:
+        """Return all nodes in the subtree rooted at ``node`` (preorder)."""
+        order = [node]
+        index = 0
+        while index < len(order):
+            current = order[index]
+            index += 1
+            order.extend(self._children[current])
+        return order
+
+    def subtree(self, node: int) -> "Tree":
+        """Return the subtree rooted at ``node`` as a new :class:`Tree`."""
+        members = self.subtree_nodes(node)
+        relabel = {old: new for new, old in enumerate(members)}
+        parents = [-1] * len(members)
+        for old in members[1:]:
+            parents[relabel[old]] = relabel[self._parent[old]]
+        return Tree(parents)
+
+    def truncate(self, max_depth: int) -> "Tree":
+        """Return the tree restricted to depths ``0..max_depth``."""
+        if max_depth < 0:
+            raise TreeError(f"max_depth must be non-negative, got {max_depth}")
+        members = [node for node in self.nodes() if self._depth[node] <= max_depth]
+        relabel = {old: new for new, old in enumerate(members)}
+        parents = [-1] * len(members)
+        for old in members:
+            if old == 0:
+                continue
+            parents[relabel[old]] = relabel[self._parent[old]]
+        return Tree(parents)
+
+    def parent_array(self) -> List[int]:
+        """Return a copy of the underlying parent array."""
+        return list(self._parent)
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """Return (parent, child) edges."""
+        return [(self._parent[node], node) for node in self.nodes() if node != 0]
+
+    def degree_sequence(self) -> List[int]:
+        """Return the sorted list of children counts (branching profile)."""
+        return sorted(len(self._children[node]) for node in self.nodes())
+
+    # ----------------------------------------------------------------- dunder
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality of the *labeled* parent arrays.
+
+        Note: two trees can be isomorphic without being ``==``; use
+        :func:`repro.trees.canonize.trees_isomorphic` for isomorphism.
+        """
+        if not isinstance(other, Tree):
+            return NotImplemented
+        return self._parent == other._parent
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._parent))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tree(size={self.size()}, height={self.height()})"

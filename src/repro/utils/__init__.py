@@ -1,0 +1,20 @@
+"""Small shared utilities: deterministic RNG helpers, timers and validation."""
+
+from repro.utils.rng import ensure_rng, sample_distinct, shuffled
+from repro.utils.timer import Timer, time_call
+from repro.utils.validation import (
+    check_non_negative_int,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "ensure_rng",
+    "sample_distinct",
+    "shuffled",
+    "Timer",
+    "time_call",
+    "check_non_negative_int",
+    "check_positive_int",
+    "check_probability",
+]

@@ -1,0 +1,52 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component of the library (graph generators, anonymizers,
+experiment drivers) accepts either a seed or a :class:`random.Random`
+instance.  Centralising the coercion logic here keeps experiments
+reproducible and avoids accidental use of the global :mod:`random` state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, TypeVar, Union
+
+T = TypeVar("T")
+
+RngLike = Union[None, int, random.Random]
+
+
+def ensure_rng(seed: RngLike = None) -> random.Random:
+    """Return a :class:`random.Random` for ``seed``.
+
+    ``seed`` may be ``None`` (a fresh, OS-seeded generator), an integer seed,
+    or an existing :class:`random.Random` instance which is returned as-is.
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    if seed is None:
+        return random.Random()
+    if isinstance(seed, int):
+        return random.Random(seed)
+    raise TypeError(f"seed must be None, int or random.Random, got {type(seed).__name__}")
+
+
+def sample_distinct(population: Sequence[T], count: int, rng: RngLike = None) -> List[T]:
+    """Sample ``count`` distinct elements from ``population``.
+
+    If ``count`` exceeds the population size, the whole population is returned
+    in a shuffled order instead of raising, which is convenient for
+    experiments run on reduced-scale synthetic datasets.
+    """
+    rng = ensure_rng(rng)
+    if count >= len(population):
+        return shuffled(population, rng)
+    return rng.sample(list(population), count)
+
+
+def shuffled(items: Iterable[T], rng: RngLike = None) -> List[T]:
+    """Return a new list with the elements of ``items`` in random order."""
+    rng = ensure_rng(rng)
+    result = list(items)
+    rng.shuffle(result)
+    return result

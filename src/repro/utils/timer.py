@@ -1,0 +1,41 @@
+"""Lightweight wall-clock timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Tuple
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock time in seconds.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self.start
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Elapsed time in milliseconds."""
+        return self.elapsed * 1000.0
+
+
+def time_call(func: Callable[..., Any], *args: Any, **kwargs: Any) -> Tuple[Any, float]:
+    """Call ``func`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -1,0 +1,40 @@
+"""Argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+from repro.exceptions import ReproError
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an ``int`` strictly greater than zero."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an ``int`` greater than or equal to zero."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    try:
+        numeric = float(value)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}") from exc
+    if not 0.0 <= numeric <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value}")
+    return numeric
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ReproError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ReproError(message)

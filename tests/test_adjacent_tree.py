@@ -1,0 +1,105 @@
+"""Tests for k-adjacent tree extraction (undirected and directed)."""
+
+import pytest
+
+from repro.exceptions import GraphError, NodeNotFoundError
+from repro.graph.graph import DiGraph, Graph
+from repro.trees.adjacent import (
+    incoming_k_adjacent_tree,
+    k_adjacent_tree,
+    outgoing_k_adjacent_tree,
+)
+
+
+class TestUndirected:
+    def test_k1_is_single_node(self, path_graph):
+        tree = k_adjacent_tree(path_graph, 2, 1)
+        assert tree.size() == 1
+
+    def test_k2_includes_direct_neighbors(self, path_graph):
+        tree = k_adjacent_tree(path_graph, 2, 2)
+        assert tree.size() == 3
+        assert tree.height() == 1
+
+    def test_path_produces_path_tree(self, path_graph):
+        tree = k_adjacent_tree(path_graph, 0, 5)
+        assert tree.size() == 5
+        assert tree.height() == 4
+
+    def test_star_center(self, star_graph):
+        tree = k_adjacent_tree(star_graph, 0, 2)
+        assert tree.size() == 6
+        assert len(tree.children(0)) == 5
+
+    def test_star_leaf(self, star_graph):
+        tree = k_adjacent_tree(star_graph, 1, 3)
+        assert tree.height() == 2
+        assert tree.size() == 6
+
+    def test_cycle_bfs_visits_each_node_once(self, cycle_graph):
+        tree = k_adjacent_tree(cycle_graph, 0, 10)
+        assert tree.size() == 6
+
+    def test_deterministic_extraction(self, small_road_graph):
+        a = k_adjacent_tree(small_road_graph, 12, 4)
+        b = k_adjacent_tree(small_road_graph, 12, 4)
+        assert a.parent_array() == b.parent_array()
+
+    def test_levels_respect_bfs_distance(self, small_road_graph):
+        k = 4
+        tree = k_adjacent_tree(small_road_graph, 0, k)
+        bfs = small_road_graph.bfs_levels(0, max_depth=k - 1)
+        for depth, level in enumerate(bfs):
+            assert len(tree.level(depth)) == len(level)
+
+    def test_graph_nodes_attribute(self, path_graph):
+        tree = k_adjacent_tree(path_graph, 2, 3)
+        assert tree.graph_nodes[0] == 2
+        assert set(tree.graph_nodes) == {0, 1, 2, 3, 4}
+
+    def test_missing_root_raises(self, path_graph):
+        with pytest.raises(NodeNotFoundError):
+            k_adjacent_tree(path_graph, 99, 2)
+
+    def test_invalid_k_raises(self, path_graph):
+        with pytest.raises(ValueError):
+            k_adjacent_tree(path_graph, 0, 0)
+
+    def test_rejects_digraph(self, small_digraph):
+        with pytest.raises(GraphError):
+            k_adjacent_tree(small_digraph, 0, 2)
+
+
+class TestDirected:
+    def test_outgoing_tree(self, small_digraph):
+        tree = outgoing_k_adjacent_tree(small_digraph, 0, 3)
+        # 0 -> {1, 2} -> {3}
+        assert tree.size() == 4
+        assert tree.height() == 2
+
+    def test_incoming_tree(self, small_digraph):
+        tree = incoming_k_adjacent_tree(small_digraph, 3, 2)
+        # 3 <- {1, 2}
+        assert tree.size() == 3
+        assert tree.height() == 1
+
+    def test_incoming_differs_from_outgoing(self, small_digraph):
+        outgoing = outgoing_k_adjacent_tree(small_digraph, 0, 3)
+        incoming = incoming_k_adjacent_tree(small_digraph, 0, 3)
+        assert outgoing.size() != incoming.size()
+
+    def test_reject_undirected_graph(self, path_graph):
+        with pytest.raises(GraphError):
+            outgoing_k_adjacent_tree(path_graph, 0, 2)
+        with pytest.raises(GraphError):
+            incoming_k_adjacent_tree(path_graph, 0, 2)
+
+    def test_isolated_sink_incoming(self):
+        g = DiGraph([(0, 1), (2, 1)])
+        tree = incoming_k_adjacent_tree(g, 1, 3)
+        assert tree.size() == 3
+
+    def test_isolated_source_outgoing(self):
+        g = DiGraph([(0, 1), (0, 2)])
+        tree = outgoing_k_adjacent_tree(g, 1, 3)
+        assert tree.size() == 1

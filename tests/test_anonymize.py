@@ -1,0 +1,148 @@
+"""Tests for graph anonymization and de-anonymization evaluation."""
+
+import pytest
+
+from repro.anonymize.anonymizers import (
+    naive_anonymization,
+    perturbation_anonymization,
+    sparsification_anonymization,
+)
+from repro.anonymize.deanonymize import (
+    deanonymization_precision,
+    deanonymize_node,
+)
+from repro.core.ned import NedComputer
+from repro.exceptions import ExperimentError
+from repro.graph.generators import barabasi_albert_graph
+
+
+@pytest.fixture
+def base_graph():
+    return barabasi_albert_graph(40, 2, seed=3)
+
+
+class TestAnonymizers:
+    def test_naive_preserves_structure(self, base_graph):
+        anonymized = naive_anonymization(base_graph, seed=1)
+        assert anonymized.graph.number_of_nodes() == base_graph.number_of_nodes()
+        assert anonymized.graph.number_of_edges() == base_graph.number_of_edges()
+        assert anonymized.scheme == "naive"
+        assert anonymized.ratio == 0.0
+
+    def test_naive_identity_mapping_is_bijection(self, base_graph):
+        anonymized = naive_anonymization(base_graph, seed=1)
+        assert sorted(anonymized.true_identity.values()) == sorted(base_graph.nodes())
+        assert sorted(anonymized.true_identity.keys()) == sorted(anonymized.graph.nodes())
+
+    def test_naive_preserves_degree_multiset(self, base_graph):
+        anonymized = naive_anonymization(base_graph, seed=1)
+        original_degrees = sorted(base_graph.degrees().values())
+        anonymized_degrees = sorted(anonymized.graph.degrees().values())
+        assert original_degrees == anonymized_degrees
+
+    def test_naive_edge_correspondence(self, base_graph):
+        anonymized = naive_anonymization(base_graph, seed=2)
+        for u, v in anonymized.graph.edges():
+            assert base_graph.has_edge(anonymized.true_identity[u], anonymized.true_identity[v])
+
+    def test_sparsification_removes_edges(self, base_graph):
+        anonymized = sparsification_anonymization(base_graph, ratio=0.2, seed=1)
+        expected_removed = round(0.2 * base_graph.number_of_edges())
+        assert anonymized.graph.number_of_edges() == base_graph.number_of_edges() - expected_removed
+        assert anonymized.scheme == "sparsification"
+
+    def test_sparsification_zero_ratio_keeps_all_edges(self, base_graph):
+        anonymized = sparsification_anonymization(base_graph, ratio=0.0, seed=1)
+        assert anonymized.graph.number_of_edges() == base_graph.number_of_edges()
+
+    def test_perturbation_keeps_edge_count_roughly(self, base_graph):
+        anonymized = perturbation_anonymization(base_graph, ratio=0.2, seed=1)
+        assert abs(anonymized.graph.number_of_edges() - base_graph.number_of_edges()) <= 2
+        assert anonymized.scheme == "perturbation"
+
+    def test_perturbation_changes_edges(self, base_graph):
+        anonymized = perturbation_anonymization(base_graph, ratio=0.3, seed=1)
+        # Map anonymised edges back to original identifiers and compare.
+        mapped = {
+            frozenset((anonymized.true_identity[u], anonymized.true_identity[v]))
+            for u, v in anonymized.graph.edges()
+        }
+        original = {frozenset(edge) for edge in base_graph.edges()}
+        assert mapped != original
+
+    def test_invalid_ratio_rejected(self, base_graph):
+        with pytest.raises(ValueError):
+            sparsification_anonymization(base_graph, ratio=1.5)
+        with pytest.raises(ValueError):
+            perturbation_anonymization(base_graph, ratio=-0.1)
+
+    def test_deterministic_given_seed(self, base_graph):
+        a = perturbation_anonymization(base_graph, ratio=0.1, seed=9)
+        b = perturbation_anonymization(base_graph, ratio=0.1, seed=9)
+        assert a.true_identity == b.true_identity
+        assert sorted(map(sorted, a.graph.edges())) == sorted(map(sorted, b.graph.edges()))
+
+
+class TestDeanonymization:
+    def test_top_candidates_sorted(self, base_graph):
+        anonymized = naive_anonymization(base_graph, seed=4)
+        computer = NedComputer(k=2)
+
+        def distance(train_node, anon_node):
+            return computer.distance(base_graph, train_node, anonymized.graph, anon_node)
+
+        top = deanonymize_node(0, base_graph.nodes(), distance, top_l=5)
+        assert len(top) == 5
+        distances = [d for _, d in top]
+        assert distances == sorted(distances)
+
+    def test_invalid_top_l(self, base_graph):
+        with pytest.raises(ValueError):
+            deanonymize_node(0, base_graph.nodes(), lambda a, b: 0.0, top_l=0)
+
+    def test_naive_anonymization_fully_recovered_with_ned(self, base_graph):
+        anonymized = naive_anonymization(base_graph, seed=4)
+        computer = NedComputer(k=3)
+
+        def distance(train_node, anon_node):
+            return computer.distance(base_graph, train_node, anonymized.graph, anon_node)
+
+        report = deanonymization_precision(
+            base_graph, anonymized, distance, top_l=5, sample_size=10, seed=0
+        )
+        # Under naive anonymization the k-adjacent tree is unchanged, so the
+        # true identity is always at distance 0 and must appear in the top-l
+        # unless more than top_l nodes are tied at 0 — allow a small margin.
+        assert report.precision >= 0.6
+        assert report.evaluated == 10
+        assert report.scheme == "naive"
+
+    def test_random_distance_has_low_precision(self, base_graph):
+        anonymized = naive_anonymization(base_graph, seed=4)
+
+        def bogus_distance(train_node, anon_node):
+            return float((hash((train_node, anon_node)) % 1000))
+
+        report = deanonymization_precision(
+            base_graph, anonymized, bogus_distance, top_l=1, sample_size=20, seed=0
+        )
+        assert report.precision <= 0.3
+
+    def test_empty_candidates_rejected(self, base_graph):
+        anonymized = naive_anonymization(base_graph, seed=4)
+        with pytest.raises(ExperimentError):
+            deanonymization_precision(
+                base_graph, anonymized, lambda a, b: 0.0, top_l=1, candidate_nodes=[]
+            )
+
+    def test_precision_counts_hits(self, base_graph):
+        anonymized = naive_anonymization(base_graph, seed=4)
+
+        def oracle_distance(train_node, anon_node):
+            return 0.0 if anonymized.true_identity[anon_node] == train_node else 1.0
+
+        report = deanonymization_precision(
+            base_graph, anonymized, oracle_distance, top_l=1, sample_size=15, seed=0
+        )
+        assert report.precision == 1.0
+        assert report.hits == report.evaluated == 15

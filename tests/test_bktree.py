@@ -1,0 +1,86 @@
+"""Tests for the BK-tree metric index (integer-valued metrics such as TED*)."""
+
+import random
+
+import pytest
+
+from repro.exceptions import IndexingError
+from repro.index.bktree import BKTree
+from repro.index.linear_scan import LinearScanIndex
+from repro.ted.ted_star import ted_star
+from repro.trees.random_trees import random_tree_with_depth
+
+
+def integer_distance(a: int, b: int) -> int:
+    return abs(a - b)
+
+
+@pytest.fixture
+def integer_items():
+    rng = random.Random(3)
+    return [rng.randrange(0, 500) for _ in range(150)]
+
+
+class TestBKTreeOverIntegers:
+    def test_knn_matches_linear_scan(self, integer_items):
+        bktree = BKTree(integer_items, integer_distance)
+        scan = LinearScanIndex(integer_items, integer_distance)
+        for query in (0, 250, 499, 123):
+            bk_distances = [d for _, d in bktree.knn(query, 5)]
+            scan_distances = [d for _, d in scan.knn(query, 5)]
+            assert bk_distances == scan_distances
+
+    def test_range_matches_linear_scan(self, integer_items):
+        bktree = BKTree(integer_items, integer_distance)
+        scan = LinearScanIndex(integer_items, integer_distance)
+        for query, radius in ((100, 20), (400, 3), (250, 500)):
+            bk_items = sorted(item for item, _ in bktree.range_search(query, radius))
+            scan_items = sorted(item for item, _ in scan.range_search(query, radius))
+            assert bk_items == scan_items
+
+    def test_range_prunes(self, integer_items):
+        bktree = BKTree(integer_items, integer_distance)
+        bktree.range_search(250, 5)
+        assert bktree.last_query_distance_calls < len(integer_items)
+
+    def test_duplicates_handled(self):
+        bktree = BKTree([7, 7, 7, 3, 11], integer_distance)
+        result = bktree.knn(7, 3)
+        assert [d for _, d in result] == [0, 0, 0]
+
+    def test_invalid_arguments(self, integer_items):
+        bktree = BKTree(integer_items, integer_distance)
+        with pytest.raises(IndexingError):
+            bktree.knn(0, 0)
+        with pytest.raises(IndexingError):
+            bktree.range_search(0, -1)
+        with pytest.raises(IndexingError):
+            BKTree([], integer_distance)
+
+    def test_build_distance_calls_counted(self, integer_items):
+        bktree = BKTree(integer_items, integer_distance)
+        assert bktree.build_distance_calls >= len(integer_items) - 1
+
+
+class TestBKTreeOverTedStar:
+    def test_knn_over_trees_matches_scan(self):
+        rng = random.Random(11)
+        trees = [random_tree_with_depth(rng.randint(2, 10), 3, seed=rng.randrange(10**9))
+                 for _ in range(35)]
+        metric = lambda a, b: ted_star(a, b, k=4)  # noqa: E731
+        bktree = BKTree(trees, metric)
+        scan = LinearScanIndex(trees, metric)
+        query = random_tree_with_depth(7, 3, seed=99)
+        assert [d for _, d in bktree.knn(query, 5)] == [d for _, d in scan.knn(query, 5)]
+
+    def test_range_over_trees_matches_scan(self):
+        rng = random.Random(13)
+        trees = [random_tree_with_depth(rng.randint(2, 8), 3, seed=rng.randrange(10**9))
+                 for _ in range(25)]
+        metric = lambda a, b: ted_star(a, b, k=4)  # noqa: E731
+        bktree = BKTree(trees, metric)
+        scan = LinearScanIndex(trees, metric)
+        query = trees[0]
+        bk_distances = sorted(d for _, d in bktree.range_search(query, 3.0))
+        scan_distances = sorted(d for _, d in scan.range_search(query, 3.0))
+        assert bk_distances == scan_distances

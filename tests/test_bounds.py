@@ -1,0 +1,53 @@
+"""Tests for the TED*/TED/GED bound relations (Sections 11-12)."""
+
+from repro.graph.graph import Graph
+from repro.ted.bounds import (
+    ged_upper_bound_from_ted_star,
+    ted_upper_bound_from_weighted,
+    tree_as_graph,
+)
+from repro.ted.exact_ged import exact_graph_edit_distance
+from repro.ted.exact_ted import exact_tree_edit_distance
+from repro.ted.ted_star import ted_star
+from repro.trees.random_trees import random_tree
+from repro.trees.tree import Tree
+
+
+class TestTreeAsGraph:
+    def test_sizes(self, three_level_tree):
+        graph = tree_as_graph(three_level_tree)
+        assert graph.number_of_nodes() == three_level_tree.size()
+        assert graph.number_of_edges() == three_level_tree.size() - 1
+
+    def test_single_node(self):
+        graph = tree_as_graph(Tree.single_node())
+        assert isinstance(graph, Graph)
+        assert graph.number_of_nodes() == 1
+        assert graph.number_of_edges() == 0
+
+
+class TestGedBound:
+    def test_bound_value_is_twice_ted_star(self, three_level_tree, simple_tree):
+        assert ged_upper_bound_from_ted_star(three_level_tree, simple_tree) == (
+            2.0 * ted_star(three_level_tree, simple_tree)
+        )
+
+    def test_ged_respects_bound_on_random_trees(self):
+        for seed in range(20):
+            a = random_tree(2 + seed % 6, seed=seed)
+            b = random_tree(2 + (seed * 5) % 6, seed=seed + 31)
+            ged = exact_graph_edit_distance(tree_as_graph(a), tree_as_graph(b))
+            assert ged <= ged_upper_bound_from_ted_star(a, b) + 1e-9
+
+
+class TestTedBound:
+    def test_weighted_bound_respects_exact_ted_on_random_trees(self):
+        for seed in range(20):
+            a = random_tree(2 + seed % 6, seed=seed)
+            b = random_tree(2 + (seed * 7) % 6, seed=seed + 71)
+            exact = exact_tree_edit_distance(a, b)
+            assert exact <= ted_upper_bound_from_weighted(a, b) + 1e-9
+
+    def test_bound_is_zero_for_isomorphic_trees(self):
+        tree = random_tree(8, seed=3)
+        assert ted_upper_bound_from_weighted(tree, tree) == 0.0

@@ -1,0 +1,85 @@
+"""Tests for tree canonization and rooted-tree isomorphism."""
+
+from repro.trees.canonize import ahu_signature, canonical_string, trees_isomorphic
+from repro.trees.random_trees import random_tree
+from repro.trees.tree import Tree
+
+
+class TestCanonicalString:
+    def test_leaf(self):
+        assert canonical_string(Tree.single_node()) == "()"
+
+    def test_star(self):
+        assert canonical_string(Tree([-1, 0, 0])) == "(()())"
+
+    def test_order_independent(self):
+        left = Tree([-1, 0, 0, 1])     # children of root: 1 (with child), 2
+        right = Tree([-1, 0, 0, 2])    # children of root: 1, 2 (with child)
+        assert canonical_string(left) == canonical_string(right)
+
+    def test_distinguishes_structures(self):
+        path = Tree([-1, 0, 1])
+        star = Tree([-1, 0, 0])
+        assert canonical_string(path) != canonical_string(star)
+
+    def test_subtree_argument(self):
+        tree = Tree([-1, 0, 1, 1])
+        assert canonical_string(tree, 1) == "(()())"
+
+    def test_deep_tree_no_recursion_error(self):
+        parents = [-1] + list(range(0, 400))
+        deep = Tree(parents)
+        assert canonical_string(deep).count("(") == 401
+
+
+class TestAhuSignature:
+    def test_leaves_share_label(self):
+        tree = Tree([-1, 0, 0, 0])
+        signature = ahu_signature(tree)
+        assert signature[1] == signature[2] == signature[3]
+        assert signature[0] != signature[1]
+
+    def test_isomorphic_subtrees_share_label(self):
+        # Root with two children, each having exactly one leaf child.
+        tree = Tree([-1, 0, 0, 1, 2])
+        signature = ahu_signature(tree)
+        assert signature[1] == signature[2]
+        assert signature[3] == signature[4]
+
+    def test_length_matches_size(self):
+        tree = random_tree(25, seed=1)
+        assert len(ahu_signature(tree)) == 25
+
+
+class TestIsomorphism:
+    def test_reflexive(self):
+        tree = random_tree(20, seed=2)
+        assert trees_isomorphic(tree, tree)
+
+    def test_child_order_irrelevant(self):
+        a = Tree.from_levels([[2], [2, 0]])
+        b = Tree.from_levels([[2], [0, 2]])
+        assert trees_isomorphic(a, b)
+
+    def test_different_sizes_not_isomorphic(self):
+        assert not trees_isomorphic(Tree([-1]), Tree([-1, 0]))
+
+    def test_same_size_different_shape(self):
+        path = Tree([-1, 0, 1, 2])
+        star = Tree([-1, 0, 0, 0])
+        assert not trees_isomorphic(path, star)
+
+    def test_same_degree_sequence_different_structure(self):
+        # Both have root degree 2; differ in where the extra child hangs.
+        a = Tree.from_levels([[2], [2, 1], [0, 0, 0]])
+        b = Tree.from_levels([[2], [1, 2], [0, 0, 0]])
+        assert trees_isomorphic(a, b)  # unordered: these are the same tree
+        c = Tree.from_levels([[2], [3, 0], [0, 0, 0]])
+        assert not trees_isomorphic(a, c)
+
+    def test_random_tree_relabeled_is_isomorphic(self, rng):
+        tree = random_tree(15, seed=3)
+        # Build the same tree with children visited in a different order by
+        # re-rooting through from_edges (BFS relabels nodes).
+        rebuilt = Tree.from_edges(tree.size(), tree.edges(), root=0)
+        assert trees_isomorphic(tree, rebuilt)

@@ -1,0 +1,88 @@
+"""Tests for the synthetic dataset registry."""
+
+import pytest
+
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    dataset_spec,
+    dataset_summary_table,
+    load_dataset,
+    load_dataset_pair,
+)
+from repro.exceptions import DatasetError
+
+
+class TestSpecs:
+    def test_all_six_paper_datasets_present(self):
+        assert set(DATASET_NAMES) == {"CAR", "PAR", "AMZN", "DBLP", "GNU", "PGP"}
+
+    def test_spec_lookup_case_insensitive(self):
+        assert dataset_spec("pgp").name == "PGP"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            dataset_spec("TWITTER")
+
+    def test_paper_sizes_recorded(self):
+        spec = dataset_spec("CAR")
+        assert spec.paper_nodes == 1_965_206
+        assert spec.paper_edges == 2_766_607
+
+
+class TestLoading:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_every_dataset_loads(self, name):
+        graph = load_dataset(name, scale=0.2)
+        assert graph.number_of_nodes() > 10
+        assert graph.number_of_edges() > 10
+
+    def test_scale_changes_size(self):
+        small = load_dataset("PGP", scale=0.2)
+        large = load_dataset("PGP", scale=0.6)
+        assert large.number_of_nodes() > small.number_of_nodes()
+
+    def test_default_seed_is_deterministic(self):
+        a = load_dataset("GNU", scale=0.2)
+        b = load_dataset("GNU", scale=0.2)
+        assert sorted(map(sorted, a.edges())) == sorted(map(sorted, b.edges()))
+
+    def test_explicit_seed_changes_graph(self):
+        a = load_dataset("GNU", scale=0.2, seed=1)
+        b = load_dataset("GNU", scale=0.2, seed=2)
+        assert sorted(map(sorted, a.edges())) != sorted(map(sorted, b.edges()))
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatasetError):
+            load_dataset("PGP", scale=0.0)
+
+    def test_road_family_has_low_degrees(self):
+        graph = load_dataset("CAR", scale=0.3)
+        assert max(graph.degrees().values()) <= 8
+
+    def test_power_law_family_has_hubs(self):
+        graph = load_dataset("DBLP", scale=0.5)
+        degrees = sorted(graph.degrees().values(), reverse=True)
+        assert degrees[0] >= 5 * max(1, degrees[len(degrees) // 2])
+
+    def test_pair_loader_gives_independent_graphs(self):
+        a, b = load_dataset_pair("CAR", "PAR", scale=0.2, seed=5)
+        assert a.number_of_nodes() != 0 and b.number_of_nodes() != 0
+        assert sorted(map(sorted, a.edges())) != sorted(map(sorted, b.edges()))
+
+    def test_pair_loader_deterministic(self):
+        a1, b1 = load_dataset_pair("PGP", "PGP", scale=0.2, seed=5)
+        a2, b2 = load_dataset_pair("PGP", "PGP", scale=0.2, seed=5)
+        assert sorted(map(sorted, a1.edges())) == sorted(map(sorted, a2.edges()))
+        assert sorted(map(sorted, b1.edges())) == sorted(map(sorted, b2.edges()))
+
+
+class TestSummaryTable:
+    def test_one_row_per_dataset(self):
+        rows = dataset_summary_table(scale=0.2)
+        assert len(rows) == len(DATASET_NAMES)
+
+    def test_rows_have_required_keys(self):
+        rows = dataset_summary_table(scale=0.2)
+        for row in rows:
+            assert {"dataset", "paper_nodes", "paper_edges",
+                    "generated_nodes", "generated_edges", "family"} <= set(row)

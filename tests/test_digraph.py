@@ -1,0 +1,84 @@
+"""Tests for the directed DiGraph substrate."""
+
+import pytest
+
+from repro.exceptions import EdgeNotFoundError, NodeNotFoundError
+from repro.graph.graph import DiGraph
+
+
+class TestStructure:
+    def test_add_edge_directed(self):
+        g = DiGraph([(0, 1)])
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_successors_and_predecessors(self, small_digraph):
+        assert small_digraph.successors(0) == {1, 2}
+        assert small_digraph.predecessors(3) == {1, 2}
+        assert small_digraph.predecessors(0) == {5}
+
+    def test_degrees(self, small_digraph):
+        assert small_digraph.out_degree(0) == 2
+        assert small_digraph.in_degree(0) == 1
+        assert small_digraph.in_degree(3) == 2
+
+    def test_number_of_edges(self, small_digraph):
+        assert small_digraph.number_of_edges() == 6
+
+    def test_remove_node(self, small_digraph):
+        small_digraph.remove_node(3)
+        assert not small_digraph.has_node(3)
+        assert 3 not in small_digraph.successors(1)
+
+    def test_remove_edge(self):
+        g = DiGraph([(0, 1)])
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+
+    def test_remove_missing_edge_raises(self):
+        with pytest.raises(EdgeNotFoundError):
+            DiGraph([(0, 1)]).remove_edge(1, 0)
+
+    def test_missing_node_queries_raise(self):
+        g = DiGraph()
+        with pytest.raises(NodeNotFoundError):
+            g.successors(0)
+        with pytest.raises(NodeNotFoundError):
+            g.predecessors(0)
+        with pytest.raises(NodeNotFoundError):
+            g.out_degree(0)
+        with pytest.raises(NodeNotFoundError):
+            g.in_degree(0)
+
+
+class TestTraversal:
+    def test_bfs_out_direction(self, small_digraph):
+        levels = small_digraph.bfs_levels(0, direction="out")
+        assert levels[0] == [0]
+        assert sorted(levels[1]) == [1, 2]
+        assert levels[2] == [3]
+        assert levels[3] == [4]
+
+    def test_bfs_in_direction(self, small_digraph):
+        levels = small_digraph.bfs_levels(3, direction="in")
+        assert levels[0] == [3]
+        assert sorted(levels[1]) == [1, 2]
+        assert levels[2] == [0]
+
+    def test_bfs_invalid_direction(self, small_digraph):
+        with pytest.raises(ValueError):
+            small_digraph.bfs_levels(0, direction="sideways")
+
+    def test_bfs_max_depth(self, small_digraph):
+        levels = small_digraph.bfs_levels(0, max_depth=1)
+        assert len(levels) == 2
+
+    def test_to_undirected(self, small_digraph):
+        undirected = small_digraph.to_undirected()
+        assert undirected.has_edge(1, 0)
+        assert undirected.number_of_nodes() == small_digraph.number_of_nodes()
+
+    def test_copy_is_independent(self, small_digraph):
+        clone = small_digraph.copy()
+        clone.add_edge(4, 5)
+        assert not small_digraph.has_edge(4, 5)

@@ -1,0 +1,96 @@
+"""Tests for the exact graph edit distance baseline."""
+
+import itertools
+
+import pytest
+
+from repro.exceptions import DistanceError
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.graph import Graph
+from repro.ted.exact_ged import exact_graph_edit_distance
+
+
+def brute_force_ged(first: Graph, second: Graph) -> int:
+    """Reference GED by exhaustive enumeration of partial injective mappings."""
+    nodes1, nodes2 = first.nodes(), second.nodes()
+    if len(nodes1) > len(nodes2):
+        first, second = second, first
+        nodes1, nodes2 = nodes2, nodes1
+    edges1 = {frozenset(edge) for edge in first.edges()}
+    edges2 = {frozenset(edge) for edge in second.edges()}
+    best = len(nodes1) + len(nodes2) + len(edges1) + len(edges2)
+    for size in range(len(nodes1) + 1):
+        for subset in itertools.combinations(nodes1, size):
+            for image in itertools.permutations(nodes2, size):
+                mapping = dict(zip(subset, image))
+                common = sum(
+                    1
+                    for edge in edges1
+                    if all(endpoint in mapping for endpoint in edge)
+                    and frozenset(mapping[endpoint] for endpoint in edge) in edges2
+                )
+                cost = (len(nodes1) - size) + (len(nodes2) - size)
+                cost += (len(edges1) - common) + (len(edges2) - common)
+                best = min(best, cost)
+    return best
+
+
+class TestKnownValues:
+    def test_identical_graphs(self, path_graph):
+        assert exact_graph_edit_distance(path_graph, path_graph) == 0
+
+    def test_isomorphic_graphs(self):
+        a = Graph([(0, 1), (1, 2)])
+        b = Graph([("x", "y"), ("y", "z")])
+        assert exact_graph_edit_distance(a, b) == 0
+
+    def test_single_edge_removal(self):
+        a = Graph([(0, 1), (1, 2), (2, 0)])
+        b = Graph([(0, 1), (1, 2)])
+        assert exact_graph_edit_distance(a, b) == 1
+
+    def test_single_node_insertion(self):
+        a = Graph([(0, 1)])
+        b = Graph([(0, 1)])
+        b.add_node(2)
+        assert exact_graph_edit_distance(a, b) == 1
+
+    def test_empty_vs_triangle(self):
+        empty = Graph()
+        empty.add_nodes_from(range(3))
+        triangle = Graph([(0, 1), (1, 2), (2, 0)])
+        assert exact_graph_edit_distance(empty, triangle) == 3
+
+    def test_path_vs_star(self):
+        path = Graph([(0, 1), (1, 2), (2, 3)])
+        star = Graph([(0, 1), (0, 2), (0, 3)])
+        assert exact_graph_edit_distance(path, star) == 2
+
+    def test_symmetry(self):
+        a = erdos_renyi_graph(6, 0.4, seed=1)
+        b = erdos_renyi_graph(5, 0.4, seed=2)
+        assert exact_graph_edit_distance(a, b) == exact_graph_edit_distance(b, a)
+
+    def test_matches_brute_force_on_random_graphs(self):
+        for seed in range(12):
+            a = erdos_renyi_graph(2 + seed % 4, 0.5, seed=seed)
+            b = erdos_renyi_graph(2 + (seed + 1) % 4, 0.5, seed=seed + 40)
+            assert exact_graph_edit_distance(a, b) == brute_force_ged(a, b)
+
+    def test_triangle_inequality_on_small_graphs(self):
+        graphs = [erdos_renyi_graph(4, 0.5, seed=i) for i in range(5)]
+        for x, y, z in itertools.permutations(graphs, 3):
+            assert exact_graph_edit_distance(x, z) <= (
+                exact_graph_edit_distance(x, y) + exact_graph_edit_distance(y, z)
+            )
+
+
+class TestGuards:
+    def test_size_guard(self):
+        big = erdos_renyi_graph(20, 0.2, seed=1)
+        with pytest.raises(DistanceError):
+            exact_graph_edit_distance(big, big)
+
+    def test_size_guard_configurable(self):
+        graph = erdos_renyi_graph(13, 0.2, seed=1)
+        assert exact_graph_edit_distance(graph, graph, max_nodes=14) == 0

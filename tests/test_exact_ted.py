@@ -1,0 +1,77 @@
+"""Tests for the exact unordered tree edit distance baseline."""
+
+import pytest
+
+from repro.exceptions import DistanceError
+from repro.ted.exact_ted import exact_tree_edit_distance
+from repro.trees.canonize import trees_isomorphic
+from repro.trees.random_trees import random_tree
+from repro.trees.tree import Tree
+
+
+class TestKnownValues:
+    def test_identical_trees(self):
+        tree = Tree.from_levels([[2], [1, 1]])
+        assert exact_tree_edit_distance(tree, tree) == 0
+
+    def test_isomorphic_trees(self):
+        a = Tree.from_levels([[2], [2, 0]])
+        b = Tree.from_levels([[2], [0, 2]])
+        assert exact_tree_edit_distance(a, b) == 0
+
+    def test_single_node_vs_star(self):
+        assert exact_tree_edit_distance(Tree.single_node(), Tree([-1, 0, 0, 0])) == 3
+
+    def test_single_insertion(self):
+        assert exact_tree_edit_distance(Tree([-1, 0]), Tree([-1, 0, 1])) == 1
+
+    def test_path_vs_star_same_size(self):
+        path = Tree([-1, 0, 1, 2])
+        star = Tree([-1, 0, 0, 0])
+        # Only the root plus one node can be matched (an ancestor chain cannot
+        # map onto incomparable leaves), so 2 deletions + 2 insertions remain.
+        assert exact_tree_edit_distance(path, star) == 4
+
+    def test_intermediate_node_insertion_costs_one(self):
+        # root-leaf vs root-middle-leaf: classic TED inserts one node.
+        two_chain = Tree([-1, 0])
+        three_chain = Tree([-1, 0, 1])
+        assert exact_tree_edit_distance(two_chain, three_chain) == 1
+
+    def test_symmetry(self):
+        a = random_tree(7, seed=1)
+        b = random_tree(9, seed=2)
+        assert exact_tree_edit_distance(a, b) == exact_tree_edit_distance(b, a)
+
+    def test_zero_iff_isomorphic_on_random_pairs(self):
+        for seed in range(20):
+            a = random_tree(2 + seed % 6, seed=seed)
+            b = random_tree(2 + (seed + 3) % 6, seed=seed * 7 + 1)
+            distance = exact_tree_edit_distance(a, b)
+            assert (distance == 0) == trees_isomorphic(a, b)
+
+    def test_size_difference_lower_bound(self):
+        for seed in range(15):
+            a = random_tree(3 + seed % 5, seed=seed)
+            b = random_tree(3 + (seed * 2) % 6, seed=seed + 50)
+            assert exact_tree_edit_distance(a, b) >= abs(a.size() - b.size())
+
+    def test_triangle_inequality_on_small_trees(self):
+        trees = [random_tree(2 + i % 5, seed=i) for i in range(8)]
+        for x in trees[:4]:
+            for y in trees[2:6]:
+                for z in trees[4:]:
+                    assert exact_tree_edit_distance(x, z) <= (
+                        exact_tree_edit_distance(x, y) + exact_tree_edit_distance(y, z)
+                    )
+
+
+class TestGuards:
+    def test_size_guard(self):
+        big = random_tree(30, seed=1)
+        with pytest.raises(DistanceError):
+            exact_tree_edit_distance(big, big)
+
+    def test_size_guard_configurable(self):
+        tree = random_tree(18, seed=1)
+        assert exact_tree_edit_distance(tree, tree, max_nodes=20) == 0

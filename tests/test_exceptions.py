@@ -1,0 +1,51 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    DatasetError,
+    DistanceError,
+    EdgeNotFoundError,
+    ExperimentError,
+    GraphError,
+    IndexingError,
+    MatchingError,
+    NodeNotFoundError,
+    ReproError,
+    TreeError,
+)
+
+
+def test_all_exceptions_derive_from_repro_error():
+    for exc_type in (
+        GraphError,
+        NodeNotFoundError,
+        EdgeNotFoundError,
+        TreeError,
+        MatchingError,
+        DistanceError,
+        IndexingError,
+        DatasetError,
+        ExperimentError,
+    ):
+        assert issubclass(exc_type, ReproError)
+
+
+def test_node_not_found_is_key_error():
+    assert issubclass(NodeNotFoundError, KeyError)
+
+
+def test_node_not_found_carries_node():
+    error = NodeNotFoundError(42)
+    assert error.node == 42
+    assert "42" in str(error)
+
+
+def test_edge_not_found_carries_endpoints():
+    error = EdgeNotFoundError(1, 2)
+    assert (error.u, error.v) == (1, 2)
+
+
+def test_repro_error_catchable():
+    with pytest.raises(ReproError):
+        raise GraphError("boom")

@@ -1,0 +1,81 @@
+"""Tests for experiment reporting and shared helpers."""
+
+import pytest
+
+from repro.experiments.common import (
+    default_backend,
+    mean,
+    sample_node_pairs,
+    sample_small_tree_pairs,
+    std,
+)
+from repro.experiments.reporting import ExperimentTable, format_table
+from repro.graph.generators import grid_road_graph
+
+
+class TestExperimentTable:
+    def test_add_row_and_column(self):
+        table = ExperimentTable(title="t", columns=["a", "b"])
+        table.add_row(a=1, b=2)
+        table.add_row(a=3)
+        assert table.column("a") == [1, 3]
+        assert table.column("b") == [2, None]
+
+    def test_add_row_unknown_column_rejected(self):
+        table = ExperimentTable(title="t", columns=["a"])
+        with pytest.raises(ValueError):
+            table.add_row(a=1, c=2)
+
+    def test_format_contains_title_and_values(self):
+        table = ExperimentTable(title="My experiment", columns=["k", "value"],
+                                notes=["a note"])
+        table.add_row(k=3, value=0.5)
+        rendered = format_table(table)
+        assert "My experiment" in rendered
+        assert "0.5" in rendered
+        assert "note: a note" in rendered
+
+    def test_format_handles_missing_and_tiny_values(self):
+        table = ExperimentTable(title="t", columns=["x", "y"])
+        table.add_row(x=None, y=1.5e-7)
+        rendered = format_table(table)
+        assert "-" in rendered
+        assert "e-07" in rendered
+
+    def test_str_matches_format(self):
+        table = ExperimentTable(title="t", columns=["x"])
+        table.add_row(x=1)
+        assert str(table) == format_table(table)
+
+
+class TestCommonHelpers:
+    def test_default_backend_is_known(self):
+        assert default_backend() in ("hungarian", "scipy")
+
+    def test_mean_and_std(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert std([2.0, 2.0, 2.0]) == 0.0
+        assert mean([]) is None
+        assert std([]) is None
+
+    def test_sample_node_pairs(self):
+        a = grid_road_graph(4, 4, seed=1)
+        b = grid_road_graph(4, 4, seed=2)
+        pairs = sample_node_pairs(a, b, 10, seed=3)
+        assert len(pairs) == 10
+        assert all(u in a and v in b for u, v in pairs)
+
+    def test_sample_small_tree_pairs_respects_size_cap(self):
+        a = grid_road_graph(6, 6, seed=1)
+        b = grid_road_graph(6, 6, seed=2)
+        samples = sample_small_tree_pairs(a, b, k=3, count=5, max_tree_size=10, seed=4)
+        assert samples, "expected at least one small pair"
+        for _, _, tree_u, tree_v in samples:
+            assert tree_u.size() <= 10 and tree_v.size() <= 10
+
+    def test_sample_small_tree_pairs_gives_up_gracefully(self):
+        a = grid_road_graph(6, 6, seed=1)
+        b = grid_road_graph(6, 6, seed=2)
+        samples = sample_small_tree_pairs(a, b, k=6, count=5, max_tree_size=2, seed=4,
+                                          max_attempts_factor=2)
+        assert samples == []

@@ -1,0 +1,123 @@
+"""Tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    community_graph,
+    erdos_renyi_graph,
+    grid_road_graph,
+    power_law_cluster_graph,
+    random_regular_graphish,
+    random_tree_graph,
+    watts_strogatz_graph,
+)
+
+
+class TestErdosRenyi:
+    def test_node_count(self):
+        assert erdos_renyi_graph(30, 0.1, seed=1).number_of_nodes() == 30
+
+    def test_p_zero_has_no_edges(self):
+        assert erdos_renyi_graph(20, 0.0, seed=1).number_of_edges() == 0
+
+    def test_p_one_is_complete(self):
+        g = erdos_renyi_graph(10, 1.0, seed=1)
+        assert g.number_of_edges() == 45
+
+    def test_deterministic_with_seed(self):
+        a = erdos_renyi_graph(25, 0.2, seed=5)
+        b = erdos_renyi_graph(25, 0.2, seed=5)
+        assert sorted(map(sorted, a.edges())) == sorted(map(sorted, b.edges()))
+
+
+class TestBarabasiAlbert:
+    def test_sizes(self):
+        g = barabasi_albert_graph(100, 2, seed=3)
+        assert g.number_of_nodes() == 100
+        assert g.number_of_edges() <= 2 * 100
+
+    def test_every_late_node_connected(self):
+        g = barabasi_albert_graph(50, 2, seed=3)
+        for node in range(2, 50):
+            assert g.degree(node) >= 1
+
+    def test_heavy_tail(self):
+        g = barabasi_albert_graph(300, 2, seed=3)
+        degrees = sorted(g.degrees().values(), reverse=True)
+        assert degrees[0] >= 4 * degrees[len(degrees) // 2]
+
+    def test_m_must_be_smaller_than_n(self):
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(5, 5, seed=1)
+
+
+class TestPowerLawCluster:
+    def test_sizes(self):
+        g = power_law_cluster_graph(120, 2, 0.3, seed=3)
+        assert g.number_of_nodes() == 120
+        assert g.number_of_edges() > 100
+
+    def test_invalid_m(self):
+        with pytest.raises(GraphError):
+            power_law_cluster_graph(3, 4, 0.3, seed=3)
+
+
+class TestWattsStrogatz:
+    def test_sizes(self):
+        g = watts_strogatz_graph(40, 4, 0.1, seed=2)
+        assert g.number_of_nodes() == 40
+        assert g.number_of_edges() >= 40  # ring lattice edges survive rewiring
+
+    def test_no_rewire_is_ring_lattice(self):
+        g = watts_strogatz_graph(12, 2, 0.0, seed=2)
+        for node in range(12):
+            assert g.has_edge(node, (node + 1) % 12)
+
+    def test_k_too_large(self):
+        with pytest.raises(GraphError):
+            watts_strogatz_graph(4, 5, 0.1, seed=2)
+
+
+class TestGridRoad:
+    def test_sizes(self):
+        g = grid_road_graph(6, 7, seed=4)
+        assert g.number_of_nodes() == 42
+
+    def test_unperturbed_grid_edges(self):
+        g = grid_road_graph(3, 3, diagonal_probability=0.0, removal_probability=0.0, seed=4)
+        assert g.number_of_edges() == 12
+
+    def test_low_max_degree(self):
+        g = grid_road_graph(10, 10, seed=4)
+        assert max(g.degrees().values()) <= 8
+
+
+class TestCommunityGraph:
+    def test_sizes(self):
+        g = community_graph(3, 10, p_intra=0.5, p_inter=0.01, seed=5)
+        assert g.number_of_nodes() == 30
+
+    def test_intra_denser_than_inter(self):
+        g = community_graph(2, 20, p_intra=0.5, p_inter=0.01, seed=5)
+        intra = sum(1 for u, v in g.edges() if (u // 20) == (v // 20))
+        inter = g.number_of_edges() - intra
+        assert intra > inter
+
+
+class TestTreeAndRegular:
+    def test_random_tree_graph_is_tree(self):
+        g = random_tree_graph(30, seed=6)
+        assert g.number_of_nodes() == 30
+        assert g.number_of_edges() == 29
+        assert len(g.connected_components()) == 1
+
+    def test_random_regular_degree_bounded(self):
+        g = random_regular_graphish(30, 4, seed=6)
+        assert max(g.degrees().values()) <= 8
+        assert g.number_of_nodes() == 30
+
+    def test_random_regular_invalid_degree(self):
+        with pytest.raises(GraphError):
+            random_regular_graphish(4, 4, seed=6)

@@ -1,0 +1,145 @@
+"""Tests for the undirected Graph substrate."""
+
+import pytest
+
+from repro.exceptions import EdgeNotFoundError, NodeNotFoundError
+from repro.graph.graph import Graph
+
+
+class TestNodes:
+    def test_add_node(self):
+        g = Graph()
+        g.add_node("a")
+        assert g.has_node("a")
+        assert g.number_of_nodes() == 1
+
+    def test_add_node_idempotent(self):
+        g = Graph()
+        g.add_node(1)
+        g.add_edge(1, 2)
+        g.add_node(1)
+        assert g.degree(1) == 1
+
+    def test_add_nodes_from(self):
+        g = Graph()
+        g.add_nodes_from(range(5))
+        assert g.number_of_nodes() == 5
+
+    def test_remove_node_removes_incident_edges(self):
+        g = Graph([(0, 1), (1, 2)])
+        g.remove_node(1)
+        assert not g.has_node(1)
+        assert not g.has_edge(0, 1)
+        assert g.degree(0) == 0
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            Graph().remove_node(0)
+
+    def test_contains_and_iter_and_len(self):
+        g = Graph([(0, 1)])
+        assert 0 in g
+        assert 5 not in g
+        assert sorted(g) == [0, 1]
+        assert len(g) == 2
+
+
+class TestEdges:
+    def test_add_edge_creates_nodes(self):
+        g = Graph()
+        g.add_edge("x", "y")
+        assert g.has_node("x") and g.has_node("y")
+        assert g.has_edge("x", "y")
+        assert g.has_edge("y", "x")
+
+    def test_edge_count_undirected(self):
+        g = Graph([(0, 1), (1, 2), (2, 0)])
+        assert g.number_of_edges() == 3
+
+    def test_duplicate_edges_not_double_counted(self):
+        g = Graph([(0, 1), (1, 0), (0, 1)])
+        assert g.number_of_edges() == 1
+
+    def test_self_loop_counted_once(self):
+        g = Graph([(0, 0)])
+        assert g.number_of_edges() == 1
+        assert g.degree(0) == 1
+
+    def test_remove_edge(self):
+        g = Graph([(0, 1)])
+        g.remove_edge(1, 0)
+        assert not g.has_edge(0, 1)
+        assert g.has_node(0) and g.has_node(1)
+
+    def test_remove_missing_edge_raises(self):
+        with pytest.raises(EdgeNotFoundError):
+            Graph([(0, 1)]).remove_edge(0, 2)
+
+    def test_edges_reported_once(self):
+        g = Graph([(0, 1), (1, 2)])
+        assert len(g.edges()) == 2
+        assert {frozenset(edge) for edge in g.edges()} == {frozenset((0, 1)), frozenset((1, 2))}
+
+
+class TestNeighbors:
+    def test_neighbors(self, path_graph):
+        assert path_graph.neighbors(2) == {1, 3}
+
+    def test_neighbors_missing_node(self):
+        with pytest.raises(NodeNotFoundError):
+            Graph().neighbors(0)
+
+    def test_neighbors_returns_copy(self, path_graph):
+        neighbors = path_graph.neighbors(2)
+        neighbors.add(99)
+        assert 99 not in path_graph.neighbors(2)
+
+    def test_degree(self, star_graph):
+        assert star_graph.degree(0) == 5
+        assert star_graph.degree(1) == 1
+
+    def test_degrees_mapping(self, path_graph):
+        degrees = path_graph.degrees()
+        assert degrees[0] == 1 and degrees[2] == 2
+
+
+class TestTraversal:
+    def test_bfs_levels_path(self, path_graph):
+        levels = path_graph.bfs_levels(0)
+        assert levels == [[0], [1], [2], [3], [4]]
+
+    def test_bfs_levels_max_depth(self, path_graph):
+        levels = path_graph.bfs_levels(0, max_depth=2)
+        assert levels == [[0], [1], [2]]
+
+    def test_bfs_levels_star(self, star_graph):
+        levels = star_graph.bfs_levels(0)
+        assert levels[0] == [0]
+        assert sorted(levels[1]) == [1, 2, 3, 4, 5]
+
+    def test_bfs_missing_source(self):
+        with pytest.raises(NodeNotFoundError):
+            Graph().bfs_levels(3)
+
+    def test_connected_components(self):
+        g = Graph([(0, 1), (2, 3)])
+        g.add_node(4)
+        components = sorted(g.connected_components(), key=lambda c: min(c))
+        assert components == [{0, 1}, {2, 3}, {4}]
+
+    def test_subgraph_induced_edges(self, cycle_graph):
+        sub = cycle_graph.subgraph([0, 1, 2])
+        assert sub.number_of_nodes() == 3
+        assert sub.has_edge(0, 1) and sub.has_edge(1, 2)
+        assert not sub.has_edge(2, 0)
+
+    def test_k_hop_subgraph(self, path_graph):
+        sub = path_graph.k_hop_subgraph(0, 2)
+        assert sorted(sub.nodes()) == [0, 1, 2]
+        assert sub.number_of_edges() == 2
+
+    def test_copy_is_independent(self, path_graph):
+        clone = path_graph.copy()
+        clone.add_edge(0, 4)
+        assert not path_graph.has_edge(0, 4)
+        assert clone.number_of_nodes() == path_graph.number_of_nodes()

@@ -1,0 +1,67 @@
+"""Tests for edge-list I/O and networkx conversion."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.convert import from_networkx, to_networkx
+from repro.graph.graph import DiGraph, Graph
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+class TestEdgeListIO:
+    def test_round_trip_undirected(self, tmp_path, path_graph):
+        path = tmp_path / "graph.txt"
+        write_edge_list(path_graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.number_of_nodes() == path_graph.number_of_nodes()
+        assert sorted(map(sorted, loaded.edges())) == sorted(map(sorted, path_graph.edges()))
+
+    def test_round_trip_directed(self, tmp_path, small_digraph):
+        path = tmp_path / "digraph.txt"
+        write_edge_list(small_digraph, path)
+        loaded = read_edge_list(path, directed=True)
+        assert isinstance(loaded, DiGraph)
+        assert sorted(loaded.edges()) == sorted(small_digraph.edges())
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "comments.txt"
+        path.write_text("# comment\n% other comment\n\n1 2\n2 3\n")
+        loaded = read_edge_list(path)
+        assert loaded.number_of_edges() == 2
+
+    def test_string_nodes_preserved(self, tmp_path):
+        path = tmp_path / "strings.txt"
+        path.write_text("alice bob\nbob carol\n")
+        loaded = read_edge_list(path)
+        assert loaded.has_edge("alice", "bob")
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+
+class TestNetworkxConversion:
+    networkx = pytest.importorskip("networkx")
+
+    def test_to_networkx_undirected(self, path_graph):
+        nx_graph = to_networkx(path_graph)
+        assert nx_graph.number_of_nodes() == 5
+        assert nx_graph.number_of_edges() == 4
+        assert not nx_graph.is_directed()
+
+    def test_to_networkx_directed(self, small_digraph):
+        nx_graph = to_networkx(small_digraph)
+        assert nx_graph.is_directed()
+        assert nx_graph.number_of_edges() == small_digraph.number_of_edges()
+
+    def test_from_networkx_round_trip(self, path_graph):
+        back = from_networkx(to_networkx(path_graph))
+        assert isinstance(back, Graph)
+        assert sorted(map(sorted, back.edges())) == sorted(map(sorted, path_graph.edges()))
+
+    def test_from_networkx_directed_round_trip(self, small_digraph):
+        back = from_networkx(to_networkx(small_digraph))
+        assert isinstance(back, DiGraph)
+        assert sorted(back.edges()) == sorted(small_digraph.edges())

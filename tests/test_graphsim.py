@@ -1,0 +1,68 @@
+"""Tests for the Hausdorff graph distance over NED (Appendix A)."""
+
+import pytest
+
+from repro.exceptions import DistanceError
+from repro.graph.generators import grid_road_graph
+from repro.graph.graph import Graph
+from repro.graphsim.hausdorff import hausdorff_graph_distance, modified_hausdorff_graph_distance
+
+
+class TestHausdorff:
+    def test_identical_graphs_distance_zero(self, path_graph):
+        assert hausdorff_graph_distance(path_graph, path_graph.copy(), k=3) == 0.0
+
+    def test_isomorphic_graphs_distance_zero(self):
+        a = Graph([(0, 1), (1, 2)])
+        b = Graph([("x", "y"), ("y", "z")])
+        assert hausdorff_graph_distance(a, b, k=3) == 0.0
+
+    def test_symmetry(self, path_graph, star_graph):
+        forward = hausdorff_graph_distance(path_graph, star_graph, k=2)
+        backward = hausdorff_graph_distance(star_graph, path_graph, k=2)
+        assert forward == backward
+
+    def test_different_graphs_positive(self, path_graph, star_graph):
+        assert hausdorff_graph_distance(path_graph, star_graph, k=2) > 0.0
+
+    def test_triangle_inequality_on_small_graphs(self):
+        a = grid_road_graph(3, 3, seed=1)
+        b = grid_road_graph(3, 3, seed=2)
+        c = Graph([(0, 1), (1, 2), (2, 3), (3, 0)])
+        k = 2
+        d_ab = hausdorff_graph_distance(a, b, k=k)
+        d_bc = hausdorff_graph_distance(b, c, k=k)
+        d_ac = hausdorff_graph_distance(a, c, k=k)
+        assert d_ac <= d_ab + d_bc + 1e-9
+
+    def test_node_sample_limits_cost(self, small_road_graph):
+        other = grid_road_graph(8, 8, seed=21)
+        value = hausdorff_graph_distance(small_road_graph, other, k=2, node_sample=10, seed=1)
+        assert value >= 0.0
+
+    def test_empty_graph_rejected(self, path_graph):
+        with pytest.raises(DistanceError):
+            hausdorff_graph_distance(Graph(), path_graph, k=2)
+
+    def test_invalid_k(self, path_graph, star_graph):
+        with pytest.raises(ValueError):
+            hausdorff_graph_distance(path_graph, star_graph, k=0)
+
+
+class TestModifiedHausdorff:
+    def test_identical_graphs_distance_zero(self, path_graph):
+        assert modified_hausdorff_graph_distance(path_graph, path_graph.copy(), k=3) == 0.0
+
+    def test_symmetry(self, path_graph, star_graph):
+        forward = modified_hausdorff_graph_distance(path_graph, star_graph, k=2)
+        backward = modified_hausdorff_graph_distance(star_graph, path_graph, k=2)
+        assert forward == pytest.approx(backward)
+
+    def test_bounded_by_classic_hausdorff(self, path_graph, star_graph):
+        classic = hausdorff_graph_distance(path_graph, star_graph, k=2)
+        modified = modified_hausdorff_graph_distance(path_graph, star_graph, k=2)
+        assert modified <= classic + 1e-9
+
+    def test_empty_graph_rejected(self, path_graph):
+        with pytest.raises(DistanceError):
+            modified_hausdorff_graph_distance(path_graph, Graph(), k=2)

@@ -1,0 +1,119 @@
+"""End-to-end integration tests across subsystems.
+
+Each test exercises a realistic pipeline: graph generation → k-adjacent tree
+extraction → NED → retrieval / de-anonymization, the way a downstream user
+of the library would combine the pieces.
+"""
+
+import pytest
+
+from repro.anonymize.anonymizers import perturbation_anonymization
+from repro.anonymize.deanonymize import deanonymize_node
+from repro.baselines.refex import refex_feature_matrix
+from repro.core.ned import NedComputer, ned
+from repro.datasets.registry import load_dataset, load_dataset_pair
+from repro.graph.generators import community_graph
+from repro.index.linear_scan import LinearScanIndex
+from repro.index.vptree import VPTree
+from repro.ted.ted_star import ted_star
+from repro.trees.adjacent import k_adjacent_tree
+
+
+class TestCrossGraphRetrieval:
+    def test_nearest_neighbor_search_between_datasets(self):
+        graph_q, graph_c = load_dataset_pair("CAR", "PAR", scale=0.2, seed=3)
+        k = 3
+        candidates = graph_c.nodes()[:60]
+        candidate_trees = [k_adjacent_tree(graph_c, node, k) for node in candidates]
+        metric = lambda a, b: ted_star(a, b, k=k)  # noqa: E731
+        index = VPTree(candidate_trees, metric, seed=0)
+        scan = LinearScanIndex(candidate_trees, metric)
+
+        query_tree = k_adjacent_tree(graph_q, graph_q.nodes()[5], k)
+        vp_result = index.knn(query_tree, 5)
+        scan_result = scan.knn(query_tree, 5)
+        assert [d for _, d in vp_result] == [d for _, d in scan_result]
+
+    def test_index_results_consistent_with_direct_ned(self):
+        graph_q, graph_c = load_dataset_pair("PGP", "PGP", scale=0.2, seed=5)
+        k = 3
+        computer = NedComputer(k=k)
+        query = graph_q.nodes()[0]
+        candidates = graph_c.nodes()[:40]
+        direct = sorted(
+            computer.distance(graph_q, query, graph_c, candidate) for candidate in candidates
+        )[:3]
+        candidate_trees = [computer.tree(graph_c, candidate) for candidate in candidates]
+        scan = LinearScanIndex(candidate_trees, lambda a, b: ted_star(a, b, k=k))
+        indexed = [d for _, d in scan.knn(computer.tree(graph_q, query), 3)]
+        assert indexed == pytest.approx(direct)
+
+
+class TestTransferLearningScenario:
+    def test_hub_nodes_closer_to_hubs_than_to_periphery(self):
+        # Two community graphs "from the same domain": hubs (high-degree,
+        # intra-community connectors) should be closer to hubs of the other
+        # graph than to peripheral nodes, under NED.
+        graph_a = community_graph(3, 15, p_intra=0.4, p_inter=0.02, seed=1)
+        graph_b = community_graph(3, 15, p_intra=0.4, p_inter=0.02, seed=2)
+        degrees_a = graph_a.degrees()
+        degrees_b = graph_b.degrees()
+        hub_a = max(degrees_a, key=degrees_a.get)
+        hub_b = max(degrees_b, key=degrees_b.get)
+        peripheral_b = min(degrees_b, key=degrees_b.get)
+        k = 2
+        assert ned(graph_a, hub_a, graph_b, hub_b, k=k) <= ned(
+            graph_a, hub_a, graph_b, peripheral_b, k=k
+        )
+
+
+class TestDeanonymizationPipeline:
+    def test_ned_recovers_nodes_under_light_perturbation(self):
+        graph = load_dataset("PGP", scale=0.2, seed=11)
+        anonymized = perturbation_anonymization(graph, ratio=0.02, seed=13)
+        computer = NedComputer(k=3)
+
+        def distance(train_node, anon_node):
+            return computer.distance(graph, train_node, anonymized.graph, anon_node)
+
+        hits = 0
+        targets = anonymized.pseudonyms()[:8]
+        for anon_node in targets:
+            top = deanonymize_node(anon_node, graph.nodes(), distance, top_l=5)
+            if any(candidate == anonymized.true_identity[anon_node] for candidate, _ in top):
+                hits += 1
+        assert hits >= len(targets) // 2
+
+    def test_feature_pipeline_runs_end_to_end(self):
+        graph = load_dataset("GNU", scale=0.15, seed=17)
+        anonymized = perturbation_anonymization(graph, ratio=0.05, seed=19)
+        train_features = refex_feature_matrix(graph, recursions=1)
+        anon_features = refex_feature_matrix(anonymized.graph, recursions=1)
+        width = min(len(next(iter(train_features.values()))),
+                    len(next(iter(anon_features.values()))))
+
+        def distance(train_node, anon_node):
+            a = train_features[train_node][:width]
+            b = anon_features[anon_node][:width]
+            return sum((x - y) ** 2 for x, y in zip(a, b)) ** 0.5
+
+        top = deanonymize_node(anonymized.pseudonyms()[0], graph.nodes(), distance, top_l=5)
+        assert len(top) == 5
+
+
+class TestPublicApi:
+    def test_top_level_imports(self):
+        import repro
+
+        assert repro.__version__
+        assert callable(repro.ned)
+        assert callable(repro.ted_star)
+        assert callable(repro.k_adjacent_tree)
+
+    def test_quickstart_snippet(self):
+        import repro
+
+        g1 = repro.grid_road_graph(6, 6, seed=1)
+        g2 = repro.grid_road_graph(6, 6, seed=2)
+        distance = repro.ned(g1, 0, g2, 0, k=3)
+        assert distance >= 0.0

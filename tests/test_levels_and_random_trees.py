@@ -1,0 +1,83 @@
+"""Tests for the LevelView helper and the random tree generators."""
+
+import pytest
+
+from repro.exceptions import TreeError
+from repro.trees.levels import LevelView
+from repro.trees.random_trees import perturbed_copy, random_tree, random_tree_with_depth
+from repro.trees.tree import Tree
+
+
+class TestLevelView:
+    def test_levels_match_tree(self, three_level_tree):
+        view = LevelView(three_level_tree, 3)
+        assert view.level(1) == [0]
+        assert len(view.level(2)) == 2
+        assert len(view.level(3)) == 3
+
+    def test_missing_levels_are_empty(self, simple_tree):
+        view = LevelView(simple_tree, 5)
+        assert view.level(4) == []
+        assert view.level(5) == []
+
+    def test_truncation_removes_children(self, three_level_tree):
+        view = LevelView(three_level_tree, 2)
+        for node in view.level(2):
+            assert list(view.children(node)) == []
+
+    def test_children_within_view(self, three_level_tree):
+        view = LevelView(three_level_tree, 3)
+        root_children = view.children(0)
+        assert sorted(root_children) == sorted(three_level_tree.children(0))
+
+    def test_level_out_of_range(self, simple_tree):
+        view = LevelView(simple_tree, 2)
+        with pytest.raises(TreeError):
+            view.level(0)
+        with pytest.raises(TreeError):
+            view.level(3)
+
+    def test_total_nodes_and_sizes(self, three_level_tree):
+        view = LevelView(three_level_tree, 2)
+        assert view.total_nodes() == 3
+        assert view.level_sizes() == [1, 2]
+
+    def test_invalid_k(self, simple_tree):
+        with pytest.raises(ValueError):
+            LevelView(simple_tree, 0)
+
+
+class TestRandomTrees:
+    def test_random_tree_size(self):
+        assert random_tree(17, seed=1).size() == 17
+
+    def test_random_tree_deterministic(self):
+        assert random_tree(20, seed=9).parent_array() == random_tree(20, seed=9).parent_array()
+
+    def test_random_tree_max_children_respected(self):
+        tree = random_tree(40, seed=2, max_children=2)
+        assert all(len(tree.children(node)) <= 2 for node in tree.nodes())
+
+    def test_random_tree_with_depth_bound(self):
+        tree = random_tree_with_depth(30, 3, seed=3)
+        assert tree.height() <= 3
+        assert tree.size() == 30
+
+    def test_random_tree_with_depth_single_node(self):
+        assert random_tree_with_depth(1, 2, seed=3).size() == 1
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            random_tree(0, seed=1)
+        with pytest.raises(ValueError):
+            random_tree_with_depth(5, 0, seed=1)
+
+    def test_perturbed_copy_changes_structure(self):
+        tree = random_tree(12, seed=4)
+        perturbed = perturbed_copy(tree, operations=6, seed=5)
+        assert isinstance(perturbed, Tree)
+        assert perturbed.size() != 0
+
+    def test_perturbed_copy_zero_operations_is_identical(self):
+        tree = random_tree(12, seed=4)
+        assert perturbed_copy(tree, operations=0, seed=5).parent_array() == tree.parent_array()

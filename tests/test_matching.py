@@ -1,0 +1,122 @@
+"""Tests for the bipartite matching backends (Hungarian, SciPy, front-end)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.exceptions import MatchingError
+from repro.matching.bipartite import AssignmentResult, min_cost_matching
+from repro.matching.hungarian import hungarian
+from repro.matching.scipy_backend import scipy_assignment, scipy_available
+
+
+def brute_force_cost(matrix):
+    """Minimal assignment cost by enumerating all permutations (small n)."""
+    n = len(matrix)
+    best = float("inf")
+    for permutation in itertools.permutations(range(n)):
+        cost = sum(matrix[i][permutation[i]] for i in range(n))
+        best = min(best, cost)
+    return best
+
+
+class TestHungarian:
+    def test_empty_matrix(self):
+        assignment, cost = hungarian([])
+        assert assignment == [] and cost == 0.0
+
+    def test_single_cell(self):
+        assignment, cost = hungarian([[7.0]])
+        assert assignment == [0] and cost == 7.0
+
+    def test_identity_optimal(self):
+        matrix = [[0, 9, 9], [9, 0, 9], [9, 9, 0]]
+        assignment, cost = hungarian(matrix)
+        assert assignment == [0, 1, 2]
+        assert cost == 0.0
+
+    def test_anti_diagonal_optimal(self):
+        matrix = [[9, 9, 0], [9, 0, 9], [0, 9, 9]]
+        assignment, cost = hungarian(matrix)
+        assert assignment == [2, 1, 0]
+        assert cost == 0.0
+
+    def test_known_textbook_instance(self):
+        matrix = [[4, 1, 3], [2, 0, 5], [3, 2, 2]]
+        _, cost = hungarian(matrix)
+        assert cost == 5.0
+
+    def test_assignment_is_permutation(self):
+        rng = random.Random(0)
+        matrix = [[rng.randint(0, 20) for _ in range(6)] for _ in range(6)]
+        assignment, _ = hungarian(matrix)
+        assert sorted(assignment) == list(range(6))
+
+    def test_matches_brute_force_on_random_matrices(self):
+        rng = random.Random(1)
+        for _ in range(30):
+            n = rng.randint(1, 6)
+            matrix = [[rng.randint(0, 30) for _ in range(n)] for _ in range(n)]
+            _, cost = hungarian(matrix)
+            assert cost == brute_force_cost(matrix)
+
+    def test_handles_float_costs(self):
+        matrix = [[0.5, 1.5], [1.25, 0.25]]
+        _, cost = hungarian(matrix)
+        assert cost == pytest.approx(0.75)
+
+    def test_negative_costs_supported(self):
+        matrix = [[-5, 0], [0, -5]]
+        _, cost = hungarian(matrix)
+        assert cost == -10.0
+
+    def test_rejects_ragged_matrix(self):
+        with pytest.raises(MatchingError):
+            hungarian([[1, 2], [3]])
+
+
+@pytest.mark.skipif(not scipy_available(), reason="scipy not installed")
+class TestScipyBackend:
+    def test_agrees_with_hungarian(self):
+        rng = random.Random(2)
+        for _ in range(20):
+            n = rng.randint(1, 12)
+            matrix = [[rng.randint(0, 40) for _ in range(n)] for _ in range(n)]
+            _, cost_a = hungarian(matrix)
+            _, cost_b = scipy_assignment(matrix)
+            assert cost_a == pytest.approx(cost_b)
+
+    def test_empty_matrix(self):
+        assignment, cost = scipy_assignment([])
+        assert assignment == [] and cost == 0.0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(MatchingError):
+            scipy_assignment([[1, 2, 3], [4, 5, 6]])
+
+
+class TestFrontEnd:
+    def test_returns_assignment_result(self):
+        result = min_cost_matching([[1, 2], [2, 1]])
+        assert isinstance(result, AssignmentResult)
+        assert result.cost == 2.0
+        assert result.assignment == [0, 1]
+
+    def test_pairs_and_inverse(self):
+        result = min_cost_matching([[9, 0], [0, 9]])
+        assert result.pairs() == [(0, 1), (1, 0)]
+        assert result.inverse() == [1, 0]
+
+    def test_unknown_backend(self):
+        with pytest.raises(MatchingError):
+            min_cost_matching([[1]], backend="quantum")
+
+    def test_non_square_rejected(self):
+        with pytest.raises(MatchingError):
+            min_cost_matching([[1, 2]])
+
+    @pytest.mark.skipif(not scipy_available(), reason="scipy not installed")
+    def test_scipy_backend_selectable(self):
+        result = min_cost_matching([[3, 1], [1, 3]], backend="scipy")
+        assert result.cost == 2.0

@@ -1,0 +1,135 @@
+"""Tests for the NED inter-graph node metric."""
+
+import pytest
+
+from repro.core.ned import NedComputer, directed_ned, ned, ned_from_trees, weighted_ned
+from repro.graph.generators import grid_road_graph
+from repro.graph.graph import DiGraph, Graph
+from repro.trees.adjacent import k_adjacent_tree
+from repro.ted.ted_star import ted_star
+
+
+class TestNed:
+    def test_identical_nodes_in_identical_graphs(self, path_graph):
+        other = path_graph.copy()
+        assert ned(path_graph, 2, other, 2, k=3) == 0.0
+
+    def test_structurally_equivalent_nodes_across_graphs(self):
+        # Center of a 5-star vs center of another 5-star: identical k-trees.
+        a = Graph([(0, i) for i in range(1, 6)])
+        b = Graph([("c", f"leaf{i}") for i in range(5)])
+        assert ned(a, 0, b, "c", k=2) == 0.0
+
+    def test_different_degrees_give_positive_distance(self, path_graph, star_graph):
+        assert ned(path_graph, 2, star_graph, 0, k=2) == 3.0
+
+    def test_k1_always_zero(self, path_graph, star_graph):
+        assert ned(path_graph, 0, star_graph, 0, k=1) == 0.0
+
+    def test_equals_ted_star_on_extracted_trees(self, small_road_graph):
+        other = grid_road_graph(8, 8, seed=99)
+        k = 3
+        expected = ted_star(
+            k_adjacent_tree(small_road_graph, 5, k), k_adjacent_tree(other, 10, k), k=k
+        )
+        assert ned(small_road_graph, 5, other, 10, k=k) == expected
+
+    def test_symmetry_across_graphs(self, small_road_graph, small_powerlaw_graph):
+        forward = ned(small_road_graph, 3, small_powerlaw_graph, 7, k=3)
+        backward = ned(small_powerlaw_graph, 7, small_road_graph, 3, k=3)
+        assert forward == backward
+
+    def test_monotone_in_k(self, small_road_graph, small_powerlaw_graph):
+        previous = 0.0
+        for k in range(1, 5):
+            current = ned(small_road_graph, 2, small_powerlaw_graph, 5, k=k)
+            assert current >= previous
+            previous = current
+
+    def test_triangle_inequality_across_three_graphs(self, small_road_graph):
+        graph_b = grid_road_graph(7, 7, seed=5)
+        graph_c = grid_road_graph(6, 6, seed=9)
+        k = 3
+        d_ab = ned(small_road_graph, 1, graph_b, 2, k=k)
+        d_bc = ned(graph_b, 2, graph_c, 3, k=k)
+        d_ac = ned(small_road_graph, 1, graph_c, 3, k=k)
+        assert d_ac <= d_ab + d_bc
+
+    def test_invalid_k(self, path_graph):
+        with pytest.raises(ValueError):
+            ned(path_graph, 0, path_graph, 1, k=0)
+
+    def test_ned_from_trees(self, path_graph, star_graph):
+        tree_a = k_adjacent_tree(path_graph, 2, 2)
+        tree_b = k_adjacent_tree(star_graph, 0, 2)
+        assert ned_from_trees(tree_a, tree_b, k=2) == ned(path_graph, 2, star_graph, 0, k=2)
+
+
+class TestWeightedNed:
+    def test_unit_weights_match_plain(self, path_graph, star_graph):
+        assert weighted_ned(path_graph, 2, star_graph, 0, k=3) == ned(
+            path_graph, 2, star_graph, 0, k=3
+        )
+
+    def test_root_heavy_weights_emphasise_close_levels(self, path_graph, star_graph):
+        heavy = weighted_ned(
+            path_graph, 2, star_graph, 0, k=3,
+            insert_delete_weight=lambda level: 10.0 / level,
+            move_weight=lambda level: 10.0 / level,
+        )
+        assert heavy >= ned(path_graph, 2, star_graph, 0, k=3)
+
+    def test_identity_preserved(self, path_graph):
+        assert weighted_ned(path_graph, 2, path_graph.copy(), 2, k=3,
+                            insert_delete_weight=2.0, move_weight=3.0) == 0.0
+
+
+class TestDirectedNed:
+    def test_identical_directed_nodes(self, small_digraph):
+        other = small_digraph.copy()
+        assert directed_ned(small_digraph, 0, other, 0, k=3) == 0.0
+
+    def test_direction_matters(self):
+        # Node with only outgoing edges vs node with only incoming edges.
+        fan_out = DiGraph([(0, 1), (0, 2), (0, 3)])
+        fan_in = DiGraph([(1, 0), (2, 0), (3, 0)])
+        assert directed_ned(fan_out, 0, fan_in, 0, k=2) == 6.0
+
+    def test_symmetry(self, small_digraph):
+        other = DiGraph([(0, 1), (1, 2), (2, 0), (3, 1)])
+        forward = directed_ned(small_digraph, 0, other, 0, k=3)
+        backward = directed_ned(other, 0, small_digraph, 0, k=3)
+        assert forward == backward
+
+    def test_sum_of_incoming_and_outgoing_components(self):
+        a = DiGraph([(0, 1), (2, 0)])
+        b = DiGraph([(0, 1), (0, 2), (3, 0), (4, 0)])
+        assert directed_ned(a, 0, b, 0, k=2) == 2.0
+
+
+class TestNedComputer:
+    def test_matches_plain_ned(self, small_road_graph, small_powerlaw_graph):
+        computer = NedComputer(k=3)
+        assert computer.distance(small_road_graph, 0, small_powerlaw_graph, 1) == ned(
+            small_road_graph, 0, small_powerlaw_graph, 1, k=3
+        )
+
+    def test_tree_cache_grows_and_clears(self, small_road_graph):
+        computer = NedComputer(k=2)
+        computer.distance(small_road_graph, 0, small_road_graph, 1)
+        computer.distance(small_road_graph, 0, small_road_graph, 2)
+        assert computer.cache_size() == 3
+        computer.clear_cache()
+        assert computer.cache_size() == 0
+
+    def test_detailed_breakdown(self, small_road_graph, small_powerlaw_graph):
+        computer = NedComputer(k=3)
+        detailed = computer.detailed(small_road_graph, 0, small_powerlaw_graph, 1)
+        assert detailed.distance == computer.distance(
+            small_road_graph, 0, small_powerlaw_graph, 1
+        )
+        assert detailed.k == 3
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            NedComputer(k=0)

@@ -1,0 +1,115 @@
+"""Tests for the neighborhood-overlap and graphlet baselines."""
+
+import pytest
+
+from repro.baselines.graphlets import graphlet_feature_table, graphlet_features
+from repro.baselines.overlap import (
+    dice_similarity,
+    jaccard_similarity,
+    k_hop_overlap_similarity,
+    ochiai_similarity,
+    overlap_similarity,
+    overlap_similarity_table,
+)
+from repro.exceptions import DistanceError
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def shared_neighbors_graph():
+    """Nodes 0 and 1 share neighbors {2, 3}; node 0 also has neighbor 4."""
+    return Graph([(0, 2), (0, 3), (0, 4), (1, 2), (1, 3)])
+
+
+class TestOverlapCoefficients:
+    def test_jaccard_intra_graph(self, shared_neighbors_graph):
+        value = jaccard_similarity(shared_neighbors_graph, 0, shared_neighbors_graph, 1)
+        assert value == pytest.approx(2 / 3)
+
+    def test_dice_intra_graph(self, shared_neighbors_graph):
+        value = dice_similarity(shared_neighbors_graph, 0, shared_neighbors_graph, 1)
+        assert value == pytest.approx(2 * 2 / 5)
+
+    def test_ochiai_intra_graph(self, shared_neighbors_graph):
+        value = ochiai_similarity(shared_neighbors_graph, 0, shared_neighbors_graph, 1)
+        assert value == pytest.approx(2 / (3 * 2) ** 0.5)
+
+    def test_self_similarity_is_one(self, shared_neighbors_graph):
+        assert jaccard_similarity(
+            shared_neighbors_graph, 0, shared_neighbors_graph, 0
+        ) == pytest.approx(1.0)
+
+    def test_isolated_nodes_give_zero(self):
+        g = Graph()
+        g.add_nodes_from([0, 1])
+        assert jaccard_similarity(g, 0, g, 1) == 0.0
+        assert dice_similarity(g, 0, g, 1) == 0.0
+        assert ochiai_similarity(g, 0, g, 1) == 0.0
+
+    def test_inter_graph_nodes_always_zero(self, path_graph):
+        # The paper's motivation: disjoint identifier spaces make every
+        # overlap coefficient 0 even for isomorphic neighborhoods.
+        other = Graph([("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")])
+        assert jaccard_similarity(path_graph, 2, other, "c") == 0.0
+        assert dice_similarity(path_graph, 2, other, "c") == 0.0
+        assert ochiai_similarity(path_graph, 2, other, "c") == 0.0
+        assert k_hop_overlap_similarity(path_graph, 2, other, "c", k=3) == 0.0
+
+    def test_k_hop_overlap_intra_graph(self, path_graph):
+        # 2-hop neighborhoods of nodes 1 and 3 in the path 0-1-2-3-4.
+        value = k_hop_overlap_similarity(path_graph, 1, path_graph, 3, k=2)
+        # N2(1) = {0,2,3}, N2(3) = {2,4,1}: intersection {2} plus each other.
+        assert 0.0 < value < 1.0
+
+    def test_k_hop_invalid_k(self, path_graph):
+        with pytest.raises(ValueError):
+            k_hop_overlap_similarity(path_graph, 0, path_graph, 1, k=0)
+
+    def test_dispatch(self, shared_neighbors_graph):
+        assert overlap_similarity(
+            shared_neighbors_graph, 0, shared_neighbors_graph, 1, kind="dice"
+        ) == dice_similarity(shared_neighbors_graph, 0, shared_neighbors_graph, 1)
+        with pytest.raises(DistanceError):
+            overlap_similarity(shared_neighbors_graph, 0, shared_neighbors_graph, 1, kind="x")
+
+    def test_all_pairs_table(self, shared_neighbors_graph):
+        table = overlap_similarity_table(shared_neighbors_graph)
+        n = shared_neighbors_graph.number_of_nodes()
+        assert len(table) == n * (n - 1)
+        assert table[(0, 1)] == table[(1, 0)]
+
+
+class TestGraphletFeatures:
+    def test_feature_length(self, path_graph):
+        assert len(graphlet_features(path_graph, 2)) == 6
+
+    def test_triangle_counts(self):
+        triangle = Graph([(0, 1), (1, 2), (2, 0)])
+        degree, path2_end, path2_center, triangles, star3, _ = graphlet_features(triangle, 0)
+        assert degree == 2
+        assert triangles == 1
+        assert path2_center == 0
+        assert star3 == 0
+
+    def test_star_center_counts(self, star_graph):
+        features = graphlet_features(star_graph, 0)
+        assert features[0] == 5                 # degree
+        assert features[3] == 0                 # no triangles
+        assert features[2] == 10                # C(5,2) open wedges at the centre
+        assert features[4] == 10                # C(5,3) claws centred here
+
+    def test_path_end_vs_middle_differ(self, path_graph):
+        assert graphlet_features(path_graph, 0) != graphlet_features(path_graph, 2)
+
+    def test_isolated_node_all_zero(self):
+        g = Graph()
+        g.add_node(0)
+        assert graphlet_features(g, 0) == [0.0] * 6
+
+    def test_table_covers_all_nodes(self, small_powerlaw_graph):
+        table = graphlet_feature_table(small_powerlaw_graph)
+        assert set(table) == set(small_powerlaw_graph.nodes())
+
+    def test_comparable_across_graphs(self, path_graph):
+        other = Graph([("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")])
+        assert graphlet_features(path_graph, 2) == graphlet_features(other, "c")

@@ -1,0 +1,37 @@
+"""Tests for CSV export of experiment tables and the CLI --csv-dir option."""
+
+import csv
+
+from repro.experiments import cli
+from repro.experiments.reporting import ExperimentTable
+
+
+def test_to_csv_round_trip(tmp_path):
+    table = ExperimentTable(title="t", columns=["k", "value"])
+    table.add_row(k=1, value=0.5)
+    table.add_row(k=2, value=1.25)
+    path = tmp_path / "table.csv"
+    table.to_csv(path)
+    with path.open() as handle:
+        rows = list(csv.DictReader(handle))
+    assert rows[0]["k"] == "1" and rows[1]["value"] == "1.25"
+
+
+def test_to_csv_missing_cells_are_empty(tmp_path):
+    table = ExperimentTable(title="t", columns=["a", "b"])
+    table.add_row(a=1)
+    path = tmp_path / "table.csv"
+    table.to_csv(path)
+    with path.open() as handle:
+        rows = list(csv.DictReader(handle))
+    assert rows[0]["b"] == ""
+
+
+def test_cli_csv_dir(tmp_path, monkeypatch, capsys):
+    table = ExperimentTable(title="A", columns=["x"])
+    table.add_row(x=3)
+    monkeypatch.setattr(cli, "run_all_experiments", lambda quick=True: {"exp_a": table})
+    assert cli.main(["--csv-dir", str(tmp_path / "out")]) == 0
+    written = tmp_path / "out" / "exp_a.csv"
+    assert written.exists()
+    assert "x" in written.read_text()

@@ -1,0 +1,131 @@
+"""Unit tests for TED*: known values, edge operations, result structure."""
+
+import pytest
+
+from repro.exceptions import DistanceError
+from repro.matching.scipy_backend import scipy_available
+from repro.ted.ted_star import LevelCost, TedStarResult, ted_star, ted_star_detailed
+from repro.trees.tree import Tree
+
+
+class TestKnownValues:
+    def test_identical_trees(self, three_level_tree):
+        assert ted_star(three_level_tree, three_level_tree) == 0.0
+
+    def test_isomorphic_reordered_children(self):
+        a = Tree.from_levels([[2], [1, 2], [0, 0, 0]])
+        b = Tree.from_levels([[2], [2, 1], [0, 0, 0]])
+        assert ted_star(a, b) == 0.0
+
+    def test_single_insertion(self):
+        root_only = Tree.single_node()
+        one_child = Tree([-1, 0])
+        assert ted_star(root_only, one_child, k=2) == 1.0
+
+    def test_insert_three_leaves(self):
+        assert ted_star(Tree.single_node(), Tree([-1, 0, 0, 0]), k=2) == 3.0
+
+    def test_single_move(self):
+        # Root with children having (2, 0) leaves vs (1, 1) leaves: one move.
+        a = Tree.from_levels([[2], [2, 0]])
+        b = Tree.from_levels([[2], [1, 1]])
+        assert ted_star(a, b) == 1.0
+
+    def test_move_plus_insert(self):
+        # (3,0,0) vs (1,1,2): sizes equal at level 2 and 3? build explicit.
+        a = Tree.from_levels([[3], [3, 0, 0]])
+        b = Tree.from_levels([[3], [1, 1, 1]])
+        assert ted_star(a, b) == 2.0  # two leaves moved
+
+    def test_level_size_difference_is_padding_cost(self):
+        a = Tree.from_levels([[2]])          # root + 2 children
+        b = Tree.from_levels([[5]])          # root + 5 children
+        assert ted_star(a, b, k=2) == 3.0
+
+    def test_distance_between_path_and_star(self):
+        path = Tree([-1, 0, 1, 2])   # depth 3 chain
+        star = Tree([-1, 0, 0, 0])   # root with 3 children
+        distance = ted_star(path, star)
+        # Same size but different level profile: 2 deep nodes deleted, 2
+        # leaves inserted at level 2.
+        assert distance == 4.0
+
+    def test_depth_mismatch_costs_reinsertion(self):
+        shallow = Tree.from_levels([[2], [0, 0]])
+        deep = Tree.from_levels([[1], [1], [1]])
+        distance = ted_star(shallow, deep)
+        assert distance >= 3.0
+
+    def test_figure2_style_example(self):
+        # T_alpha: root with children A (2 leaf children + 1 leaf each? ) --
+        # construct two trees differing by a subtree relocation plus leaves,
+        # checking TED* counts insert/delete/move operations (value from a
+        # manual trace of Algorithm 1).
+        t_alpha = Tree.from_levels([[2], [1, 2], [1, 0, 0]])
+        t_beta = Tree.from_levels([[2], [2, 1], [0, 0, 1]])
+        assert ted_star(t_alpha, t_beta) == 0.0  # unordered: same tree
+
+    def test_non_isomorphic_same_profile(self):
+        # Same number of nodes per level but different parent structure.
+        a = Tree.from_levels([[2], [2, 0], [1, 1]])
+        b = Tree.from_levels([[2], [1, 1], [2, 0]])
+        distance = ted_star(a, b)
+        assert distance > 0.0
+
+
+class TestApiAndResult:
+    def test_detailed_result_structure(self, three_level_tree):
+        result = ted_star_detailed(three_level_tree, three_level_tree, k=3)
+        assert isinstance(result, TedStarResult)
+        assert result.k == 3
+        assert len(result.level_costs) == 3
+        assert all(isinstance(cost, LevelCost) for cost in result.level_costs)
+
+    def test_distance_equals_sum_of_level_costs(self):
+        a = Tree.from_levels([[3], [2, 1, 0]])
+        b = Tree.from_levels([[2], [1, 3]])
+        result = ted_star_detailed(a, b)
+        total = sum(c.padding_cost + c.matching_cost for c in result.level_costs)
+        assert result.distance == pytest.approx(total)
+        assert result.total_padding_cost + result.total_matching_cost == pytest.approx(
+            result.distance
+        )
+
+    def test_default_k_covers_both_trees(self):
+        shallow = Tree.single_node()
+        deep = Tree([-1, 0, 1, 2])
+        result = ted_star_detailed(shallow, deep)
+        assert result.k == 4
+
+    def test_explicit_k_truncates(self):
+        deep_a = Tree([-1, 0, 1, 2])
+        deep_b = Tree([-1, 0, 1])
+        assert ted_star(deep_a, deep_b, k=2) == 0.0
+        assert ted_star(deep_a, deep_b, k=4) > 0.0
+
+    def test_k_larger_than_heights_is_safe(self, simple_tree):
+        assert ted_star(simple_tree, simple_tree, k=10) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DistanceError):
+            ted_star("not a tree", Tree.single_node())
+        with pytest.raises(ValueError):
+            ted_star(Tree.single_node(), Tree.single_node(), k=0)
+
+    def test_reweighted_matches_unit_weights(self):
+        a = Tree.from_levels([[3], [2, 1, 0]])
+        b = Tree.from_levels([[2], [1, 3]])
+        result = ted_star_detailed(a, b)
+        assert result.reweighted(lambda i: 1.0, lambda i: 1.0) == pytest.approx(result.distance)
+
+    @pytest.mark.skipif(not scipy_available(), reason="scipy not installed")
+    def test_backends_agree(self):
+        a = Tree.from_levels([[3], [2, 1, 0], [1, 0, 2]])
+        b = Tree.from_levels([[2], [3, 1], [0, 1, 0, 2]])
+        assert ted_star(a, b, backend="hungarian") == ted_star(a, b, backend="scipy")
+
+    def test_values_are_integral(self):
+        a = Tree.from_levels([[3], [1, 2, 2], [0, 1, 0, 1, 0]])
+        b = Tree.from_levels([[2], [2, 3], [1, 1, 0, 0, 0]])
+        distance = ted_star(a, b)
+        assert distance == pytest.approx(round(distance))

@@ -1,0 +1,132 @@
+"""Property-based tests (hypothesis) for TED* metric properties.
+
+These verify, on randomly generated unordered trees, the four metric
+properties the paper proves in Section 7 plus the structural invariants the
+algorithm relies on (integrality, invariance to node relabeling, and the
+relation to tree size).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.trees.canonize import trees_isomorphic
+from repro.trees.tree import Tree
+from repro.ted.ted_star import ted_star
+from repro.utils.rng import ensure_rng
+
+
+@st.composite
+def bounded_trees(draw, max_nodes=10, max_depth=4):
+    """Generate a random tree with bounded size and depth."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = ensure_rng(seed)
+    parents = [-1]
+    depths = [0]
+    for node in range(1, n):
+        eligible = [i for i in range(node) if depths[i] < max_depth]
+        parent = rng.choice(eligible) if eligible else 0
+        parents.append(parent)
+        depths.append(depths[parent] + 1)
+    return Tree(parents)
+
+
+def relabel_tree(tree: Tree, seed: int) -> Tree:
+    """Rebuild ``tree`` with a different node numbering (same structure)."""
+    rng = ensure_rng(seed)
+    nodes = list(tree.nodes())
+    non_root = nodes[1:]
+    rng.shuffle(non_root)
+    order = [0] + non_root
+    # order[i] is the old node placed at... we need new ids respecting that a
+    # parent appears before its children is NOT required by Tree, so a plain
+    # permutation that keeps the root at index 0 is enough.
+    new_id = {old: new for new, old in enumerate(order)}
+    parents = [0] * tree.size()
+    for old in nodes:
+        parent_old = tree.parent(old)
+        parents[new_id[old]] = -1 if parent_old == -1 else new_id[parent_old]
+    return Tree(parents)
+
+
+@settings(max_examples=60, deadline=None)
+@given(bounded_trees())
+def test_self_distance_is_zero(tree):
+    assert ted_star(tree, tree) == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(bounded_trees(), bounded_trees())
+def test_non_negativity(first, second):
+    assert ted_star(first, second) >= 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(bounded_trees(), bounded_trees())
+def test_symmetry(first, second):
+    assert ted_star(first, second) == ted_star(second, first)
+
+
+@settings(max_examples=60, deadline=None)
+@given(bounded_trees(), bounded_trees())
+def test_identity_of_indiscernibles(first, second):
+    distance = ted_star(first, second)
+    assert (distance == 0.0) == trees_isomorphic(first, second)
+
+
+@settings(max_examples=40, deadline=None)
+@given(bounded_trees(max_nodes=8), bounded_trees(max_nodes=8), bounded_trees(max_nodes=8))
+def test_triangle_inequality(first, second, third):
+    d_xz = ted_star(first, third)
+    d_xy = ted_star(first, second)
+    d_yz = ted_star(second, third)
+    assert d_xz <= d_xy + d_yz + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(bounded_trees(), bounded_trees())
+def test_values_are_integers(first, second):
+    distance = ted_star(first, second)
+    assert abs(distance - round(distance)) < 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(bounded_trees(), bounded_trees())
+def test_upper_bounded_by_total_size(first, second):
+    # Deleting every non-root node of one tree and inserting every non-root
+    # node of the other is always a valid edit script under TED* operations.
+    distance = ted_star(first, second)
+    assert distance <= (first.size() - 1) + (second.size() - 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(bounded_trees(), bounded_trees())
+def test_lower_bounded_by_size_difference(first, second):
+    # Only insert/delete-leaf operations change the node count, one at a time.
+    distance = ted_star(first, second)
+    assert distance >= abs(first.size() - second.size())
+
+
+@settings(max_examples=50, deadline=None)
+@given(bounded_trees(), st.integers(min_value=0, max_value=2**31 - 1))
+def test_invariant_to_node_relabeling(tree, seed):
+    relabeled = relabel_tree(tree, seed)
+    assert ted_star(tree, relabeled) == 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(bounded_trees(), bounded_trees(), st.integers(min_value=0, max_value=2**31 - 1))
+def test_distance_invariant_under_relabeling_of_operands(first, second, seed):
+    assert ted_star(first, second) == ted_star(relabel_tree(first, seed), second)
+
+
+@settings(max_examples=40, deadline=None)
+@given(bounded_trees(max_nodes=8), bounded_trees(max_nodes=8))
+def test_monotone_in_k(first, second):
+    # Lemma 5: the distance over the top x levels never exceeds the distance
+    # over the top y >= x levels.
+    max_k = max(first.height(), second.height()) + 1
+    previous = 0.0
+    for k in range(1, max_k + 1):
+        current = ted_star(first, second, k=k)
+        assert current >= previous - 1e-9
+        previous = current

@@ -1,0 +1,132 @@
+"""Tests for the rooted unordered Tree structure."""
+
+import pytest
+
+from repro.exceptions import TreeError
+from repro.trees.tree import Tree
+
+
+class TestConstruction:
+    def test_single_node(self):
+        tree = Tree.single_node()
+        assert tree.size() == 1
+        assert tree.height() == 0
+        assert tree.is_leaf(0)
+
+    def test_parent_array_construction(self, simple_tree):
+        assert simple_tree.size() == 4
+        assert simple_tree.parent(3) == 1
+        assert simple_tree.children(0) == [1, 2]
+
+    def test_empty_parent_array_rejected(self):
+        with pytest.raises(TreeError):
+            Tree([])
+
+    def test_root_must_have_parent_minus_one(self):
+        with pytest.raises(TreeError):
+            Tree([0, 0])
+
+    def test_invalid_parent_index_rejected(self):
+        with pytest.raises(TreeError):
+            Tree([-1, 5])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(TreeError):
+            Tree([-1, 2, 1])
+
+    def test_from_edges(self):
+        tree = Tree.from_edges(4, [(0, 1), (1, 2), (0, 3)])
+        assert tree.size() == 4
+        assert tree.height() == 2
+
+    def test_from_edges_relabels_root(self):
+        tree = Tree.from_edges(3, [(2, 1), (1, 0)], root=2)
+        assert tree.root == 0
+        assert tree.height() == 2
+
+    def test_from_edges_disconnected_rejected(self):
+        with pytest.raises(TreeError):
+            Tree.from_edges(4, [(0, 1), (2, 3)])
+
+    def test_from_levels(self, three_level_tree):
+        assert three_level_tree.size() == 6
+        assert three_level_tree.height() == 2
+
+    def test_from_levels_requires_single_root(self):
+        with pytest.raises(TreeError):
+            Tree.from_levels([[1, 1]])
+
+    def test_from_levels_row_size_mismatch(self):
+        with pytest.raises(TreeError):
+            Tree.from_levels([[2], [1]])
+
+
+class TestAccessors:
+    def test_depths(self, simple_tree):
+        assert simple_tree.depth(0) == 0
+        assert simple_tree.depth(1) == 1
+        assert simple_tree.depth(3) == 2
+
+    def test_levels(self, simple_tree):
+        levels = simple_tree.levels()
+        assert levels[0] == [0]
+        assert sorted(levels[1]) == [1, 2]
+        assert levels[2] == [3]
+
+    def test_level_beyond_height_is_empty(self, simple_tree):
+        assert simple_tree.level(10) == []
+
+    def test_level_negative_rejected(self, simple_tree):
+        with pytest.raises(TreeError):
+            simple_tree.level(-1)
+
+    def test_leaves(self, simple_tree):
+        assert sorted(simple_tree.leaves()) == [2, 3]
+
+    def test_subtree_nodes(self, simple_tree):
+        assert set(simple_tree.subtree_nodes(1)) == {1, 3}
+
+    def test_subtree_extraction(self, three_level_tree):
+        child = three_level_tree.children(0)[1]
+        subtree = three_level_tree.subtree(child)
+        assert subtree.size() == 1 + len(three_level_tree.children(child)) + sum(
+            len(three_level_tree.children(grandchild))
+            for grandchild in three_level_tree.children(child)
+        )
+        assert subtree.root == 0
+
+    def test_truncate(self, three_level_tree):
+        truncated = three_level_tree.truncate(1)
+        assert truncated.height() == 1
+        assert truncated.size() == 3
+
+    def test_truncate_negative_rejected(self, three_level_tree):
+        with pytest.raises(TreeError):
+            three_level_tree.truncate(-1)
+
+    def test_edges(self, simple_tree):
+        assert sorted(simple_tree.edges()) == [(0, 1), (0, 2), (1, 3)]
+
+    def test_degree_sequence(self, simple_tree):
+        assert simple_tree.degree_sequence() == [0, 0, 1, 2]
+
+    def test_parent_array_copy(self, simple_tree):
+        array = simple_tree.parent_array()
+        array[0] = 99
+        assert simple_tree.parent(0) == -1
+
+
+class TestEqualityAndHash:
+    def test_equality_is_structural_on_labels(self):
+        assert Tree([-1, 0, 0]) == Tree([-1, 0, 0])
+        assert Tree([-1, 0, 0]) != Tree([-1, 0, 1])
+
+    def test_hashable(self):
+        trees = {Tree([-1, 0]), Tree([-1, 0])}
+        assert len(trees) == 1
+
+    def test_equality_with_other_type(self):
+        assert Tree([-1]) != "not a tree"
+
+    def test_len(self, simple_tree):
+        assert len(simple_tree) == 4

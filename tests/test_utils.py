@@ -1,0 +1,114 @@
+"""Tests for repro.utils (rng, timer, validation)."""
+
+import random
+import time
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.utils.rng import ensure_rng, sample_distinct, shuffled
+from repro.utils.timer import Timer, time_call
+from repro.utils.validation import (
+    check_non_negative_int,
+    check_positive_int,
+    check_probability,
+    require,
+)
+
+
+class TestEnsureRng:
+    def test_none_gives_random_instance(self):
+        assert isinstance(ensure_rng(None), random.Random)
+
+    def test_int_seed_is_deterministic(self):
+        assert ensure_rng(7).random() == ensure_rng(7).random()
+
+    def test_different_seeds_differ(self):
+        assert ensure_rng(1).random() != ensure_rng(2).random()
+
+    def test_random_instance_passthrough(self):
+        rng = random.Random(3)
+        assert ensure_rng(rng) is rng
+
+    def test_invalid_seed_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not a seed")
+
+
+class TestSampling:
+    def test_sample_distinct_size(self):
+        result = sample_distinct(list(range(100)), 10, 0)
+        assert len(result) == 10
+        assert len(set(result)) == 10
+
+    def test_sample_distinct_oversample_returns_all(self):
+        result = sample_distinct([1, 2, 3], 10, 0)
+        assert sorted(result) == [1, 2, 3]
+
+    def test_sample_distinct_deterministic(self):
+        assert sample_distinct(list(range(50)), 5, 9) == sample_distinct(list(range(50)), 5, 9)
+
+    def test_shuffled_preserves_elements(self):
+        items = list(range(20))
+        result = shuffled(items, 1)
+        assert sorted(result) == items
+
+    def test_shuffled_does_not_mutate_input(self):
+        items = list(range(20))
+        shuffled(items, 1)
+        assert items == list(range(20))
+
+
+class TestTimer:
+    def test_timer_measures_elapsed(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+        assert timer.elapsed_ms >= 9.0
+
+    def test_time_call_returns_result_and_elapsed(self):
+        result, elapsed = time_call(sum, [1, 2, 3])
+        assert result == 6
+        assert elapsed >= 0.0
+
+
+class TestValidation:
+    def test_check_positive_int_accepts(self):
+        assert check_positive_int(3, "x") == 3
+
+    @pytest.mark.parametrize("value", [0, -1])
+    def test_check_positive_int_rejects_non_positive(self, value):
+        with pytest.raises(ValueError):
+            check_positive_int(value, "x")
+
+    @pytest.mark.parametrize("value", [1.5, "3", True])
+    def test_check_positive_int_rejects_non_int(self, value):
+        with pytest.raises(TypeError):
+            check_positive_int(value, "x")
+
+    def test_check_non_negative_int_accepts_zero(self):
+        assert check_non_negative_int(0, "x") == 0
+
+    def test_check_non_negative_int_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative_int(-1, "x")
+
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_check_probability_accepts(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_check_probability_rejects_out_of_range(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value, "p")
+
+    def test_check_probability_rejects_non_numeric(self):
+        with pytest.raises(TypeError):
+            check_probability(None, "p")
+
+    def test_require_raises_on_false(self):
+        with pytest.raises(ReproError, match="nope"):
+            require(False, "nope")
+
+    def test_require_passes_on_true(self):
+        require(True, "fine")

@@ -1,0 +1,92 @@
+"""Tests for the weighted TED* variants (Section 12)."""
+
+import pytest
+
+from repro.exceptions import DistanceError
+from repro.ted.ted_star import ted_star, ted_star_detailed
+from repro.ted.weighted import (
+    level_weighted_ted_star,
+    ted_star_upper_bound_weights,
+    weighted_ted_star,
+)
+from repro.ted.exact_ted import exact_tree_edit_distance
+from repro.trees.random_trees import random_tree
+from repro.trees.tree import Tree
+
+
+@pytest.fixture
+def tree_pair():
+    a = Tree.from_levels([[3], [2, 1, 0], [0, 1, 0]])
+    b = Tree.from_levels([[2], [2, 2], [1, 0, 0, 0]])
+    return a, b
+
+
+class TestWeightedTedStar:
+    def test_unit_weights_match_plain_ted_star(self, tree_pair):
+        a, b = tree_pair
+        assert weighted_ted_star(a, b) == pytest.approx(ted_star(a, b))
+
+    def test_constant_weight_scales_distance(self, tree_pair):
+        a, b = tree_pair
+        assert weighted_ted_star(a, b, 2.0, 2.0) == pytest.approx(2.0 * ted_star(a, b))
+
+    def test_callable_weights(self, tree_pair):
+        a, b = tree_pair
+        value = weighted_ted_star(a, b, insert_delete_weight=lambda i: 1.0,
+                                  move_weight=lambda i: 4.0 * i)
+        assert value >= ted_star(a, b)
+
+    def test_sequence_weights(self, tree_pair):
+        a, b = tree_pair
+        k = max(a.height(), b.height()) + 1
+        weights = [0.0] + [1.0] * k  # index 0 unused
+        assert weighted_ted_star(a, b, weights, weights) == pytest.approx(ted_star(a, b))
+
+    def test_sequence_too_short_rejected(self, tree_pair):
+        a, b = tree_pair
+        with pytest.raises(DistanceError):
+            weighted_ted_star(a, b, [1.0], [1.0])
+
+    def test_non_positive_weights_rejected(self, tree_pair):
+        a, b = tree_pair
+        with pytest.raises(DistanceError):
+            weighted_ted_star(a, b, 0.0, 1.0)
+
+    def test_invalid_weight_spec_rejected(self, tree_pair):
+        a, b = tree_pair
+        with pytest.raises(DistanceError):
+            weighted_ted_star(a, b, insert_delete_weight={"level": 1}, move_weight=1.0)
+
+    def test_identity_preserved_under_weights(self, tree_pair):
+        a, _ = tree_pair
+        assert weighted_ted_star(a, a, 3.0, 5.0) == 0.0
+
+    def test_symmetry_preserved_under_weights(self, tree_pair):
+        a, b = tree_pair
+        forward = weighted_ted_star(a, b, 2.0, lambda i: i)
+        backward = weighted_ted_star(b, a, 2.0, lambda i: i)
+        assert forward == pytest.approx(backward)
+
+    def test_level_weighted_from_detailed_result(self, tree_pair):
+        a, b = tree_pair
+        detailed = ted_star_detailed(a, b)
+        assert level_weighted_ted_star(detailed, 1.0, 1.0) == pytest.approx(detailed.distance)
+
+
+class TestUpperBoundVariant:
+    def test_w_plus_dominates_plain_ted_star(self, tree_pair):
+        a, b = tree_pair
+        assert ted_star_upper_bound_weights(a, b) >= ted_star(a, b)
+
+    def test_w_plus_upper_bounds_exact_ted_on_random_trees(self):
+        for seed in range(25):
+            a = random_tree(2 + seed % 7, seed=seed)
+            b = random_tree(2 + (seed * 3) % 7, seed=seed + 100)
+            w_plus = ted_star_upper_bound_weights(a, b)
+            exact = exact_tree_edit_distance(a, b)
+            assert w_plus + 1e-9 >= exact
+
+    def test_w_plus_zero_iff_isomorphic(self, tree_pair):
+        a, b = tree_pair
+        assert ted_star_upper_bound_weights(a, a) == 0.0
+        assert ted_star_upper_bound_weights(a, b) > 0.0
