@@ -1,0 +1,115 @@
+"""Engine distance matrices — serial vs process vs bound-pruned builds.
+
+Times :func:`repro.engine.pairwise_distance_matrix` over the same tree store
+in three configurations (serial exact, process-parallel exact, bound-pruned
+serial), verifies all three produce identical matrices, and reports the
+exact-TED*-evaluation counts the bound-pruned build saved.
+
+Runs two ways:
+
+* under pytest-benchmark with the rest of the suite::
+
+      PYTHONPATH=src python -m pytest benchmarks/bench_engine_matrix.py --benchmark-only
+
+* standalone, as the CI smoke check::
+
+      PYTHONPATH=src python benchmarks/bench_engine_matrix.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Tuple
+
+from repro.engine.matrix import pairwise_distance_matrix
+from repro.engine.tree_store import TreeStore
+from repro.experiments.reporting import ExperimentTable
+from repro.graph.generators import barabasi_albert_graph
+from repro.utils.timer import Timer
+
+CONFIGURATIONS: Tuple[Tuple[str, Dict[str, str]], ...] = (
+    ("serial", dict(mode="exact", executor="serial")),
+    ("process", dict(mode="exact", executor="process")),
+    ("bound-prune", dict(mode="bound-prune", executor="serial")),
+)
+
+
+def build_matrices(nodes: int = 120, k: int = 3, seed: int = 5) -> ExperimentTable:
+    """Build the all-pairs matrix under every configuration and tabulate."""
+    graph = barabasi_albert_graph(nodes, 2, seed=seed)
+    with Timer() as extraction_timer:
+        store = TreeStore.from_graph(graph, k)
+    table = ExperimentTable(
+        title=f"Engine matrix build: {nodes} nodes, k={k} "
+              f"({len(store) * (len(store) - 1) // 2} pairs)",
+        columns=["configuration", "executor_used", "build_time", "exact_evaluations",
+                 "pairs_resolved_cheaply"],
+        notes=[f"tree extraction: {extraction_timer.elapsed:.3f}s (shared by all builds)"],
+    )
+    reference = None
+    for name, options in CONFIGURATIONS:
+        with Timer() as timer:
+            result = pairwise_distance_matrix(store, **options)
+        if reference is None:
+            reference = result
+        elif result.values != reference.values:
+            raise AssertionError(f"{name} build disagrees with the serial exact matrix")
+        table.add_row(
+            configuration=name,
+            executor_used=result.executor_used,
+            build_time=timer.elapsed,
+            exact_evaluations=result.stats.exact_evaluations,
+            pairs_resolved_cheaply=result.stats.exact_evaluations_avoided,
+        )
+
+    # Range-style workloads only need entries below a radius: with a
+    # threshold, the lower bound can discard pairs outright (entries become
+    # inf), which is where matrix-level pruning really pays.
+    finite = sorted(
+        value for i, row in enumerate(reference.values) for value in row[i + 1:]
+    )
+    threshold = finite[len(finite) // 4] if finite else 0.0
+    with Timer() as timer:
+        thresholded = pairwise_distance_matrix(store, mode="bound-prune", threshold=threshold)
+    for i, row in enumerate(thresholded.values):
+        for j, value in enumerate(row):
+            if value != float("inf") and value != reference.values[i][j]:
+                raise AssertionError("thresholded build changed a kept entry")
+    table.add_row(
+        configuration=f"bound-prune<= {threshold:g}",
+        executor_used=thresholded.executor_used,
+        build_time=timer.elapsed,
+        exact_evaluations=thresholded.stats.exact_evaluations,
+        pairs_resolved_cheaply=thresholded.stats.exact_evaluations_avoided,
+    )
+    return table
+
+
+def test_engine_matrix_builds(benchmark):
+    """All three build configurations agree; bound-prune skips exact work."""
+    from _bench_utils import emit_table
+
+    table = benchmark.pedantic(build_matrices, rounds=1, iterations=1)
+    emit_table(table)
+    by_name = {row["configuration"]: row for row in table.rows}
+    assert by_name["bound-prune"]["exact_evaluations"] <= by_name["serial"]["exact_evaluations"]
+    assert by_name["bound-prune"]["pairs_resolved_cheaply"] > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload for CI (seconds, not minutes)")
+    parser.add_argument("--nodes", type=int, default=None,
+                        help="graph size (default: 40 with --smoke, 120 otherwise)")
+    parser.add_argument("--k", type=int, default=3, help="tree levels (default 3)")
+    args = parser.parse_args(argv)
+    nodes = args.nodes if args.nodes is not None else (40 if args.smoke else 120)
+    table = build_matrices(nodes=nodes, k=args.k)
+    print(table)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,10 @@ Run with::
 from __future__ import annotations
 
 from repro.anonymize.anonymizers import perturbation_anonymization
-from repro.anonymize.deanonymize import deanonymize_node
+from repro.anonymize.deanonymize import (
+    deanonymization_precision_with_engine,
+    deanonymize_node,
+)
 from repro.baselines.feature_distance import euclidean_distance
 from repro.baselines.refex import refex_feature_matrix
 from repro.core.ned import NedComputer
@@ -66,6 +69,21 @@ def main() -> None:
         print(f"  {method:<8}: {count}/{len(targets)}  = {count / len(targets):.2f}")
     print("\nNED captures the full k-level neighborhood topology, so it degrades more "
           "slowly than ego-net feature statistics as the anonymiser perturbs edges.")
+
+    # --- The same NED attack through the batch engine -----------------------
+    # Training trees are extracted once into a TreeStore and each anonymised
+    # node is matched with bound-based pruning: identical candidate lists,
+    # a fraction of the exact TED* evaluations.
+    report, stats = deanonymization_precision_with_engine(
+        training_graph, anonymized, k=K, top_l=TOP_L,
+        mode="bound-prune", candidate_nodes=candidates,
+        sample_size=4 * QUERIES, seed=23,
+    )
+    print(f"\nengine-backed sweep over {report.evaluated} anonymised nodes "
+          f"(bound-prune): precision {report.precision:.2f}")
+    print(f"  exact TED* evaluations: {stats.exact_evaluations} of "
+          f"{stats.pairs_considered} candidate pairs "
+          f"({stats.pruning_ratio:.0%} resolved by signatures/bounds instead)")
 
 
 if __name__ == "__main__":

@@ -2,8 +2,8 @@
 """Quickstart: compare nodes across two graphs with NED.
 
 This example builds two small synthetic graphs, extracts k-adjacent trees,
-computes TED* and NED, and shows the per-level cost breakdown — the minimal
-end-to-end tour of the public API.
+computes TED* and NED, shows the per-level cost breakdown, and finishes with
+the batch engine — the minimal end-to-end tour of the public API.
 
 Run with::
 
@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from repro import (
     NedComputer,
+    NedSearchEngine,
+    TreeStore,
     grid_road_graph,
     k_adjacent_tree,
     ned,
@@ -61,6 +63,21 @@ def main() -> None:
         computer = NedComputer(k=level_count)
         value = computer.distance(graph_a, node_a, graph_b, node_b)
         print(f"  k={level_count}: {value}")
+
+    # 5. Many queries against one graph?  Use the batch engine: precompute
+    #    every candidate tree once (TreeStore — persistable with save/load),
+    #    then answer kNN queries with bound-based pruning that skips most
+    #    exact TED* evaluations while returning exact results.
+    store = TreeStore.from_graph(graph_b, k)
+    engine = NedSearchEngine(store, mode="bound-prune")
+    neighbors = engine.knn(engine.probe(graph_a, node_a), 3)
+    stats = engine.last_query_stats.counters
+    print(f"\nengine: 3 nearest neighbors of node {node_a} among all "
+          f"{len(store)} nodes of graph B: "
+          f"{[(node, round(d, 1)) for node, d in neighbors]}")
+    print(f"  exact TED* evaluations: {stats.exact_evaluations} of "
+          f"{stats.pairs_considered} candidates "
+          f"({stats.pruning_ratio:.0%} pruned via O(k) bounds)")
 
 
 if __name__ == "__main__":

@@ -1,9 +1,13 @@
 #!/usr/bin/env python
-"""Metric indexing for NED similarity retrieval (paper §13.4, Figure 9b).
+"""Metric indexing and bound-pruned search for NED retrieval (paper §13.4, Figure 9b).
 
 Because NED is a metric, candidate nodes can be indexed once in a VP-tree and
 nearest-neighbor queries answered with far fewer distance evaluations than a
-full scan — the property that makes NED practical for similarity retrieval.
+full scan.  The batch engine goes further: it precomputes every candidate's
+k-adjacent tree plus O(k) summaries in a ``TreeStore`` (persistable with
+``save()``/``load()``), and answers the same queries by pruning candidates
+with cheap TED* bounds — identical results, still fewer exact evaluations,
+and no index build at all.
 
 Run with::
 
@@ -12,12 +16,12 @@ Run with::
 
 from __future__ import annotations
 
+import tempfile
 import time
+from pathlib import Path
 
 from repro.datasets.registry import load_dataset_pair
-from repro.index.linear_scan import LinearScanIndex
-from repro.index.vptree import VPTree
-from repro.ted.ted_star import ted_star
+from repro.engine import NedSearchEngine, TreeStore
 from repro.trees.adjacent import k_adjacent_tree
 
 K = 3
@@ -27,40 +31,55 @@ QUERIES = 5
 
 
 def main() -> None:
-    print("== NED similarity retrieval with a VP-tree ==")
+    print("== NED similarity retrieval: VP-tree vs bound-pruned engine ==")
     graph_q, graph_c = load_dataset_pair("PGP", "PGP", scale=0.4, seed=3)
     candidate_nodes = graph_c.nodes()[:CANDIDATES]
-    print(f"indexing {len(candidate_nodes)} candidate nodes from the second graph (k={K})")
+    print(f"precomputing {len(candidate_nodes)} candidate trees from the second graph (k={K})")
 
-    candidate_trees = [k_adjacent_tree(graph_c, node, K) for node in candidate_nodes]
-    metric = lambda a, b: ted_star(a, b, k=K)  # noqa: E731
-
+    # One extraction pass; the store persists, so later processes skip it.
     start = time.perf_counter()
-    vptree = VPTree(candidate_trees, metric, leaf_size=8, seed=0)
-    build_seconds = time.perf_counter() - start
-    scan = LinearScanIndex(candidate_trees, metric)
-    print(f"VP-tree built in {build_seconds:.2f}s "
-          f"({vptree.build_distance_calls} distance evaluations, height {vptree.height()})")
+    store = TreeStore.from_graph(graph_c, K, nodes=candidate_nodes)
+    extraction_seconds = time.perf_counter() - start
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = Path(tmp) / "pgp_candidates.treestore"
+        store.save(store_path)
+        store = TreeStore.load(store_path)
+    print(f"TreeStore built in {extraction_seconds:.2f}s, "
+          f"round-tripped through {store_path.name}")
 
-    total_vp_calls = 0
-    total_scan_calls = 0
+    # Three engines over the SAME store: exact scan (the reference), the
+    # VP-tree (the paper's index), and summary-bound pruning (no index).
+    scan_engine = NedSearchEngine(store, mode="exact", index="linear")
+    vptree_engine = NedSearchEngine(store, mode="exact", index="vptree", leaf_size=8)
+    pruned_engine = NedSearchEngine(store, mode="bound-prune")
+
+    totals = {"scan": 0, "vptree": 0, "bound-prune": 0}
     for query_node in graph_q.nodes()[:QUERIES]:
         query_tree = k_adjacent_tree(graph_q, query_node, K)
-        vp_result = vptree.knn(query_tree, NEIGHBORS)
-        scan_result = scan.knn(query_tree, NEIGHBORS)
-        total_vp_calls += vptree.last_query_distance_calls
-        total_scan_calls += scan.last_query_distance_calls
-        assert [d for _, d in vp_result] == [d for _, d in scan_result], "index must be exact"
+        scan_result = scan_engine.knn(query_tree, NEIGHBORS)
+        vptree_result = vptree_engine.knn(query_tree, NEIGHBORS)
+        pruned_result = pruned_engine.knn(query_tree, NEIGHBORS)
+        assert [d for _, d in vptree_result] == [d for _, d in scan_result], "index must be exact"
+        assert pruned_result == scan_result, "bound pruning must be exact"
+        totals["scan"] += scan_engine.last_query_distance_calls
+        totals["vptree"] += vptree_engine.last_query_distance_calls
+        totals["bound-prune"] += pruned_engine.last_query_distance_calls
         print(f"  query node {query_node}: nearest distances "
-              f"{[round(d, 1) for _, d in vp_result]} "
-              f"({vptree.last_query_distance_calls} vs {scan.last_query_distance_calls} "
-              f"distance evaluations)")
+              f"{[round(d, 1) for _, d in scan_result]} — exact TED* evaluations: "
+              f"scan {scan_engine.last_query_distance_calls}, "
+              f"vptree {vptree_engine.last_query_distance_calls}, "
+              f"bound-prune {pruned_engine.last_query_distance_calls}")
 
-    saved = 1.0 - total_vp_calls / total_scan_calls
-    print(f"\nacross {QUERIES} queries the VP-tree evaluated {total_vp_calls} distances "
-          f"vs {total_scan_calls} for the scan ({saved:.0%} saved), with identical results.")
-    print("Feature-based similarities are not metrics, so they cannot use such an index "
-          "and always pay the full scan.")
+    print(f"\nacross {QUERIES} queries (exact TED* evaluations):")
+    for name, count in totals.items():
+        saved = 1.0 - count / totals["scan"] if totals["scan"] else 0.0
+        print(f"  {name:<12}: {count:>5}  ({saved:.0%} saved vs scan)")
+    stats = pruned_engine.stats
+    print(f"\nengine counters: {stats.bound_evaluations} O(k) bound evaluations resolved "
+          f"{stats.pruned_by_lower_bound} candidates by lower bound alone "
+          f"(pruning ratio {stats.pruning_ratio:.0%}).")
+    print("Feature-based similarities are not metrics and have no such bounds, "
+          "so they always pay the full scan.")
 
 
 if __name__ == "__main__":

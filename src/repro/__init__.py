@@ -2,12 +2,30 @@
 
 The package implements the paper's primary contribution (the NED node metric
 and the TED* modified tree edit distance it is built on) together with every
-substrate and baseline its evaluation depends on: a graph substrate with
-synthetic dataset generators, k-adjacent tree extraction, a from-scratch
-Hungarian matcher, exact TED/GED reference solvers, HITS-based and
-feature-based (ReFeX/NetSimile/OddBall) similarities, a VP-tree metric index,
-the graph de-anonymization case study and the Hausdorff graph distance of the
-appendix.
+substrate and baseline its evaluation depends on, plus a batch similarity
+engine for the paper's many-query workloads.  Map of the subpackages:
+
+* :mod:`repro.graph` — adjacency-set graph substrate and synthetic dataset
+  generators (Table 2 stand-ins).
+* :mod:`repro.trees` — rooted unordered trees, k-adjacent tree extraction,
+  AHU canonization.
+* :mod:`repro.matching` — from-scratch Hungarian matcher (+ SciPy backend).
+* :mod:`repro.ted` — TED* (Algorithm 1), weighted variants, exact TED/GED
+  reference solvers, and the TED*/TED/GED inequalities plus O(k) level-size
+  lower/upper bounds on TED* itself.
+* :mod:`repro.core` — NED, directed and weighted NED, the cached
+  :class:`NedComputer`.
+* :mod:`repro.index` — metric indexes (VP-tree, BK-tree, linear scan).
+* :mod:`repro.engine` — the batch NED engine: :class:`TreeStore` bulk tree
+  extraction with persistence, chunked serial/process distance matrices,
+  and :class:`NedSearchEngine` (kNN / range / top-l with bound-based
+  pruning and per-query statistics).
+* :mod:`repro.baselines` — HITS-based and feature-based
+  (ReFeX/NetSimile/OddBall) similarities, graphlets, SimRank.
+* :mod:`repro.anonymize` — anonymization schemes and the de-anonymization
+  case study (callable-based and engine-backed sweeps).
+* :mod:`repro.graphsim` — the appendix's Hausdorff graph distance.
+* :mod:`repro.experiments` — per-figure drivers behind the benchmarks.
 
 Quickstart
 ----------
@@ -17,9 +35,19 @@ Quickstart
 >>> distance = ned(g1, 0, g2, 0, k=3)
 >>> distance >= 0.0
 True
+
+Many queries against the same graph go through the engine instead:
+
+>>> from repro import NedSearchEngine
+>>> engine = NedSearchEngine.from_graph(g2, k=3, mode="bound-prune")
+>>> [node for node, _ in engine.knn(engine.probe(g1, 0), 3)] != []
+True
 """
 
 from repro.core.ned import NedComputer, directed_ned, ned, ned_from_trees, weighted_ned
+from repro.engine.matrix import cross_distance_matrix, pairwise_distance_matrix
+from repro.engine.search import NedSearchEngine
+from repro.engine.tree_store import TreeStore
 from repro.graph.graph import DiGraph, Graph
 from repro.graph.generators import (
     barabasi_albert_graph,
@@ -50,6 +78,11 @@ __all__ = [
     "weighted_ned",
     "ned_from_trees",
     "NedComputer",
+    # Batch engine
+    "TreeStore",
+    "NedSearchEngine",
+    "pairwise_distance_matrix",
+    "cross_distance_matrix",
     # Tree edit distances
     "ted_star",
     "ted_star_detailed",

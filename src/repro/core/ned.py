@@ -19,7 +19,8 @@ neighbor queries, de-anonymization, indexing).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional, Tuple
+import weakref
+from typing import Dict, Hashable, Tuple
 
 from repro.graph.graph import DiGraph, Graph
 from repro.ted.ted_star import TedStarResult, ted_star, ted_star_detailed
@@ -131,14 +132,23 @@ class NedComputer:
         check_positive_int(k, "k")
         self.k = k
         self.backend = backend
-        self._tree_cache: Dict[Tuple[int, Node, int], Tree] = {}
+        # Keyed by the graph object itself (weakly, so a discarded graph drops
+        # its cached trees).  Keying by ``id(graph)`` would be unsafe: ids are
+        # reused after garbage collection, which could silently serve trees of
+        # a dead graph to a new one that happens to occupy the same address.
+        self._tree_cache: "weakref.WeakKeyDictionary[Graph, Dict[Tuple[Node, int], Tree]]" = (
+            weakref.WeakKeyDictionary()
+        )
 
     def tree(self, graph: Graph, node: Node) -> Tree:
         """Return (and cache) the k-adjacent tree of ``node`` in ``graph``."""
-        key = (id(graph), node, self.k)
-        if key not in self._tree_cache:
-            self._tree_cache[key] = k_adjacent_tree(graph, node, self.k)
-        return self._tree_cache[key]
+        per_graph = self._tree_cache.get(graph)
+        if per_graph is None:
+            per_graph = self._tree_cache.setdefault(graph, {})
+        key = (node, self.k)
+        if key not in per_graph:
+            per_graph[key] = k_adjacent_tree(graph, node, self.k)
+        return per_graph[key]
 
     def distance(self, graph_u: Graph, u: Node, graph_v: Graph, v: Node) -> float:
         """Return NED between ``u`` and ``v`` using cached trees."""
@@ -152,7 +162,7 @@ class NedComputer:
 
     def cache_size(self) -> int:
         """Return the number of cached k-adjacent trees."""
-        return len(self._tree_cache)
+        return sum(len(per_graph) for per_graph in self._tree_cache.values())
 
     def clear_cache(self) -> None:
         """Drop all cached trees (e.g. after mutating a graph)."""

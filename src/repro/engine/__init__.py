@@ -1,0 +1,55 @@
+"""Batch NED similarity engine: precompute once, query many.
+
+The pair-at-a-time API in :mod:`repro.core` re-extracts trees and re-runs
+TED* for every call; the engine splits the work the way a data system would:
+
+* :mod:`repro.engine.tree_store` — :class:`TreeStore` bulk-extracts,
+  canonizes and summarises the k-adjacent trees of all nodes of a graph in
+  one pass, with ``save()``/``load()`` persistence so the extraction outlives
+  the process.
+* :mod:`repro.engine.matrix` — chunked pairwise/cross distance matrices with
+  pluggable executors (``serial``, ``process``) and a ``bound-prune`` mode
+  that resolves pairs from O(k) summaries whenever possible.
+* :mod:`repro.engine.search` — :class:`NedSearchEngine`, the query façade:
+  ``knn`` / ``range_search`` / ``top_l_candidates`` over any
+  :mod:`repro.index` backend or via bound-based pruning, with per-query
+  distance-call and pruning statistics.
+* :mod:`repro.engine.stats` — the shared telemetry counters.
+
+Quickstart
+----------
+>>> from repro.engine import NedSearchEngine
+>>> from repro.graph.generators import grid_road_graph
+>>> graph = grid_road_graph(6, 6, seed=1)
+>>> engine = NedSearchEngine.from_graph(graph, k=3, mode="bound-prune")
+>>> neighbors = engine.knn(engine.probe(graph, 0), 3)
+>>> neighbors[0][0], engine.last_query_stats.counters.exact_evaluations >= 0
+(0, True)
+"""
+
+from repro.engine.matrix import (
+    EXECUTORS,
+    MODES,
+    MatrixResult,
+    cross_distance_matrix,
+    pairwise_distance_matrix,
+)
+from repro.engine.search import INDEX_BACKENDS, SEARCH_MODES, NedSearchEngine
+from repro.engine.stats import EngineStats, QueryStats
+from repro.engine.tree_store import StoredTree, TreeStore, summarize_tree
+
+__all__ = [
+    "TreeStore",
+    "StoredTree",
+    "summarize_tree",
+    "NedSearchEngine",
+    "pairwise_distance_matrix",
+    "cross_distance_matrix",
+    "MatrixResult",
+    "EngineStats",
+    "QueryStats",
+    "MODES",
+    "EXECUTORS",
+    "SEARCH_MODES",
+    "INDEX_BACKENDS",
+]

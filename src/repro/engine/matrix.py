@@ -1,0 +1,246 @@
+"""Chunked NED distance-matrix computation over tree stores.
+
+Builds full pairwise (one store) or cross (two stores) distance matrices —
+the workhorse behind kNN-for-every-node sweeps and de-anonymization runs —
+with two orthogonal knobs:
+
+* ``executor`` — how exact TED* evaluations run.  ``"serial"`` computes in
+  process; ``"process"`` ships chunks of parent arrays to a
+  :class:`concurrent.futures.ProcessPoolExecutor` (each worker rebuilds the
+  trees and runs TED*, so only plain lists cross the process boundary).  A
+  callable ``executor(chunks) -> iterable of result lists`` plugs in custom
+  strategies.  When a process pool cannot be created (restricted sandboxes),
+  the build degrades to serial and records that in ``executor_used``.
+* ``mode`` — ``"exact"`` evaluates every pair; ``"bound-prune"`` first tries
+  the O(k) resolutions: equal canonical signatures force distance 0,
+  coinciding level-size lower/upper bounds force the distance outright, and
+  (when a ``threshold`` is given) a lower bound above the threshold marks the
+  pair ``inf`` without ever computing it — the data-skipping move: answer
+  from the summary, touch the expensive evaluation only when forced.
+
+Both modes return identical values for every finite entry; ``bound-prune``
+just pays for fewer exact TED* computations (reported in ``stats``).
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, List, Optional, Tuple
+
+from repro.exceptions import DistanceError
+from repro.engine.stats import EngineStats
+from repro.engine.tree_store import TreeStore
+from repro.ted.bounds import ted_star_level_size_bounds
+from repro.ted.ted_star import ted_star
+from repro.trees.tree import Tree
+
+Node = Hashable
+
+MODES = ("exact", "bound-prune")
+EXECUTORS = ("serial", "process")
+
+# One chunk of exact work: (k, backend, [(parent_array_a, parent_array_b), ...]).
+Chunk = Tuple[int, str, List[Tuple[List[int], List[int]]]]
+ExecutorFn = Callable[[List[Chunk]], Iterable[List[float]]]
+
+
+@dataclass
+class MatrixResult:
+    """A computed distance matrix plus how it was computed.
+
+    ``values[i][j]`` is the NED distance between ``row_nodes[i]`` and
+    ``col_nodes[j]`` (``inf`` for pairs pruned by a ``threshold``).
+    """
+
+    row_nodes: List[Node]
+    col_nodes: List[Node]
+    values: List[List[float]]
+    mode: str
+    executor: str
+    executor_used: str
+    stats: EngineStats = field(default_factory=EngineStats)
+
+    def value(self, row_node: Node, col_node: Node) -> float:
+        """Return the entry for a (row node, column node) pair."""
+        return self.values[self.row_nodes.index(row_node)][self.col_nodes.index(col_node)]
+
+
+def _compute_chunk(chunk: Chunk) -> List[float]:
+    """Evaluate one chunk of exact TED* pairs (runs in worker processes)."""
+    k, backend, pairs = chunk
+    return [
+        ted_star(Tree(parents_a), Tree(parents_b), k=k, backend=backend)
+        for parents_a, parents_b in pairs
+    ]
+
+
+def _run_serial(chunks: List[Chunk]) -> Iterable[List[float]]:
+    return (_compute_chunk(chunk) for chunk in chunks)
+
+
+def _make_process_executor(max_workers: Optional[int]) -> ExecutorFn:
+    def run(chunks: List[Chunk]) -> Iterable[List[float]]:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            yield from pool.map(_compute_chunk, chunks)
+
+    return run
+
+
+def pairwise_distance_matrix(
+    store: TreeStore,
+    mode: str = "exact",
+    executor: "str | ExecutorFn" = "serial",
+    backend: str = "hungarian",
+    chunk_size: int = 64,
+    max_workers: Optional[int] = None,
+    threshold: Optional[float] = None,
+) -> MatrixResult:
+    """Return the symmetric all-pairs NED matrix of one store.
+
+    Only the upper triangle is evaluated (NED is symmetric); the diagonal is
+    0 by the identity property, both for free.
+    """
+    return _build_matrix(
+        store, store, symmetric=True, mode=mode, executor=executor, backend=backend,
+        chunk_size=chunk_size, max_workers=max_workers, threshold=threshold,
+    )
+
+
+def cross_distance_matrix(
+    row_store: TreeStore,
+    col_store: TreeStore,
+    mode: str = "exact",
+    executor: "str | ExecutorFn" = "serial",
+    backend: str = "hungarian",
+    chunk_size: int = 64,
+    max_workers: Optional[int] = None,
+    threshold: Optional[float] = None,
+) -> MatrixResult:
+    """Return the rows × columns NED matrix between two stores.
+
+    This is the de-anonymization shape: rows are anonymised nodes, columns
+    are training candidates, and the per-row order of the finite entries is
+    the candidate ranking.
+    """
+    if row_store.k != col_store.k:
+        raise DistanceError(
+            f"stores disagree on k ({row_store.k} vs {col_store.k}); "
+            "NED values would not be comparable"
+        )
+    return _build_matrix(
+        row_store, col_store, symmetric=False, mode=mode, executor=executor,
+        backend=backend, chunk_size=chunk_size, max_workers=max_workers,
+        threshold=threshold,
+    )
+
+
+def _build_matrix(
+    row_store: TreeStore,
+    col_store: TreeStore,
+    symmetric: bool,
+    mode: str,
+    executor: "str | ExecutorFn",
+    backend: str,
+    chunk_size: int,
+    max_workers: Optional[int],
+    threshold: Optional[float],
+) -> MatrixResult:
+    if mode not in MODES:
+        raise DistanceError(f"unknown matrix mode {mode!r}; expected one of {MODES}")
+    if chunk_size < 1:
+        raise DistanceError(f"chunk_size must be >= 1, got {chunk_size}")
+    if threshold is not None and threshold < 0:
+        raise DistanceError(f"threshold must be non-negative, got {threshold}")
+    executor_name, run_chunks = _resolve_executor(executor, max_workers)
+
+    rows = row_store.entries()
+    cols = col_store.entries()
+    k = row_store.k
+    stats = EngineStats()
+    values: List[List[float]] = [[0.0] * len(cols) for _ in rows]
+
+    # Resolve every pair from the summaries when possible; queue the rest.
+    pending: List[Tuple[int, int]] = []
+    for i, row in enumerate(rows):
+        start = i + 1 if symmetric else 0
+        for j in range(start, len(cols)):
+            col = cols[j]
+            stats.pairs_considered += 1
+            if mode == "bound-prune":
+                if row.signature == col.signature:
+                    stats.signature_hits += 1
+                    values[i][j] = 0.0
+                    continue
+                stats.bound_evaluations += 1
+                lower, upper = ted_star_level_size_bounds(row.level_sizes, col.level_sizes)
+                if threshold is not None and lower > threshold:
+                    stats.pruned_by_lower_bound += 1
+                    values[i][j] = math.inf
+                    continue
+                if lower == upper:
+                    stats.decided_by_bounds += 1
+                    values[i][j] = float(lower)
+                    continue
+            pending.append((i, j))
+
+    # Evaluate the queued pairs in chunks through the executor.
+    chunks: List[Chunk] = []
+    for offset in range(0, len(pending), chunk_size):
+        block = pending[offset:offset + chunk_size]
+        chunks.append((
+            k,
+            backend,
+            [
+                (rows[i].tree.parent_array(), cols[j].tree.parent_array())
+                for i, j in block
+            ],
+        ))
+    executor_used = executor_name
+    if chunks:
+        try:
+            results = [list(block) for block in run_chunks(chunks)]
+        except (OSError, PermissionError, NotImplementedError, BrokenExecutor) as error:
+            if executor_name == "serial":
+                raise
+            # Process pools need fork/spawn primitives some sandboxes deny —
+            # denied at pool creation (OSError/PermissionError) or after, when
+            # workers die and the pool reports itself broken (BrokenExecutor).
+            # The matrix is still computable, just not in parallel.
+            executor_used = f"serial (fallback: {type(error).__name__})"
+            results = [list(block) for block in _run_serial(chunks)]
+        position = 0
+        for block in results:
+            for value in block:
+                i, j = pending[position]
+                values[i][j] = value
+                position += 1
+        stats.exact_evaluations += len(pending)
+
+    if symmetric:
+        for i in range(len(rows)):
+            for j in range(i + 1, len(cols)):
+                values[j][i] = values[i][j]
+
+    return MatrixResult(
+        row_nodes=[entry.node for entry in rows],
+        col_nodes=[entry.node for entry in cols],
+        values=values,
+        mode=mode,
+        executor=executor_name,
+        executor_used=executor_used,
+        stats=stats,
+    )
+
+
+def _resolve_executor(
+    executor: "str | ExecutorFn", max_workers: Optional[int]
+) -> Tuple[str, ExecutorFn]:
+    if callable(executor):
+        return getattr(executor, "__name__", "custom"), executor
+    if executor == "serial":
+        return "serial", _run_serial
+    if executor == "process":
+        return "process", _make_process_executor(max_workers)
+    raise DistanceError(f"unknown executor {executor!r}; expected one of {EXECUTORS}")

@@ -1,0 +1,323 @@
+"""Batch NED similarity search over a precomputed :class:`TreeStore`.
+
+:class:`NedSearchEngine` is the query-side façade of the engine: build it
+once over a store of candidate trees, then answer many ``knn``,
+``range_search`` and ``top_l_candidates`` queries against it.  Two modes:
+
+* ``mode="exact"`` routes queries through one of the :mod:`repro.index`
+  metric backends (``"linear"`` scan, ``"vptree"``, ``"bktree"``), exactly as
+  the paper's Figure 9b does — the triangle inequality does the pruning.
+* ``mode="bound-prune"`` replaces the metric index with summary-based
+  skipping: canonical-signature hits resolve to distance 0, the O(k)
+  level-size bounds force coinciding lower/upper values, a static threshold
+  (the count-th smallest upper bound) discards candidates before any exact
+  work, and a dynamic threshold tightens as results come in.  Results are
+  *identical* to the exact linear scan — only the number of exact TED*
+  evaluations changes, which is the cost that matters when each evaluation
+  is O(k·n³).
+
+Every query records a :class:`~repro.engine.stats.QueryStats` snapshot in
+``last_query_stats`` and accumulates into the engine-wide ``stats`` total.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Hashable, List, Optional, Tuple, Union
+
+from repro.exceptions import IndexingError
+from repro.engine.stats import EngineStats, QueryStats
+from repro.engine.tree_store import StoredTree, TreeStore, summarize_tree
+from repro.graph.graph import Graph
+from repro.index.bktree import BKTree
+from repro.index.linear_scan import LinearScanIndex
+from repro.index.knn import MetricIndexBase
+from repro.index.vptree import VPTree
+from repro.ted.bounds import ted_star_level_size_bounds
+from repro.ted.ted_star import ted_star
+from repro.trees.tree import Tree
+
+Node = Hashable
+Query = Union[StoredTree, Tree]
+
+SEARCH_MODES = ("exact", "bound-prune")
+INDEX_BACKENDS = ("linear", "vptree", "bktree")
+
+
+class NedSearchEngine:
+    """Many-query NED similarity search over precomputed k-adjacent trees.
+
+    Parameters
+    ----------
+    store:
+        Candidate trees (typically every node of the searched graph).
+    mode:
+        ``"exact"`` or ``"bound-prune"`` (see module docstring).
+    index:
+        Metric-index backend used by exact-mode queries; ignored by
+        bound-prune queries, which scan with summary-based pruning instead.
+    backend:
+        Bipartite matching backend forwarded to TED*.
+    leaf_size, index_seed:
+        VP-tree construction parameters (ignored by other backends).
+
+    Example
+    -------
+    >>> from repro.graph.generators import grid_road_graph
+    >>> graph = grid_road_graph(6, 6, seed=1)
+    >>> engine = NedSearchEngine.from_graph(graph, k=3, mode="bound-prune")
+    >>> [node for node, _ in engine.knn(engine.probe(graph, 0), 3)][0]
+    0
+    """
+
+    def __init__(
+        self,
+        store: TreeStore,
+        mode: str = "exact",
+        index: str = "linear",
+        backend: str = "hungarian",
+        leaf_size: int = 8,
+        index_seed: int = 0,
+    ) -> None:
+        if mode not in SEARCH_MODES:
+            raise IndexingError(f"unknown search mode {mode!r}; expected one of {SEARCH_MODES}")
+        if index not in INDEX_BACKENDS:
+            raise IndexingError(
+                f"unknown index backend {index!r}; expected one of {INDEX_BACKENDS}"
+            )
+        if not len(store):
+            raise IndexingError("cannot search an empty TreeStore")
+        self.store = store
+        self.k = store.k
+        self.mode = mode
+        self.index_kind = index
+        self.backend = backend
+        self._leaf_size = leaf_size
+        self._index_seed = index_seed
+        self._index: Optional[MetricIndexBase] = None
+        self.stats = EngineStats()
+        self.last_query_stats: Optional[QueryStats] = None
+
+    # ---------------------------------------------------------------- factory
+    @classmethod
+    def from_graph(cls, graph: Graph, k: int, **options) -> "NedSearchEngine":
+        """Build an engine over every node of ``graph`` in one pass."""
+        return cls(TreeStore.from_graph(graph, k), **options)
+
+    # ----------------------------------------------------------------- probes
+    def probe(self, graph: Graph, node: Node) -> StoredTree:
+        """Extract and summarise the query tree of ``node`` in ``graph``."""
+        return summarize_tree(node, *self._extract(graph, node))
+
+    def _extract(self, graph: Graph, node: Node) -> Tuple[Tree, int]:
+        from repro.trees.adjacent import k_adjacent_tree
+
+        return k_adjacent_tree(graph, node, self.k), self.k
+
+    def _coerce(self, query: Query) -> StoredTree:
+        if isinstance(query, StoredTree):
+            return query
+        if isinstance(query, Tree):
+            return summarize_tree("<query>", query, self.k)
+        raise IndexingError(
+            f"query must be a StoredTree probe or a Tree, got {type(query).__name__}"
+        )
+
+    # ---------------------------------------------------------------- queries
+    def knn(self, query: Query, count: int) -> List[Tuple[Node, float]]:
+        """Return the ``count`` candidate nodes closest to ``query``.
+
+        Scan-answered queries — ``bound-prune`` mode, and ``exact`` mode with
+        the ``"linear"`` backend — break ties by store order and therefore
+        return identical results to each other.  The ``"vptree"`` and
+        ``"bktree"`` backends return the same *distances* but may order (and,
+        at the ``count``-th cut, select) equal-distance candidates by
+        traversal order instead.
+        """
+        if count <= 0:
+            raise IndexingError(f"count must be positive, got {count}")
+        probe = self._coerce(query)
+        if self.mode == "exact":
+            return self._indexed_knn(probe, count)
+        selected, counters = self._pruned_select(
+            probe, count=count, tie_key=lambda position, node: position
+        )
+        self._record(counters)
+        return selected
+
+    def range_search(self, query: Query, radius: float) -> List[Tuple[Node, float]]:
+        """Return every candidate node within ``radius`` of ``query``."""
+        if radius < 0:
+            raise IndexingError(f"radius must be non-negative, got {radius}")
+        probe = self._coerce(query)
+        if self.mode == "exact":
+            index = self._get_index()
+            matches = index.range_search(probe, radius)
+            counters = EngineStats(
+                pairs_considered=len(self.store),
+                exact_evaluations=index.last_query_distance_calls,
+            )
+            self._record(counters)
+            return [(item.node, distance) for item, distance in matches]
+        counters = EngineStats()
+        matches: List[Tuple[Node, float]] = []
+        for entry in self.store:
+            counters.pairs_considered += 1
+            distance = None
+            if entry.signature == probe.signature:
+                counters.signature_hits += 1
+                distance = 0.0
+            else:
+                counters.bound_evaluations += 1
+                lower, upper = ted_star_level_size_bounds(
+                    probe.level_sizes, entry.level_sizes
+                )
+                if lower > radius:
+                    counters.pruned_by_lower_bound += 1
+                    continue
+                if lower == upper:
+                    counters.decided_by_bounds += 1
+                    distance = float(lower)
+                else:
+                    counters.exact_evaluations += 1
+                    distance = self._exact(probe, entry)
+            if distance <= radius:
+                matches.append((entry.node, distance))
+        matches.sort(key=lambda pair: pair[1])
+        self._record(counters)
+        return matches
+
+    def top_l_candidates(self, query: Query, top_l: int) -> List[Tuple[Node, float]]:
+        """Return the de-anonymization candidate list for ``query``.
+
+        Semantics match :func:`repro.anonymize.deanonymize.deanonymize_node`:
+        the ``top_l`` closest candidates with ties broken by ``repr(node)``.
+        In ``bound-prune`` mode candidates are skipped via the bounds; in
+        ``exact`` mode every candidate is evaluated (a scan), since the
+        repr-tie-break is a contract the metric indexes do not offer.
+        """
+        if top_l <= 0:
+            raise IndexingError(f"top_l must be positive, got {top_l}")
+        probe = self._coerce(query)
+        selected, counters = self._pruned_select(
+            probe,
+            count=top_l,
+            tie_key=lambda position, node: repr(node),
+            prune=self.mode == "bound-prune",
+        )
+        self._record(counters)
+        return selected
+
+    @property
+    def last_query_distance_calls(self) -> int:
+        """Exact TED* evaluations of the last query (index-style counter)."""
+        return self.last_query_stats.distance_calls if self.last_query_stats else 0
+
+    # -------------------------------------------------------------- internals
+    def _exact(self, first: StoredTree, second: StoredTree) -> float:
+        return ted_star(first.tree, second.tree, k=self.k, backend=self.backend)
+
+    def _record(self, counters: EngineStats) -> None:
+        self.last_query_stats = QueryStats(
+            mode=self.mode,
+            backend=self.index_kind,
+            candidates=len(self.store),
+            counters=counters,
+        )
+        self.stats.merge(counters)
+
+    def _get_index(self) -> MetricIndexBase:
+        if self._index is None:
+            entries = self.store.entries()
+            measure = lambda a, b: self._exact(a, b)  # noqa: E731
+            if self.index_kind == "linear":
+                self._index = LinearScanIndex(entries, measure)
+            elif self.index_kind == "vptree":
+                self._index = VPTree(
+                    entries, measure, leaf_size=self._leaf_size, seed=self._index_seed
+                )
+            else:
+                self._index = BKTree(entries, measure)
+        return self._index
+
+    def _indexed_knn(self, probe: StoredTree, count: int) -> List[Tuple[Node, float]]:
+        index = self._get_index()
+        result = index.knn(probe, count)
+        counters = EngineStats(
+            pairs_considered=len(self.store),
+            exact_evaluations=index.last_query_distance_calls,
+        )
+        self._record(counters)
+        return [(item.node, distance) for item, distance in result]
+
+    def _pruned_select(
+        self,
+        probe: StoredTree,
+        count: int,
+        tie_key: Callable[[int, Node], object],
+        prune: bool = True,
+    ) -> Tuple[List[Tuple[Node, float]], EngineStats]:
+        """Select the ``count`` closest candidates with bound-based skipping.
+
+        The selection is exact: a candidate is only skipped when its lower
+        bound proves it cannot beat the current ``count``-th best *distance*,
+        which is tie-break-agnostic (ties at the cut never involve pruned
+        candidates, whose distances are strictly larger).
+        """
+        entries = self.store.entries()
+        counters = EngineStats()
+
+        # Phase 1: O(k) summaries for every candidate (skipped when not
+        # pruning — the exact scan is the reference path and pays full price).
+        surveyed: List[Tuple[int, int, int, StoredTree, bool]] = []
+        for position, entry in enumerate(entries):
+            counters.pairs_considered += 1
+            if not prune:
+                surveyed.append((0, 0, position, entry, False))
+                continue
+            if entry.signature == probe.signature:
+                surveyed.append((0, 0, position, entry, True))
+                continue
+            counters.bound_evaluations += 1
+            lower, upper = ted_star_level_size_bounds(probe.level_sizes, entry.level_sizes)
+            surveyed.append((lower, upper, position, entry, False))
+
+        # Phase 2: static threshold — the count-th smallest upper bound is an
+        # achievable distance, so any larger lower bound is out already.
+        if prune and len(surveyed) > count:
+            uppers = sorted(upper for _, upper, _, _, _ in surveyed)
+            static_tau: float = uppers[count - 1]
+        else:
+            static_tau = float("inf")
+
+        # Phase 3: resolve candidates in ascending lower-bound order with a
+        # dynamically tightening threshold.
+        # Sorted ascending by (distance, tie); the unique position component
+        # keeps tuple comparison from ever reaching the node objects.
+        best: List[Tuple[float, object, int, Node]] = []
+
+        def current_tau() -> float:
+            return best[-1][0] if len(best) == count else float("inf")
+
+        for lower, upper, position, entry, is_signature_hit in sorted(
+            surveyed, key=lambda item: (item[0], item[2])
+        ):
+            if prune and lower > min(static_tau, current_tau()):
+                counters.pruned_by_lower_bound += 1
+                continue
+            if is_signature_hit:
+                counters.signature_hits += 1
+                distance = 0.0
+            elif prune and lower == upper:
+                counters.decided_by_bounds += 1
+                distance = float(lower)
+            else:
+                counters.exact_evaluations += 1
+                distance = self._exact(probe, entry)
+            candidate = (distance, tie_key(position, entry.node), position, entry.node)
+            if len(best) < count:
+                bisect.insort(best, candidate)
+            elif candidate < best[-1]:
+                bisect.insort(best, candidate)
+                best.pop()
+        return [(node, distance) for distance, _, _, node in best], counters

@@ -1,0 +1,90 @@
+"""Engine-level telemetry counters.
+
+Every component of :mod:`repro.engine` reports its work through one
+:class:`EngineStats` value: how many node pairs were considered, how many
+needed an exact TED* evaluation, and how many were resolved by something
+cheaper (a canonical-signature hit, a coinciding lower/upper bound, or a
+lower bound that already excluded the candidate).  The benchmarks and the
+paper-style tables read these counters instead of re-instrumenting each code
+path, and the search engine keeps both a per-query snapshot and a running
+total built with :meth:`EngineStats.merge`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict
+
+
+@dataclass
+class EngineStats:
+    """Counters describing how a batch of NED evaluations was resolved.
+
+    Attributes
+    ----------
+    pairs_considered:
+        Number of (query, candidate) pairs the engine looked at.
+    exact_evaluations:
+        Pairs that paid for a full TED* computation.
+    bound_evaluations:
+        Pairs for which the O(k) level-size bounds were evaluated.
+    signature_hits:
+        Pairs resolved to distance 0 because the canonical signatures of the
+        two k-adjacent trees were equal (isomorphic trees, Section 7).
+    decided_by_bounds:
+        Pairs whose lower and upper bounds coincided, forcing the distance
+        without an exact evaluation.
+    pruned_by_lower_bound:
+        Pairs skipped entirely because the lower bound already proved the
+        candidate could not affect the query result.
+    """
+
+    pairs_considered: int = 0
+    exact_evaluations: int = 0
+    bound_evaluations: int = 0
+    signature_hits: int = 0
+    decided_by_bounds: int = 0
+    pruned_by_lower_bound: int = 0
+
+    @property
+    def exact_evaluations_avoided(self) -> int:
+        """Pairs resolved without paying for an exact TED*."""
+        return self.signature_hits + self.decided_by_bounds + self.pruned_by_lower_bound
+
+    @property
+    def pruning_ratio(self) -> float:
+        """Fraction of considered pairs that skipped the exact computation."""
+        if not self.pairs_considered:
+            return 0.0
+        return self.exact_evaluations_avoided / self.pairs_considered
+
+    def merge(self, other: "EngineStats") -> None:
+        """Accumulate ``other`` into this instance (for running totals)."""
+        for spec in fields(self):
+            setattr(self, spec.name, getattr(self, spec.name) + getattr(other, spec.name))
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return all counters plus the derived ratios as a plain dict."""
+        result: Dict[str, float] = {spec.name: getattr(self, spec.name) for spec in fields(self)}
+        result["exact_evaluations_avoided"] = self.exact_evaluations_avoided
+        result["pruning_ratio"] = self.pruning_ratio
+        return result
+
+
+@dataclass
+class QueryStats:
+    """Per-query report returned alongside search results.
+
+    ``mode``/``backend`` echo the engine configuration that answered the
+    query; ``counters`` holds the :class:`EngineStats` for just this query.
+    """
+
+    mode: str
+    backend: str
+    candidates: int
+    counters: EngineStats = field(default_factory=EngineStats)
+
+    @property
+    def distance_calls(self) -> int:
+        """Exact TED* evaluations this query paid for (Figure 9b's measure)."""
+        return self.counters.exact_evaluations

@@ -1,0 +1,227 @@
+"""Bulk k-adjacent tree extraction with per-node summaries and persistence.
+
+The pair-at-a-time API (:func:`repro.core.ned.ned`) re-extracts the same
+k-adjacent trees on every call.  A :class:`TreeStore` instead walks a graph
+*once*, extracts and summarises the k-adjacent tree of every node of
+interest, and keeps three things per node:
+
+* the :class:`~repro.trees.tree.Tree` itself (what exact TED* consumes),
+* the per-level size sequence (what the O(k) TED* bounds consume), and
+* the AHU canonical signature (equal signatures ⇒ isomorphic trees ⇒
+  NED distance exactly 0, Section 7).
+
+Stores are the unit every other engine component is built from: distance
+matrices (:mod:`repro.engine.matrix`) take one or two stores, and the search
+engine (:mod:`repro.engine.search`) indexes a store's entries.  ``save()`` /
+``load()`` persist a store to disk so the extraction cost is paid once per
+graph, not once per process — the precompute-once / query-many split that
+makes repeated sweeps (Figures 9–11) cheap.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import GraphError, TreeError
+from repro.graph.graph import Graph
+from repro.ted.bounds import level_size_sequence
+from repro.trees.adjacent import k_adjacent_tree
+from repro.trees.canonize import canonical_string
+from repro.trees.tree import Tree
+from repro.utils.validation import check_positive_int
+
+Node = Hashable
+
+_FORMAT = "repro-tree-store"
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class StoredTree:
+    """One node's precomputed k-adjacent tree plus its cheap summaries."""
+
+    node: Node
+    tree: Tree
+    level_sizes: Tuple[int, ...]
+    signature: str
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StoredTree(node={self.node!r}, size={self.tree.size()})"
+
+
+def summarize_tree(node: Node, tree: Tree, k: int) -> StoredTree:
+    """Build the :class:`StoredTree` entry for an already extracted tree.
+
+    The tree must fit within ``k`` levels: a deeper tree would make the
+    level-size summaries (and hence the TED* bounds) disagree with
+    ``ted_star(..., k=k)``, which truncates to ``k`` levels — pruning could
+    then silently drop true neighbors.
+    """
+    try:
+        level_sizes = level_size_sequence(tree, k)
+    except ValueError:
+        raise GraphError(
+            f"tree of node {node!r} has {tree.height() + 1} levels, deeper than "
+            f"k={k}; extract it with the store's k (e.g. truncate(k - 1))"
+        ) from None
+    return StoredTree(
+        node=node, tree=tree, level_sizes=level_sizes, signature=canonical_string(tree)
+    )
+
+
+class TreeStore:
+    """Precomputed k-adjacent trees (and summaries) for a set of graph nodes.
+
+    Build one with :meth:`from_graph`, persist it with :meth:`save`, restore
+    it with :meth:`load`.  Entries preserve the node order they were built
+    with, which keeps every downstream result (matrix rows, scan order,
+    tie-breaking) deterministic.
+
+    Example
+    -------
+    >>> from repro.graph.generators import grid_road_graph
+    >>> store = TreeStore.from_graph(grid_road_graph(5, 5, seed=1), k=3)
+    >>> len(store)
+    25
+    >>> store.tree(0).size() == store.entry(0).tree.size()
+    True
+    """
+
+    def __init__(self, k: int, entries: Sequence[StoredTree]) -> None:
+        check_positive_int(k, "k")
+        self.k = k
+        self._entries: Dict[Node, StoredTree] = {}
+        for entry in entries:
+            if entry.node in self._entries:
+                raise GraphError(f"duplicate node {entry.node!r} in TreeStore")
+            self._entries[entry.node] = entry
+
+    # ---------------------------------------------------------------- factory
+    @classmethod
+    def from_graph(
+        cls,
+        graph: Graph,
+        k: int,
+        nodes: Optional[Iterable[Node]] = None,
+    ) -> "TreeStore":
+        """Extract, summarise and store the k-adjacent trees of ``nodes``.
+
+        ``nodes`` defaults to every node of ``graph`` (insertion order).  The
+        graph must be undirected — the directed variant splits into incoming
+        and outgoing trees and is not yet store-backed.
+        """
+        check_positive_int(k, "k")
+        if graph.directed:
+            raise GraphError("TreeStore.from_graph expects an undirected Graph")
+        selected = list(nodes) if nodes is not None else graph.nodes()
+        entries = [
+            summarize_tree(node, k_adjacent_tree(graph, node, k), k) for node in selected
+        ]
+        return cls(k, entries)
+
+    def subset(self, nodes: Iterable[Node]) -> "TreeStore":
+        """Return a new store restricted to ``nodes`` (in the given order)."""
+        return TreeStore(self.k, [self.entry(node) for node in nodes])
+
+    # -------------------------------------------------------------- accessors
+    def nodes(self) -> List[Node]:
+        """Return the stored nodes in build order."""
+        return list(self._entries)
+
+    def entries(self) -> List[StoredTree]:
+        """Return all entries in build order."""
+        return list(self._entries.values())
+
+    def entry(self, node: Node) -> StoredTree:
+        """Return the full entry of ``node``."""
+        try:
+            return self._entries[node]
+        except KeyError:
+            raise GraphError(f"node {node!r} is not in this TreeStore") from None
+
+    def tree(self, node: Node) -> Tree:
+        """Return the k-adjacent tree of ``node``."""
+        return self.entry(node).tree
+
+    def level_sizes(self, node: Node) -> Tuple[int, ...]:
+        """Return the per-level sizes of ``node``'s k-adjacent tree."""
+        return self.entry(node).level_sizes
+
+    def signature(self, node: Node) -> str:
+        """Return the AHU canonical signature of ``node``'s k-adjacent tree."""
+        return self.entry(node).signature
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._entries
+
+    def __iter__(self) -> Iterator[StoredTree]:
+        return iter(self._entries.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TreeStore(k={self.k}, nodes={len(self._entries)})"
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist the store to ``path``.
+
+        The payload records parent arrays (plus the original graph-node
+        attachments k-adjacent extraction adds) rather than live objects, so
+        the on-disk format is independent of :class:`Tree` internals.
+        """
+        payload = {
+            "format": _FORMAT,
+            "version": _VERSION,
+            "k": self.k,
+            "entries": [
+                {
+                    "node": entry.node,
+                    "parents": entry.tree.parent_array(),
+                    "graph_nodes": getattr(entry.tree, "graph_nodes", None),
+                    "level_sizes": entry.level_sizes,
+                    "signature": entry.signature,
+                }
+                for entry in self._entries.values()
+            ],
+        }
+        with Path(path).open("wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TreeStore":
+        """Restore a store previously written by :meth:`save`."""
+        try:
+            with Path(path).open("rb") as handle:
+                payload = pickle.load(handle)
+        except (pickle.UnpicklingError, EOFError, AttributeError, ImportError) as error:
+            raise GraphError(f"{path} is not a TreeStore file ({error})") from error
+        if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+            raise GraphError(f"{path} is not a TreeStore file")
+        if payload.get("version") != _VERSION:
+            raise GraphError(
+                f"unsupported TreeStore version {payload.get('version')!r} in {path}"
+            )
+        try:
+            entries = []
+            for record in payload["entries"]:
+                tree = Tree(record["parents"])
+                if record["graph_nodes"] is not None:
+                    tree.graph_nodes = tuple(record["graph_nodes"])  # type: ignore[attr-defined]
+                entries.append(
+                    StoredTree(
+                        node=record["node"],
+                        tree=tree,
+                        level_sizes=tuple(record["level_sizes"]),
+                        signature=record["signature"],
+                    )
+                )
+            return cls(payload["k"], entries)
+        except (KeyError, TypeError, TreeError) as error:
+            raise GraphError(
+                f"{path} is not a valid TreeStore file ({type(error).__name__}: {error})"
+            ) from error

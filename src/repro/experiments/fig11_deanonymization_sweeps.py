@@ -25,12 +25,18 @@ def figure11a_precision_vs_permutation_ratio(
     query_sample: int = 15,
     candidate_sample: Optional[int] = None,
     seed: RngLike = 47,
+    engine_mode: Optional[str] = None,
 ) -> ExperimentTable:
-    """Precision of NED and Feature as the perturbation ratio grows."""
+    """Precision of NED and Feature as the perturbation ratio grows.
+
+    ``engine_mode`` (``"exact"``/``"bound-prune"``) routes the NED attacker
+    through the batch engine; see
+    :func:`repro.experiments.fig10_deanonymization.deanonymization_experiment`.
+    """
     table = ExperimentTable(
         title="Figure 11a: de-anonymization precision vs permutation ratio",
         columns=["ratio", "method", "precision"],
-        notes=[f"dataset={dataset}, top_l={top_l}, k={k}"],
+        notes=[f"dataset={dataset}, top_l={top_l}, k={k}, engine_mode={engine_mode}"],
     )
     for ratio in ratios:
         inner = deanonymization_experiment(
@@ -43,6 +49,7 @@ def figure11a_precision_vs_permutation_ratio(
             query_sample=query_sample,
             candidate_sample=candidate_sample,
             seed=seed,
+            engine_mode=engine_mode,
         )
         for row in inner.rows:
             table.add_row(ratio=ratio, method=row["method"], precision=row["precision"])
@@ -58,12 +65,18 @@ def figure11b_precision_vs_top_l(
     query_sample: int = 15,
     candidate_sample: Optional[int] = None,
     seed: RngLike = 53,
+    engine_mode: Optional[str] = None,
 ) -> ExperimentTable:
-    """Precision of NED and Feature as the examined top-l grows."""
+    """Precision of NED and Feature as the examined top-l grows.
+
+    ``engine_mode`` (``"exact"``/``"bound-prune"``) routes the NED attacker
+    through the batch engine; see
+    :func:`repro.experiments.fig10_deanonymization.deanonymization_experiment`.
+    """
     table = ExperimentTable(
         title="Figure 11b: de-anonymization precision vs top-l",
         columns=["top_l", "method", "precision"],
-        notes=[f"dataset={dataset}, perturbation ratio={ratio}, k={k}"],
+        notes=[f"dataset={dataset}, perturbation ratio={ratio}, k={k}, engine_mode={engine_mode}"],
     )
     for top_l in top_ls:
         inner = deanonymization_experiment(
@@ -76,6 +89,7 @@ def figure11b_precision_vs_top_l(
             query_sample=query_sample,
             candidate_sample=candidate_sample,
             seed=seed,
+            engine_mode=engine_mode,
         )
         for row in inner.rows:
             table.add_row(top_l=top_l, method=row["method"], precision=row["precision"])

@@ -14,7 +14,7 @@ table also reports the number of distance evaluations.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.feature_distance import euclidean_distance, feature_knn
 from repro.baselines.hits_similarity import hits_node_similarity
@@ -24,7 +24,7 @@ from repro.datasets.registry import load_dataset_pair
 from repro.experiments.common import default_backend, mean
 from repro.experiments.reporting import ExperimentTable
 from repro.index.vptree import VPTree
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike, ensure_rng, sample_distinct
 from repro.utils.timer import Timer, time_call
 
 ROAD_DATASETS = ("CAR", "PAR")
@@ -112,8 +112,9 @@ def figure9b_nearest_neighbor_query_time(
     other_k: int = 3,
     scale: float = 0.4,
     seed: RngLike = 41,
+    engine_mode: Optional[str] = "bound-prune",
 ) -> ExperimentTable:
-    """Nearest-neighbor query time: NED + VP-tree vs full scans.
+    """Nearest-neighbor query time: NED + VP-tree vs full scans vs the engine.
 
     For NED, the candidate k-adjacent trees are indexed once in a VP-tree and
     each query probes the index; the comparison reports (a) the same query
@@ -123,6 +124,12 @@ def figure9b_nearest_neighbor_query_time(
     query and the number of distance evaluations are reported: with the
     paper's graph sizes the distance-evaluation gap is what produces the
     orders-of-magnitude query-time gap.
+
+    When ``engine_mode`` is set (default ``"bound-prune"``), the same queries
+    additionally run through a :class:`repro.engine.NedSearchEngine` built
+    over the distinct candidate nodes, reporting how many *exact* TED*
+    evaluations the level-size bounds leave standing — pruning that needs no
+    triangle-inequality index at all.  Pass ``None`` to skip.
     """
     backend = default_backend()
     table = ExperimentTable(
@@ -134,11 +141,16 @@ def figure9b_nearest_neighbor_query_time(
             "ned_vptree_query_time",
             "ned_vptree_distance_evaluations",
             "ned_scan_query_time",
+            "ned_engine_query_time",
+            "ned_engine_exact_evaluations",
             "feature_scan_query_time",
             "feature_distance_evaluations",
         ],
-        notes=[f"queries={query_count}, neighbors={neighbors}, backend={backend}"],
+        notes=[f"queries={query_count}, neighbors={neighbors}, backend={backend}, "
+               f"engine_mode={engine_mode}"],
     )
+    from repro.engine.search import NedSearchEngine
+    from repro.engine.tree_store import TreeStore, summarize_tree
     from repro.index.linear_scan import LinearScanIndex
     from repro.trees.adjacent import k_adjacent_tree
     from repro.ted.ted_star import ted_star
@@ -147,17 +159,29 @@ def figure9b_nearest_neighbor_query_time(
         k = _k_for(dataset, road_k, other_k)
         graph_q, graph_c = load_dataset_pair(dataset, dataset, scale=scale, seed=seed)
         rng = ensure_rng(seed)
-        candidates = [rng.choice(graph_c.nodes()) for _ in range(candidate_count)]
+        # Distinct candidates so every method (scan, VP-tree, engine) indexes
+        # exactly the same pool and the per-row comparison is apples-to-apples.
+        candidates = sample_distinct(graph_c.nodes(), candidate_count, rng)
         queries = [rng.choice(graph_q.nodes()) for _ in range(query_count)]
 
         candidate_trees = [k_adjacent_tree(graph_c, node, k) for node in candidates]
         metric = lambda a, b: ted_star(a, b, k=k, backend=backend)  # noqa: E731
         index = VPTree(candidate_trees, metric, leaf_size=8, seed=0)
         scan = LinearScanIndex(candidate_trees, metric)
+        engine = None
+        if engine_mode is not None:
+            # Reuse the trees extracted above instead of a second BFS pass.
+            store = TreeStore(k, [
+                summarize_tree(node, tree, k)
+                for node, tree in zip(candidates, candidate_trees)
+            ])
+            engine = NedSearchEngine(store, mode=engine_mode, backend=backend)
 
         ned_times: List[float] = []
         ned_calls: List[float] = []
         ned_scan_times: List[float] = []
+        engine_times: List[float] = []
+        engine_calls: List[float] = []
         for query in queries:
             query_tree = k_adjacent_tree(graph_q, query, k)
             with Timer() as timer:
@@ -167,6 +191,11 @@ def figure9b_nearest_neighbor_query_time(
             with Timer() as timer:
                 scan.knn(query_tree, neighbors)
             ned_scan_times.append(timer.elapsed)
+            if engine is not None:
+                with Timer() as timer:
+                    engine.knn(query_tree, neighbors)
+                engine_times.append(timer.elapsed)
+                engine_calls.append(float(engine.last_query_distance_calls))
 
         feature_table_c = refex_feature_matrix(graph_c, recursions=max(1, k - 1))
         feature_table_q = refex_feature_matrix(graph_q, recursions=max(1, k - 1))
@@ -181,7 +210,7 @@ def figure9b_nearest_neighbor_query_time(
                 feature_knn(query_vector, candidate_features, neighbors)
             feature_times.append(timer.elapsed)
 
-        table.add_row(
+        row = dict(
             dataset=dataset,
             k=k,
             candidates=len(candidates),
@@ -191,6 +220,10 @@ def figure9b_nearest_neighbor_query_time(
             feature_scan_query_time=mean(feature_times),
             feature_distance_evaluations=float(len(candidates)),
         )
+        if engine is not None:
+            row["ned_engine_query_time"] = mean(engine_times)
+            row["ned_engine_exact_evaluations"] = mean(engine_calls)
+        table.add_row(**row)
     return table
 
 

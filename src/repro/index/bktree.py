@@ -51,11 +51,10 @@ class BKTree(MetricIndexBase):
             node = child
 
     # --------------------------------------------------------------- queries
-    def range_search(self, query: Any, radius: float) -> List[Tuple[Any, float]]:
+    def _range_search(self, query: Any, radius: float) -> List[Tuple[Any, float]]:
         """Return every indexed item within ``radius`` of ``query``."""
         if radius < 0:
             raise IndexingError(f"radius must be non-negative, got {radius}")
-        self.last_query_distance_calls = 0
         matches: List[Tuple[Any, float]] = []
         stack = [self._root]
         while stack:
@@ -71,11 +70,10 @@ class BKTree(MetricIndexBase):
         matches.sort(key=lambda pair: pair[1])
         return matches
 
-    def knn(self, query: Any, k: int) -> List[Tuple[Any, float]]:
+    def _knn(self, query: Any, k: int) -> List[Tuple[Any, float]]:
         """Return the ``k`` indexed items closest to ``query``."""
         if k <= 0:
             raise IndexingError(f"k must be positive, got {k}")
-        self.last_query_distance_calls = 0
         best: List[Tuple[float, int, Any]] = []  # max-heap by -distance
         counter = 0
 

@@ -36,13 +36,31 @@ class MetricIndexBase(ABC):
         self.last_query_distance_calls += 1
         return self._distance(a, b)
 
-    @abstractmethod
     def knn(self, query: Any, k: int) -> List[Tuple[Any, float]]:
-        """Return the ``k`` indexed items closest to ``query`` with distances."""
+        """Return the ``k`` indexed items closest to ``query`` with distances.
+
+        Resets ``last_query_distance_calls`` before delegating to the
+        implementation, so the counter always reflects exactly one query and
+        no subclass can forget the reset and report accumulated totals.
+        """
+        self.last_query_distance_calls = 0
+        return self._knn(query, k)
+
+    def range_search(self, query: Any, radius: float) -> List[Tuple[Any, float]]:
+        """Return every indexed item within ``radius`` of ``query``.
+
+        Resets ``last_query_distance_calls`` first; see :meth:`knn`.
+        """
+        self.last_query_distance_calls = 0
+        return self._range_search(query, radius)
 
     @abstractmethod
-    def range_search(self, query: Any, radius: float) -> List[Tuple[Any, float]]:
-        """Return every indexed item within ``radius`` of ``query``."""
+    def _knn(self, query: Any, k: int) -> List[Tuple[Any, float]]:
+        """Implementation hook for :meth:`knn` (counter already reset)."""
+
+    @abstractmethod
+    def _range_search(self, query: Any, radius: float) -> List[Tuple[Any, float]]:
+        """Implementation hook for :meth:`range_search` (counter already reset)."""
 
 
 def knn_query(index: MetricIndexBase, query: Any, k: int) -> List[Tuple[Any, float]]:

@@ -21,20 +21,18 @@ class LinearScanIndex(MetricIndexBase):
     def __init__(self, items: Sequence[Any], distance: DistanceFn) -> None:
         super().__init__(items, distance)
 
-    def knn(self, query: Any, k: int) -> List[Tuple[Any, float]]:
+    def _knn(self, query: Any, k: int) -> List[Tuple[Any, float]]:
         """Return the ``k`` closest items by scanning all of them."""
         if k <= 0:
             raise IndexingError(f"k must be positive, got {k}")
-        self.last_query_distance_calls = 0
         scored = [(self._measure(query, item), index) for index, item in enumerate(self._items)]
         best = heapq.nsmallest(k, scored)
         return [(self._items[index], distance) for distance, index in best]
 
-    def range_search(self, query: Any, radius: float) -> List[Tuple[Any, float]]:
+    def _range_search(self, query: Any, radius: float) -> List[Tuple[Any, float]]:
         """Return every item within ``radius`` by scanning all of them."""
         if radius < 0:
             raise IndexingError(f"radius must be non-negative, got {radius}")
-        self.last_query_distance_calls = 0
         result = []
         for item in self._items:
             distance = self._measure(query, item)

@@ -105,7 +105,7 @@ class VPTree(MetricIndexBase):
         return node
 
     # --------------------------------------------------------------- queries
-    def knn(self, query: Any, k: int) -> List[Tuple[Any, float]]:
+    def _knn(self, query: Any, k: int) -> List[Tuple[Any, float]]:
         """Return the ``k`` indexed items closest to ``query``.
 
         Uses best-bound pruning: a subtree is visited only if the triangle
@@ -114,7 +114,6 @@ class VPTree(MetricIndexBase):
         """
         if k <= 0:
             raise IndexingError(f"k must be positive, got {k}")
-        self.last_query_distance_calls = 0
         # Max-heap of (-distance, counter, item); counter breaks ties between
         # items that are not mutually comparable.
         best: List[Tuple[float, int, Any]] = []
@@ -156,11 +155,10 @@ class VPTree(MetricIndexBase):
         ordered = sorted(((-negative, item) for negative, _, item in best), key=lambda p: p[0])
         return [(item, distance) for distance, item in ordered]
 
-    def range_search(self, query: Any, radius: float) -> List[Tuple[Any, float]]:
+    def _range_search(self, query: Any, radius: float) -> List[Tuple[Any, float]]:
         """Return every indexed item within ``radius`` of ``query``."""
         if radius < 0:
             raise IndexingError(f"radius must be non-negative, got {radius}")
-        self.last_query_distance_calls = 0
         matches: List[Tuple[Any, float]] = []
 
         def visit(node: Optional[_VPNode]) -> None:

@@ -1,4 +1,5 @@
-"""Relations among TED*, exact TED and exact GED (Sections 11-12).
+"""Relations among TED*, exact TED and exact GED (Sections 11-12) and cheap
+level-size bounds on TED* itself.
 
 Two inequalities from the paper are exposed here both as documented helper
 functions and as checkable predicates used by the ablation benchmarks and the
@@ -8,9 +9,30 @@ property tests:
   exactly two GED edit operations on the tree seen as a graph (Equation 18).
 * ``TED(t1, t2) ≤ δ_T(W+)(t1, t2)`` — the weighted TED* with ``w²_i = 4·i``
   dominates exact TED (Lemma 7).
+
+A third family of bounds sandwiches TED* between two quantities computable
+from the per-level sizes alone, in O(k) instead of O(k·n³):
+
+* ``Σ_i |a_i − b_i| ≤ TED*`` — moves never change level sizes, so at least
+  that many leaf insertions/deletions are unavoidable (it is exactly the
+  padding cost ``Σ P_i``, and every ``M_i ≥ 0``).
+* ``TED* ≤ Σ_i |a_i − b_i| + Σ_{i≥2} min(a_i, b_i)`` — a constructive edit
+  script realises it: insert the missing nodes top-down directly under their
+  final parents, move each surviving node at most once to its final parent,
+  then delete the surplus nodes bottom-up (the roots always coincide, so
+  level 1 contributes no move).  The same bound also holds for Algorithm 1's
+  output directly: each level's bipartite matching cost is at most the total
+  number of children on both sides, so ``M_i ≤ min(a_{i+1}, b_{i+1})``.
+
+These are the bounds :mod:`repro.engine` evaluates before paying for an exact
+TED*, skipping the cubic computation whenever the bound already decides a
+query (candidate pruning in kNN/range search, forced values in distance
+matrices).
 """
 
 from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
 
 from repro.graph.graph import Graph
 from repro.ted.ted_star import ted_star
@@ -26,6 +48,59 @@ def ged_upper_bound_from_ted_star(first: Tree, second: Tree, k=None) -> float:
 def ted_upper_bound_from_weighted(first: Tree, second: Tree, k=None) -> float:
     """Return ``δ_T(W+)``, an upper bound on the exact TED of the two trees."""
     return ted_star_upper_bound_weights(first, second, k=k)
+
+
+def level_size_sequence(tree: Tree, k: Optional[int] = None) -> Tuple[int, ...]:
+    """Return the sizes of the paper-style levels ``1..k`` of ``tree``.
+
+    Level 1 is the root level.  When ``k`` exceeds the tree's height the
+    sequence is zero-padded, so sequences of trees extracted with the same
+    ``k`` are always directly comparable.
+    """
+    sizes = [len(level) for level in tree.levels()]
+    if k is None:
+        return tuple(sizes)
+    if k < len(sizes):
+        raise ValueError(f"k={k} is smaller than the tree's {len(sizes)} levels")
+    return tuple(sizes) + (0,) * (k - len(sizes))
+
+
+def ted_star_level_size_bounds(
+    sizes_first: Sequence[int], sizes_second: Sequence[int]
+) -> Tuple[int, int]:
+    """Return ``(lower, upper)`` bounds on TED* from per-level sizes alone.
+
+    ``lower = Σ_i |a_i − b_i|`` and ``upper = lower + Σ_{i≥2} min(a_i, b_i)``
+    (see the module docstring for why both hold).  Costs O(k) — no tree
+    traversal, no matching — which is what makes bound-based pruning pay off
+    when each exact TED* is O(k·n³).
+    """
+    width = max(len(sizes_first), len(sizes_second))
+    lower = 0
+    slack = 0
+    for i in range(width):
+        a = sizes_first[i] if i < len(sizes_first) else 0
+        b = sizes_second[i] if i < len(sizes_second) else 0
+        lower += abs(a - b)
+        if i >= 1:  # the roots always coincide: level 1 contributes no move
+            slack += min(a, b)
+    return lower, lower + slack
+
+
+def ted_star_lower_bound(first: Tree, second: Tree, k: Optional[int] = None) -> int:
+    """Return the level-size lower bound on ``TED*(first, second)``."""
+    lower, _ = ted_star_level_size_bounds(
+        level_size_sequence(first, k), level_size_sequence(second, k)
+    )
+    return lower
+
+
+def ted_star_upper_bound(first: Tree, second: Tree, k: Optional[int] = None) -> int:
+    """Return the level-size upper bound on ``TED*(first, second)``."""
+    _, upper = ted_star_level_size_bounds(
+        level_size_sequence(first, k), level_size_sequence(second, k)
+    )
+    return upper
 
 
 def tree_as_graph(tree: Tree) -> Graph:

@@ -1,15 +1,24 @@
-"""Tests for the TED*/TED/GED bound relations (Sections 11-12)."""
+"""Tests for the TED*/TED/GED bound relations (Sections 11-12) and the
+level-size TED* bounds driving the engine's pruning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.graph.graph import Graph
 from repro.ted.bounds import (
     ged_upper_bound_from_ted_star,
+    level_size_sequence,
+    ted_star_level_size_bounds,
+    ted_star_lower_bound,
+    ted_star_upper_bound,
     ted_upper_bound_from_weighted,
     tree_as_graph,
 )
 from repro.ted.exact_ged import exact_graph_edit_distance
 from repro.ted.exact_ted import exact_tree_edit_distance
 from repro.ted.ted_star import ted_star
-from repro.trees.random_trees import random_tree
+from repro.trees.random_trees import random_tree, random_tree_with_depth
 from repro.trees.tree import Tree
 
 
@@ -51,3 +60,42 @@ class TestTedBound:
     def test_bound_is_zero_for_isomorphic_trees(self):
         tree = random_tree(8, seed=3)
         assert ted_upper_bound_from_weighted(tree, tree) == 0.0
+
+
+class TestLevelSizeBounds:
+    def test_level_size_sequence_pads_to_k(self, three_level_tree):
+        assert level_size_sequence(three_level_tree) == (1, 2, 3)
+        assert level_size_sequence(three_level_tree, k=5) == (1, 2, 3, 0, 0)
+        with pytest.raises(ValueError):
+            level_size_sequence(three_level_tree, k=2)
+
+    def test_identical_sequences_give_zero_lower_bound(self):
+        lower, upper = ted_star_level_size_bounds((1, 3, 5), (1, 3, 5))
+        assert lower == 0
+        assert upper == 3 + 5  # the root level contributes no move slack
+
+    def test_unequal_lengths_are_zero_padded(self):
+        lower, _ = ted_star_level_size_bounds((1, 2), (1, 2, 4))
+        assert lower == 4
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        size_a=st.integers(min_value=2, max_value=16),
+        size_b=st.integers(min_value=2, max_value=16),
+        depth=st.integers(min_value=1, max_value=4),
+        seed_a=st.integers(min_value=0, max_value=10**6),
+        seed_b=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_bounds_sandwich_ted_star(self, size_a, size_b, depth, seed_a, seed_b):
+        k = depth + 1
+        first = random_tree_with_depth(size_a, depth, seed=seed_a)
+        second = random_tree_with_depth(size_b, depth, seed=seed_b)
+        distance = ted_star(first, second, k=k)
+        assert ted_star_lower_bound(first, second, k) <= distance
+        assert distance <= ted_star_upper_bound(first, second, k)
+
+    def test_bounds_symmetric(self):
+        first = random_tree_with_depth(9, 3, seed=1)
+        second = random_tree_with_depth(12, 3, seed=2)
+        assert ted_star_lower_bound(first, second) == ted_star_lower_bound(second, first)
+        assert ted_star_upper_bound(first, second) == ted_star_upper_bound(second, first)
