@@ -1,8 +1,9 @@
-"""Ablation — bound chain GED ≤ 2·TED* and TED ≤ δ_T(W+) (Sections 11-12)."""
+"""Ablation — bound chain GED ≤ 2·TED* / TED ≤ δ_T(W+) (Sections 11-12) and
+the TED* tier cascade (level-size vs degree-multiset bounds)."""
 
 from _bench_utils import emit_table
 
-from repro.experiments.ablations import ablation_bounds
+from repro.experiments.ablations import ablation_bound_tiers, ablation_bounds
 
 
 def test_ablation_bound_chain(benchmark):
@@ -16,3 +17,19 @@ def test_ablation_bound_chain(benchmark):
     row = table.rows[0]
     assert row["ged_bound_violations"] == 0
     assert row["ted_bound_violations"] == 0
+
+
+def test_ablation_bound_tiers(benchmark):
+    """The degree-multiset tier dominates level-size, sandwiches exact TED*,
+    and leaves fewer pairs needing an exact evaluation."""
+    table = benchmark.pedantic(
+        lambda: ablation_bound_tiers(pair_count=40, scale=0.4),
+        rounds=1,
+        iterations=1,
+    )
+    emit_table(table)
+    row = table.rows[0]
+    assert row["dominance_violations"] == 0
+    assert row["sandwich_violations"] == 0
+    assert row["avg_degree_lower"] >= row["avg_level_size_lower"]
+    assert row["degree_exact_evals"] <= row["level_size_exact_evals"]

@@ -1,9 +1,12 @@
 """Engine distance matrices — serial vs process vs bound-pruned builds.
 
 Times :func:`repro.engine.pairwise_distance_matrix` over the same tree store
-in three configurations (serial exact, process-parallel exact, bound-pruned
-serial), verifies all three produce identical matrices, and reports the
-exact-TED*-evaluation counts the bound-pruned build saved.
+in four configurations (serial exact, process-parallel exact, bound-pruned
+with level-size bounds only, bound-pruned with the full signature →
+level-size → degree-multiset cascade), verifies all of them produce
+identical matrices, and reports the per-tier resolution counts — how many
+pairs each tier answered (signature hits, coinciding bounds) — so the
+pruning win is visible straight from the CI smoke output.
 
 Runs two ways:
 
@@ -28,11 +31,23 @@ from repro.experiments.reporting import ExperimentTable
 from repro.graph.generators import barabasi_albert_graph
 from repro.utils.timer import Timer
 
-CONFIGURATIONS: Tuple[Tuple[str, Dict[str, str]], ...] = (
+CONFIGURATIONS: Tuple[Tuple[str, Dict[str, object]], ...] = (
     ("serial", dict(mode="exact", executor="serial")),
     ("process", dict(mode="exact", executor="process")),
+    ("bound-prune[level-size]",
+     dict(mode="bound-prune", executor="serial", tiers=("signature", "level-size"))),
     ("bound-prune", dict(mode="bound-prune", executor="serial")),
 )
+
+
+def _tier_columns(stats) -> Dict[str, int]:
+    """The per-tier resolution counts reported for every configuration."""
+    return dict(
+        signature_hits=stats.signature_hits,
+        decided_level_size=stats.decided_by_level_size,
+        decided_degree=stats.decided_by_degree,
+        pruned_lower_bound=stats.pruned_by_lower_bound,
+    )
 
 
 def build_matrices(nodes: int = 120, k: int = 3, seed: int = 5) -> ExperimentTable:
@@ -44,7 +59,8 @@ def build_matrices(nodes: int = 120, k: int = 3, seed: int = 5) -> ExperimentTab
         title=f"Engine matrix build: {nodes} nodes, k={k} "
               f"({len(store) * (len(store) - 1) // 2} pairs)",
         columns=["configuration", "executor_used", "build_time", "exact_evaluations",
-                 "pairs_resolved_cheaply"],
+                 "signature_hits", "decided_level_size", "decided_degree",
+                 "pruned_lower_bound"],
         notes=[f"tree extraction: {extraction_timer.elapsed:.3f}s (shared by all builds)"],
     )
     reference = None
@@ -60,7 +76,7 @@ def build_matrices(nodes: int = 120, k: int = 3, seed: int = 5) -> ExperimentTab
             executor_used=result.executor_used,
             build_time=timer.elapsed,
             exact_evaluations=result.stats.exact_evaluations,
-            pairs_resolved_cheaply=result.stats.exact_evaluations_avoided,
+            **_tier_columns(result.stats),
         )
 
     # Range-style workloads only need entries below a radius: with a
@@ -81,20 +97,32 @@ def build_matrices(nodes: int = 120, k: int = 3, seed: int = 5) -> ExperimentTab
         executor_used=thresholded.executor_used,
         build_time=timer.elapsed,
         exact_evaluations=thresholded.stats.exact_evaluations,
-        pairs_resolved_cheaply=thresholded.stats.exact_evaluations_avoided,
+        **_tier_columns(thresholded.stats),
     )
     return table
 
 
 def test_engine_matrix_builds(benchmark):
-    """All three build configurations agree; bound-prune skips exact work."""
+    """All build configurations agree; each extra tier skips more exact work."""
     from _bench_utils import emit_table
 
     table = benchmark.pedantic(build_matrices, rounds=1, iterations=1)
     emit_table(table)
     by_name = {row["configuration"]: row for row in table.rows}
-    assert by_name["bound-prune"]["exact_evaluations"] <= by_name["serial"]["exact_evaluations"]
-    assert by_name["bound-prune"]["pairs_resolved_cheaply"] > 0
+    assert by_name["bound-prune"]["exact_evaluations"] <= (
+        by_name["bound-prune[level-size]"]["exact_evaluations"]
+    )
+    assert (
+        by_name["bound-prune[level-size]"]["exact_evaluations"]
+        <= by_name["serial"]["exact_evaluations"]
+    )
+    cheap = (
+        by_name["bound-prune"]["signature_hits"]
+        + by_name["bound-prune"]["decided_level_size"]
+        + by_name["bound-prune"]["decided_degree"]
+        + by_name["bound-prune"]["pruned_lower_bound"]
+    )
+    assert cheap > 0
 
 
 def main(argv=None) -> int:

@@ -12,9 +12,14 @@ TED* for every call; the engine splits the work the way a data system would:
   that resolves pairs from O(k) summaries whenever possible.
 * :mod:`repro.engine.search` — :class:`NedSearchEngine`, the query façade:
   ``knn`` / ``range_search`` / ``top_l_candidates`` over any
-  :mod:`repro.index` backend or via bound-based pruning, with per-query
-  distance-call and pruning statistics.
+  :mod:`repro.index` backend (plain or hybrid bound+triangle) or via
+  bound-based pruning, with per-query distance-call and per-tier pruning
+  statistics.
 * :mod:`repro.engine.stats` — the shared telemetry counters.
+
+Distance resolution itself — the signature → level-size → degree-multiset →
+exact TED* cascade every component drives — lives in
+:class:`repro.ted.resolver.BoundedNedDistance` (re-exported here).
 
 Quickstart
 ----------
@@ -37,6 +42,12 @@ from repro.engine.matrix import (
 from repro.engine.search import INDEX_BACKENDS, SEARCH_MODES, NedSearchEngine
 from repro.engine.stats import EngineStats, QueryStats
 from repro.engine.tree_store import StoredTree, TreeStore, summarize_tree
+from repro.ted.resolver import (
+    BOUND_TIERS,
+    TIER_CASCADE,
+    BoundedNedDistance,
+    ResolutionInterval,
+)
 
 __all__ = [
     "TreeStore",
@@ -48,6 +59,10 @@ __all__ = [
     "MatrixResult",
     "EngineStats",
     "QueryStats",
+    "BoundedNedDistance",
+    "ResolutionInterval",
+    "BOUND_TIERS",
+    "TIER_CASCADE",
     "MODES",
     "EXECUTORS",
     "SEARCH_MODES",

@@ -11,15 +11,18 @@ with two orthogonal knobs:
   callable ``executor(chunks) -> iterable of result lists`` plugs in custom
   strategies.  When a process pool cannot be created (restricted sandboxes),
   the build degrades to serial and records that in ``executor_used``.
-* ``mode`` — ``"exact"`` evaluates every pair; ``"bound-prune"`` first tries
-  the O(k) resolutions: equal canonical signatures force distance 0,
-  coinciding level-size lower/upper bounds force the distance outright, and
-  (when a ``threshold`` is given) a lower bound above the threshold marks the
-  pair ``inf`` without ever computing it — the data-skipping move: answer
-  from the summary, touch the expensive evaluation only when forced.
+* ``mode`` — ``"exact"`` evaluates every pair; ``"bound-prune"`` first runs
+  each pair through the :class:`repro.ted.resolver.BoundedNedDistance`
+  cascade (signature → level-size → degree-multiset): a tier that pins the
+  distance forces it outright, and (when a ``threshold`` is given) a lower
+  bound above the threshold marks the pair ``inf`` without ever computing
+  it — the data-skipping move: answer from the summary, touch the expensive
+  evaluation only when forced.  ``tiers`` restricts the cascade for
+  ablations (e.g. level-size only).
 
 Both modes return identical values for every finite entry; ``bound-prune``
-just pays for fewer exact TED* computations (reported in ``stats``).
+just pays for fewer exact TED* computations (reported per tier in
+``stats``).
 """
 
 from __future__ import annotations
@@ -27,12 +30,12 @@ from __future__ import annotations
 import math
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, Iterable, List, Optional, Tuple
+from typing import Callable, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import DistanceError
 from repro.engine.stats import EngineStats
 from repro.engine.tree_store import TreeStore
-from repro.ted.bounds import ted_star_level_size_bounds
+from repro.ted.resolver import BoundedNedDistance
 from repro.ted.ted_star import ted_star
 from repro.trees.tree import Tree
 
@@ -96,6 +99,7 @@ def pairwise_distance_matrix(
     chunk_size: int = 64,
     max_workers: Optional[int] = None,
     threshold: Optional[float] = None,
+    tiers: Optional[Sequence[str]] = None,
 ) -> MatrixResult:
     """Return the symmetric all-pairs NED matrix of one store.
 
@@ -105,6 +109,7 @@ def pairwise_distance_matrix(
     return _build_matrix(
         store, store, symmetric=True, mode=mode, executor=executor, backend=backend,
         chunk_size=chunk_size, max_workers=max_workers, threshold=threshold,
+        tiers=tiers,
     )
 
 
@@ -117,6 +122,7 @@ def cross_distance_matrix(
     chunk_size: int = 64,
     max_workers: Optional[int] = None,
     threshold: Optional[float] = None,
+    tiers: Optional[Sequence[str]] = None,
 ) -> MatrixResult:
     """Return the rows × columns NED matrix between two stores.
 
@@ -132,7 +138,7 @@ def cross_distance_matrix(
     return _build_matrix(
         row_store, col_store, symmetric=False, mode=mode, executor=executor,
         backend=backend, chunk_size=chunk_size, max_workers=max_workers,
-        threshold=threshold,
+        threshold=threshold, tiers=tiers,
     )
 
 
@@ -146,6 +152,7 @@ def _build_matrix(
     chunk_size: int,
     max_workers: Optional[int],
     threshold: Optional[float],
+    tiers: Optional[Sequence[str]],
 ) -> MatrixResult:
     if mode not in MODES:
         raise DistanceError(f"unknown matrix mode {mode!r}; expected one of {MODES}")
@@ -159,6 +166,10 @@ def _build_matrix(
     cols = col_store.entries()
     k = row_store.k
     stats = EngineStats()
+    # The resolver writes its per-tier counters straight into the result's
+    # stats; exact evaluations are queued for the executor instead of going
+    # through resolver.exact, so they are tallied after the chunks run.
+    resolver = BoundedNedDistance(k=k, backend=backend, tiers=tiers, counters=stats)
     values: List[List[float]] = [[0.0] * len(cols) for _ in rows]
 
     # Resolve every pair from the summaries when possible; queue the rest.
@@ -169,19 +180,14 @@ def _build_matrix(
             col = cols[j]
             stats.pairs_considered += 1
             if mode == "bound-prune":
-                if row.signature == col.signature:
-                    stats.signature_hits += 1
-                    values[i][j] = 0.0
-                    continue
-                stats.bound_evaluations += 1
-                lower, upper = ted_star_level_size_bounds(row.level_sizes, col.level_sizes)
-                if threshold is not None and lower > threshold:
-                    stats.pruned_by_lower_bound += 1
+                interval = resolver.bounds(row, col)
+                if threshold is not None and interval.excludes(threshold):
+                    resolver.record_pruned(interval)
                     values[i][j] = math.inf
                     continue
-                if lower == upper:
-                    stats.decided_by_bounds += 1
-                    values[i][j] = float(lower)
+                if interval.exact:
+                    resolver.record_decided(interval)
+                    values[i][j] = interval.lower
                     continue
             pending.append((i, j))
 

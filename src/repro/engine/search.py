@@ -2,30 +2,41 @@
 
 :class:`NedSearchEngine` is the query-side façade of the engine: build it
 once over a store of candidate trees, then answer many ``knn``,
-``range_search`` and ``top_l_candidates`` queries against it.  Two modes:
+``range_search`` and ``top_l_candidates`` queries against it.  All distance
+resolution flows through one :class:`repro.ted.resolver.BoundedNedDistance`
+cascade (signature → level-size bounds → degree-multiset bounds → exact
+TED*); the three modes differ only in *which* pruning machinery drives it:
 
 * ``mode="exact"`` routes queries through one of the :mod:`repro.index`
   metric backends (``"linear"`` scan, ``"vptree"``, ``"bktree"``), exactly as
-  the paper's Figure 9b does — the triangle inequality does the pruning.
+  the paper's Figure 9b does — the triangle inequality alone does the
+  pruning, every touched pair pays for an exact TED*.
 * ``mode="bound-prune"`` replaces the metric index with summary-based
-  skipping: canonical-signature hits resolve to distance 0, the O(k)
-  level-size bounds force coinciding lower/upper values, a static threshold
-  (the count-th smallest upper bound) discards candidates before any exact
-  work, and a dynamic threshold tightens as results come in.  Results are
-  *identical* to the exact linear scan — only the number of exact TED*
-  evaluations changes, which is the cost that matters when each evaluation
-  is O(k·n³).
+  skipping: the cascade's interval resolves candidates outright when it can,
+  a static threshold (the count-th smallest upper bound) discards candidates
+  before any exact work, and a dynamic threshold tightens as results come in.
+* ``mode="hybrid"`` builds the metric index *with* the cascade as its
+  interval hook: triangle pruning discards whole subtrees, summary bounds
+  discard individual nodes, and exact TED* is paid only when a pair's
+  interval straddles the running kNN threshold.  kNN queries additionally
+  seed the threshold with the count-th smallest summary upper bound, so both
+  pruning families bite from the first visited node.
 
-Every query records a :class:`~repro.engine.stats.QueryStats` snapshot in
-``last_query_stats`` and accumulates into the engine-wide ``stats`` total.
+All modes return identical results (the metric-index backends may order
+equal-distance candidates differently) — only the number of exact TED*
+evaluations changes, which is the cost that matters when each evaluation is
+O(k·n³).  Every query records a :class:`~repro.engine.stats.QueryStats`
+snapshot in ``last_query_stats`` (with per-tier counters) and accumulates
+into the engine-wide ``stats`` total.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Callable, Hashable, List, Optional, Tuple, Union
+from contextlib import contextmanager
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
-from repro.exceptions import IndexingError
+from repro.exceptions import DistanceError, IndexingError
 from repro.engine.stats import EngineStats, QueryStats
 from repro.engine.tree_store import StoredTree, TreeStore, summarize_tree
 from repro.graph.graph import Graph
@@ -33,15 +44,48 @@ from repro.index.bktree import BKTree
 from repro.index.linear_scan import LinearScanIndex
 from repro.index.knn import MetricIndexBase
 from repro.index.vptree import VPTree
-from repro.ted.bounds import ted_star_level_size_bounds
-from repro.ted.ted_star import ted_star
+from repro.ted.resolver import BoundedNedDistance, ResolutionInterval
 from repro.trees.tree import Tree
 
 Node = Hashable
 Query = Union[StoredTree, Tree]
 
-SEARCH_MODES = ("exact", "bound-prune")
+SEARCH_MODES = ("exact", "bound-prune", "hybrid")
 INDEX_BACKENDS = ("linear", "vptree", "bktree")
+
+
+class _QueryBoundsMemo:
+    """Per-query memo of resolver intervals, shared with the metric index.
+
+    Hybrid kNN computes every candidate's interval once up front (it needs
+    all the upper bounds to seed the threshold); this memo lets the index
+    hook reuse those intervals instead of re-evaluating the O(k) bounds for
+    every visited node.  Outside a memoised query (range search) it falls
+    through to the live resolver, evaluating lazily per visited node.
+    """
+
+    def __init__(self, resolver: BoundedNedDistance) -> None:
+        self._resolver = resolver
+        self._memo: Dict[int, ResolutionInterval] = {}
+
+    def begin(self, probe: StoredTree, entries: Sequence[StoredTree]) -> List[ResolutionInterval]:
+        intervals = [self._resolver.bounds(probe, entry) for entry in entries]
+        self._memo = {id(entry): interval for entry, interval in zip(entries, intervals)}
+        return intervals
+
+    def clear(self) -> None:
+        self._memo = {}
+
+    # ---- the duck-typed hook interface the metric indexes consume
+    def bounds(self, probe: StoredTree, entry: StoredTree) -> ResolutionInterval:
+        interval = self._memo.get(id(entry))
+        return interval if interval is not None else self._resolver.bounds(probe, entry)
+
+    def record_pruned(self, interval: ResolutionInterval) -> None:
+        self._resolver.record_pruned(interval)
+
+    def record_decided(self, interval: ResolutionInterval) -> None:
+        self._resolver.record_decided(interval)
 
 
 class NedSearchEngine:
@@ -52,12 +96,17 @@ class NedSearchEngine:
     store:
         Candidate trees (typically every node of the searched graph).
     mode:
-        ``"exact"`` or ``"bound-prune"`` (see module docstring).
+        ``"exact"``, ``"bound-prune"`` or ``"hybrid"`` (see module docstring).
     index:
-        Metric-index backend used by exact-mode queries; ignored by
-        bound-prune queries, which scan with summary-based pruning instead.
+        Metric-index backend used by exact- and hybrid-mode queries; ignored
+        by bound-prune queries, which scan with summary-based pruning.
     backend:
         Bipartite matching backend forwarded to TED*.
+    tiers:
+        Bound tiers the resolution cascade runs, any subset of
+        :data:`repro.ted.resolver.BOUND_TIERS`; ``None`` enables all.  The
+        tier-ablation experiments restrict this (e.g. level-size only
+        reproduces the PR-1 pruning behaviour).
     leaf_size, index_seed:
         VP-tree construction parameters (ignored by other backends).
 
@@ -65,7 +114,7 @@ class NedSearchEngine:
     -------
     >>> from repro.graph.generators import grid_road_graph
     >>> graph = grid_road_graph(6, 6, seed=1)
-    >>> engine = NedSearchEngine.from_graph(graph, k=3, mode="bound-prune")
+    >>> engine = NedSearchEngine.from_graph(graph, k=3, mode="hybrid", index="vptree")
     >>> [node for node, _ in engine.knn(engine.probe(graph, 0), 3)][0]
     0
     """
@@ -76,6 +125,7 @@ class NedSearchEngine:
         mode: str = "exact",
         index: str = "linear",
         backend: str = "hungarian",
+        tiers: Optional[Sequence[str]] = None,
         leaf_size: int = 8,
         index_seed: int = 0,
     ) -> None:
@@ -95,6 +145,14 @@ class NedSearchEngine:
         self._leaf_size = leaf_size
         self._index_seed = index_seed
         self._index: Optional[MetricIndexBase] = None
+        try:
+            self._resolver = BoundedNedDistance(
+                k=store.k, backend=backend, tiers=tiers, counters=EngineStats()
+            )
+        except DistanceError as error:
+            raise IndexingError(str(error)) from None
+        self.tiers = self._resolver.tiers
+        self._bounds_memo = _QueryBoundsMemo(self._resolver)
         self.stats = EngineStats()
         self.last_query_stats: Optional[QueryStats] = None
 
@@ -127,74 +185,54 @@ class NedSearchEngine:
     def knn(self, query: Query, count: int) -> List[Tuple[Node, float]]:
         """Return the ``count`` candidate nodes closest to ``query``.
 
-        Scan-answered queries — ``bound-prune`` mode, and ``exact`` mode with
-        the ``"linear"`` backend — break ties by store order and therefore
-        return identical results to each other.  The ``"vptree"`` and
-        ``"bktree"`` backends return the same *distances* but may order (and,
-        at the ``count``-th cut, select) equal-distance candidates by
+        Scan-answered queries — ``bound-prune`` mode, and ``exact``/``hybrid``
+        mode with the ``"linear"`` backend — break ties by store order and
+        therefore return identical results to each other.  The ``"vptree"``
+        and ``"bktree"`` backends return the same *distances* but may order
+        (and, at the ``count``-th cut, select) equal-distance candidates by
         traversal order instead.
         """
         if count <= 0:
             raise IndexingError(f"count must be positive, got {count}")
         probe = self._coerce(query)
-        if self.mode == "exact":
-            return self._indexed_knn(probe, count)
-        selected, counters = self._pruned_select(
-            probe, count=count, tie_key=lambda position, node: position
-        )
-        self._record(counters)
-        return selected
+        if self.mode == "bound-prune":
+            selected, counters = self._pruned_select(
+                probe, count=count, tie_key=lambda position, node: position
+            )
+            self._record(counters)
+            return selected
+        return self._indexed_knn(probe, count)
 
     def range_search(self, query: Query, radius: float) -> List[Tuple[Node, float]]:
         """Return every candidate node within ``radius`` of ``query``."""
         if radius < 0:
             raise IndexingError(f"radius must be non-negative, got {radius}")
         probe = self._coerce(query)
-        if self.mode == "exact":
-            index = self._get_index()
-            matches = index.range_search(probe, radius)
-            counters = EngineStats(
-                pairs_considered=len(self.store),
-                exact_evaluations=index.last_query_distance_calls,
-            )
+        if self.mode == "bound-prune":
+            with self._query_window() as counters:
+                matches: List[Tuple[Node, float]] = []
+                for entry in self.store:
+                    value, _ = self._resolver.resolve(probe, entry, threshold=radius)
+                    if value is not None and value <= radius:
+                        matches.append((entry.node, value))
+                matches.sort(key=lambda pair: pair[1])
             self._record(counters)
-            return [(item.node, distance) for item, distance in matches]
-        counters = EngineStats()
-        matches: List[Tuple[Node, float]] = []
-        for entry in self.store:
-            counters.pairs_considered += 1
-            distance = None
-            if entry.signature == probe.signature:
-                counters.signature_hits += 1
-                distance = 0.0
-            else:
-                counters.bound_evaluations += 1
-                lower, upper = ted_star_level_size_bounds(
-                    probe.level_sizes, entry.level_sizes
-                )
-                if lower > radius:
-                    counters.pruned_by_lower_bound += 1
-                    continue
-                if lower == upper:
-                    counters.decided_by_bounds += 1
-                    distance = float(lower)
-                else:
-                    counters.exact_evaluations += 1
-                    distance = self._exact(probe, entry)
-            if distance <= radius:
-                matches.append((entry.node, distance))
-        matches.sort(key=lambda pair: pair[1])
+            return matches
+        index = self._get_index()
+        with self._query_window() as counters:
+            result = index.range_search(probe, radius)
         self._record(counters)
-        return matches
+        return [(item.node, distance) for item, distance in result]
 
     def top_l_candidates(self, query: Query, top_l: int) -> List[Tuple[Node, float]]:
         """Return the de-anonymization candidate list for ``query``.
 
         Semantics match :func:`repro.anonymize.deanonymize.deanonymize_node`:
         the ``top_l`` closest candidates with ties broken by ``repr(node)``.
-        In ``bound-prune`` mode candidates are skipped via the bounds; in
-        ``exact`` mode every candidate is evaluated (a scan), since the
-        repr-tie-break is a contract the metric indexes do not offer.
+        In ``bound-prune`` and ``hybrid`` mode candidates are skipped via the
+        resolution cascade (the repr-tie-break is a contract the metric
+        indexes do not offer, so hybrid answers this query as a bound-pruned
+        scan); in ``exact`` mode every candidate is evaluated.
         """
         if top_l <= 0:
             raise IndexingError(f"top_l must be positive, got {top_l}")
@@ -203,7 +241,7 @@ class NedSearchEngine:
             probe,
             count=top_l,
             tie_key=lambda position, node: repr(node),
-            prune=self.mode == "bound-prune",
+            prune=self.mode != "exact",
         )
         self._record(counters)
         return selected
@@ -214,8 +252,25 @@ class NedSearchEngine:
         return self.last_query_stats.distance_calls if self.last_query_stats else 0
 
     # -------------------------------------------------------------- internals
+    @contextmanager
+    def _query_window(self):
+        """Context manager yielding the resolver-counter delta of one query.
+
+        Entering snapshots the engine-wide resolver counters; leaving turns
+        the delta into this query's :class:`EngineStats` (with
+        ``pairs_considered`` set to the full candidate count — every mode
+        considers each candidate, through summaries or through the index).
+        """
+        before = self._resolver.counters.copy()
+        counters = EngineStats()
+        try:
+            yield counters
+        finally:
+            counters.merge(self._resolver.counters.since(before))
+            counters.pairs_considered = len(self.store)
+
     def _exact(self, first: StoredTree, second: StoredTree) -> float:
-        return ted_star(first.tree, second.tree, k=self.k, backend=self.backend)
+        return self._resolver.exact(first, second)
 
     def _record(self, counters: EngineStats) -> None:
         self.last_query_stats = QueryStats(
@@ -229,24 +284,37 @@ class NedSearchEngine:
     def _get_index(self) -> MetricIndexBase:
         if self._index is None:
             entries = self.store.entries()
-            measure = lambda a, b: self._exact(a, b)  # noqa: E731
+            measure = self._exact
+            resolver = self._bounds_memo if self.mode == "hybrid" else None
             if self.index_kind == "linear":
-                self._index = LinearScanIndex(entries, measure)
+                self._index = LinearScanIndex(entries, measure, resolver=resolver)
             elif self.index_kind == "vptree":
                 self._index = VPTree(
-                    entries, measure, leaf_size=self._leaf_size, seed=self._index_seed
+                    entries,
+                    measure,
+                    leaf_size=self._leaf_size,
+                    seed=self._index_seed,
+                    resolver=resolver,
                 )
             else:
-                self._index = BKTree(entries, measure)
+                self._index = BKTree(entries, measure, resolver=resolver)
         return self._index
 
     def _indexed_knn(self, probe: StoredTree, count: int) -> List[Tuple[Node, float]]:
-        index = self._get_index()
-        result = index.knn(probe, count)
-        counters = EngineStats(
-            pairs_considered=len(self.store),
-            exact_evaluations=index.last_query_distance_calls,
-        )
+        index = self._get_index()  # build outside the stats window
+        with self._query_window() as counters:
+            tau_hint = None
+            if self.mode == "hybrid":
+                intervals = self._bounds_memo.begin(probe, self.store.entries())
+                if len(intervals) > count:
+                    # The count-th smallest upper bound is an achievable
+                    # distance, so the search threshold can start there.
+                    uppers = sorted(interval.upper for interval in intervals)
+                    tau_hint = uppers[count - 1]
+            try:
+                result = index.knn(probe, count, tau_hint=tau_hint)
+            finally:
+                self._bounds_memo.clear()
         self._record(counters)
         return [(item.node, distance) for item, distance in result]
 
@@ -265,59 +333,57 @@ class NedSearchEngine:
         candidates, whose distances are strictly larger).
         """
         entries = self.store.entries()
-        counters = EngineStats()
-
-        # Phase 1: O(k) summaries for every candidate (skipped when not
-        # pruning — the exact scan is the reference path and pays full price).
-        surveyed: List[Tuple[int, int, int, StoredTree, bool]] = []
-        for position, entry in enumerate(entries):
-            counters.pairs_considered += 1
-            if not prune:
-                surveyed.append((0, 0, position, entry, False))
-                continue
-            if entry.signature == probe.signature:
-                surveyed.append((0, 0, position, entry, True))
-                continue
-            counters.bound_evaluations += 1
-            lower, upper = ted_star_level_size_bounds(probe.level_sizes, entry.level_sizes)
-            surveyed.append((lower, upper, position, entry, False))
-
-        # Phase 2: static threshold — the count-th smallest upper bound is an
-        # achievable distance, so any larger lower bound is out already.
-        if prune and len(surveyed) > count:
-            uppers = sorted(upper for _, upper, _, _, _ in surveyed)
-            static_tau: float = uppers[count - 1]
-        else:
-            static_tau = float("inf")
-
-        # Phase 3: resolve candidates in ascending lower-bound order with a
-        # dynamically tightening threshold.
-        # Sorted ascending by (distance, tie); the unique position component
-        # keeps tuple comparison from ever reaching the node objects.
-        best: List[Tuple[float, object, int, Node]] = []
-
-        def current_tau() -> float:
-            return best[-1][0] if len(best) == count else float("inf")
-
-        for lower, upper, position, entry, is_signature_hit in sorted(
-            surveyed, key=lambda item: (item[0], item[2])
-        ):
-            if prune and lower > min(static_tau, current_tau()):
-                counters.pruned_by_lower_bound += 1
-                continue
-            if is_signature_hit:
-                counters.signature_hits += 1
-                distance = 0.0
-            elif prune and lower == upper:
-                counters.decided_by_bounds += 1
-                distance = float(lower)
+        with self._query_window() as counters:
+            # Phase 1: cascade intervals for every candidate (skipped when
+            # not pruning — the exact scan is the reference path and pays
+            # full price).
+            surveyed: List[Tuple[float, float, int, StoredTree, Optional[ResolutionInterval]]]
+            if prune:
+                surveyed = [
+                    (interval.lower, interval.upper, position, entry, interval)
+                    for position, entry in enumerate(entries)
+                    for interval in (self._resolver.bounds(probe, entry),)
+                ]
             else:
-                counters.exact_evaluations += 1
-                distance = self._exact(probe, entry)
-            candidate = (distance, tie_key(position, entry.node), position, entry.node)
-            if len(best) < count:
-                bisect.insort(best, candidate)
-            elif candidate < best[-1]:
-                bisect.insort(best, candidate)
-                best.pop()
+                surveyed = [
+                    (0.0, 0.0, position, entry, None)
+                    for position, entry in enumerate(entries)
+                ]
+
+            # Phase 2: static threshold — the count-th smallest upper bound
+            # is an achievable distance, so any larger lower bound is out
+            # already.
+            if prune and len(surveyed) > count:
+                uppers = sorted(upper for _, upper, _, _, _ in surveyed)
+                static_tau: float = uppers[count - 1]
+            else:
+                static_tau = float("inf")
+
+            # Phase 3: resolve candidates in ascending lower-bound order with
+            # a dynamically tightening threshold.
+            # Sorted ascending by (distance, tie); the unique position
+            # component keeps tuple comparison from ever reaching the node
+            # objects.
+            best: List[Tuple[float, object, int, Node]] = []
+
+            def current_tau() -> float:
+                return best[-1][0] if len(best) == count else float("inf")
+
+            for lower, upper, position, entry, interval in sorted(
+                surveyed, key=lambda item: (item[0], item[2])
+            ):
+                if interval is not None and lower > min(static_tau, current_tau()):
+                    self._resolver.record_pruned(interval)
+                    continue
+                if interval is not None and interval.exact:
+                    self._resolver.record_decided(interval)
+                    distance = interval.lower
+                else:
+                    distance = self._exact(probe, entry)
+                candidate = (distance, tie_key(position, entry.node), position, entry.node)
+                if len(best) < count:
+                    bisect.insort(best, candidate)
+                elif candidate < best[-1]:
+                    bisect.insort(best, candidate)
+                    best.pop()
         return [(node, distance) for distance, _, _, node in best], counters

@@ -2,12 +2,12 @@
 
 Every component of :mod:`repro.engine` reports its work through one
 :class:`EngineStats` value: how many node pairs were considered, how many
-needed an exact TED* evaluation, and how many were resolved by something
-cheaper (a canonical-signature hit, a coinciding lower/upper bound, or a
-lower bound that already excluded the candidate).  The benchmarks and the
-paper-style tables read these counters instead of re-instrumenting each code
-path, and the search engine keeps both a per-query snapshot and a running
-total built with :meth:`EngineStats.merge`.
+needed an exact TED* evaluation, and — per resolution tier — how many were
+answered by something cheaper.  The per-tier fields are inherited from
+:class:`repro.ted.resolver.ResolutionCounters`, so an ``EngineStats`` can be
+handed directly to a :class:`repro.ted.resolver.BoundedNedDistance` as its
+counter sink; the engine merely adds the engine-level ``pairs_considered``
+and the aggregate views the benchmarks and paper-style tables read.
 """
 
 from __future__ import annotations
@@ -15,36 +15,53 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import Dict
 
+from repro.ted.resolver import ResolutionCounters
+
 
 @dataclass
-class EngineStats:
+class EngineStats(ResolutionCounters):
     """Counters describing how a batch of NED evaluations was resolved.
 
-    Attributes
-    ----------
-    pairs_considered:
-        Number of (query, candidate) pairs the engine looked at.
+    Inherited per-tier fields (see
+    :class:`~repro.ted.resolver.ResolutionCounters`)
+    ----------------------------------------------------------------------
     exact_evaluations:
         Pairs that paid for a full TED* computation.
-    bound_evaluations:
-        Pairs for which the O(k) level-size bounds were evaluated.
     signature_hits:
         Pairs resolved to distance 0 because the canonical signatures of the
         two k-adjacent trees were equal (isomorphic trees, Section 7).
-    decided_by_bounds:
-        Pairs whose lower and upper bounds coincided, forcing the distance
-        without an exact evaluation.
-    pruned_by_lower_bound:
-        Pairs skipped entirely because the lower bound already proved the
-        candidate could not affect the query result.
+    level_size_evaluations, degree_evaluations:
+        How often each O(k) bound tier was computed.
+    decided_by_level_size, decided_by_degree:
+        Pairs whose distance a bound tier pinned exactly (coinciding lower
+        and upper bounds), so no exact evaluation was needed.
+    pruned_by_level_size, pruned_by_degree:
+        Pairs a bound tier excluded from the decision at hand (kNN cut,
+        range radius, matrix threshold) without ever knowing their distance.
+
+    Engine-level field
+    ------------------
+    pairs_considered:
+        Number of (query, candidate) pairs the engine looked at.
     """
 
     pairs_considered: int = 0
-    exact_evaluations: int = 0
-    bound_evaluations: int = 0
-    signature_hits: int = 0
-    decided_by_bounds: int = 0
-    pruned_by_lower_bound: int = 0
+
+    # ------------------------------------------------------- aggregate views
+    @property
+    def bound_evaluations(self) -> int:
+        """Total bound-tier computations (level-size plus degree-multiset)."""
+        return self.level_size_evaluations + self.degree_evaluations
+
+    @property
+    def decided_by_bounds(self) -> int:
+        """Pairs whose coinciding bounds forced the distance, any tier."""
+        return self.decided_by_level_size + self.decided_by_degree
+
+    @property
+    def pruned_by_lower_bound(self) -> int:
+        """Pairs skipped because a lower bound already excluded them."""
+        return self.pruned_by_level_size + self.pruned_by_degree
 
     @property
     def exact_evaluations_avoided(self) -> int:
@@ -58,14 +75,12 @@ class EngineStats:
             return 0.0
         return self.exact_evaluations_avoided / self.pairs_considered
 
-    def merge(self, other: "EngineStats") -> None:
-        """Accumulate ``other`` into this instance (for running totals)."""
-        for spec in fields(self):
-            setattr(self, spec.name, getattr(self, spec.name) + getattr(other, spec.name))
-
     def as_dict(self) -> Dict[str, float]:
-        """Return all counters plus the derived ratios as a plain dict."""
+        """Return all counters plus the derived aggregates as a plain dict."""
         result: Dict[str, float] = {spec.name: getattr(self, spec.name) for spec in fields(self)}
+        result["bound_evaluations"] = self.bound_evaluations
+        result["decided_by_bounds"] = self.decided_by_bounds
+        result["pruned_by_lower_bound"] = self.pruned_by_lower_bound
         result["exact_evaluations_avoided"] = self.exact_evaluations_avoided
         result["pruning_ratio"] = self.pruning_ratio
         return result

@@ -6,9 +6,14 @@ k-adjacent trees on every call.  A :class:`TreeStore` instead walks a graph
 interest, and keeps three things per node:
 
 * the :class:`~repro.trees.tree.Tree` itself (what exact TED* consumes),
-* the per-level size sequence (what the O(k) TED* bounds consume), and
+* the per-level size sequence (what the O(k) level-size bounds consume),
+* the per-level degree multisets (what the earth-mover-style
+  degree-multiset bounds consume — see :mod:`repro.ted.bounds`), and
 * the AHU canonical signature (equal signatures ⇒ isomorphic trees ⇒
   NED distance exactly 0, Section 7).
+
+Together these are exactly the summaries the tier cascade of
+:class:`repro.ted.resolver.BoundedNedDistance` resolves distances from.
 
 Stores are the unit every other engine component is built from: distance
 matrices (:mod:`repro.engine.matrix`) take one or two stores, and the search
@@ -27,7 +32,7 @@ from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence,
 
 from repro.exceptions import GraphError, TreeError
 from repro.graph.graph import Graph
-from repro.ted.bounds import level_size_sequence
+from repro.ted.bounds import degree_profile_sequence, level_size_sequence
 from repro.trees.adjacent import k_adjacent_tree
 from repro.trees.canonize import canonical_string
 from repro.trees.tree import Tree
@@ -36,7 +41,10 @@ from repro.utils.validation import check_positive_int
 Node = Hashable
 
 _FORMAT = "repro-tree-store"
-_VERSION = 1
+# Version 2 added the persisted per-level degree multisets; version-1 stores
+# still load (the profiles are recomputed from the trees on the way in).
+_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 @dataclass(frozen=True)
@@ -47,6 +55,7 @@ class StoredTree:
     tree: Tree
     level_sizes: Tuple[int, ...]
     signature: str
+    degree_profiles: Tuple[Tuple[int, ...], ...]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StoredTree(node={self.node!r}, size={self.tree.size()})"
@@ -62,13 +71,18 @@ def summarize_tree(node: Node, tree: Tree, k: int) -> StoredTree:
     """
     try:
         level_sizes = level_size_sequence(tree, k)
+        degree_profiles = degree_profile_sequence(tree, k)
     except ValueError:
         raise GraphError(
             f"tree of node {node!r} has {tree.height() + 1} levels, deeper than "
             f"k={k}; extract it with the store's k (e.g. truncate(k - 1))"
         ) from None
     return StoredTree(
-        node=node, tree=tree, level_sizes=level_sizes, signature=canonical_string(tree)
+        node=node,
+        tree=tree,
+        level_sizes=level_sizes,
+        signature=canonical_string(tree),
+        degree_profiles=degree_profiles,
     )
 
 
@@ -150,6 +164,10 @@ class TreeStore:
         """Return the per-level sizes of ``node``'s k-adjacent tree."""
         return self.entry(node).level_sizes
 
+    def degree_profiles(self, node: Node) -> Tuple[Tuple[int, ...], ...]:
+        """Return the per-level degree multisets of ``node``'s tree."""
+        return self.entry(node).degree_profiles
+
     def signature(self, node: Node) -> str:
         """Return the AHU canonical signature of ``node``'s k-adjacent tree."""
         return self.entry(node).signature
@@ -185,6 +203,7 @@ class TreeStore:
                     "graph_nodes": getattr(entry.tree, "graph_nodes", None),
                     "level_sizes": entry.level_sizes,
                     "signature": entry.signature,
+                    "degree_profiles": entry.degree_profiles,
                 }
                 for entry in self._entries.values()
             ],
@@ -202,26 +221,41 @@ class TreeStore:
             raise GraphError(f"{path} is not a TreeStore file ({error})") from error
         if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
             raise GraphError(f"{path} is not a TreeStore file")
-        if payload.get("version") != _VERSION:
+        version = payload.get("version")
+        if version not in _SUPPORTED_VERSIONS:
+            supported = ", ".join(str(v) for v in _SUPPORTED_VERSIONS)
             raise GraphError(
-                f"unsupported TreeStore version {payload.get('version')!r} in {path}"
+                f"unsupported TreeStore format version {version!r} in {path}: "
+                f"this build reads versions {supported} — the store was written "
+                f"by {'a newer' if isinstance(version, int) and version > _VERSION else 'an unknown'} "
+                f"build; re-extract it or upgrade"
             )
         try:
+            k = payload["k"]
             entries = []
             for record in payload["entries"]:
                 tree = Tree(record["parents"])
                 if record["graph_nodes"] is not None:
                     tree.graph_nodes = tuple(record["graph_nodes"])  # type: ignore[attr-defined]
+                if version >= 2:
+                    profiles = tuple(
+                        tuple(level) for level in record["degree_profiles"]
+                    )
+                else:
+                    # Version-1 stores predate the degree summaries; rebuild
+                    # them so loaded stores prune exactly like fresh ones.
+                    profiles = degree_profile_sequence(tree, k)
                 entries.append(
                     StoredTree(
                         node=record["node"],
                         tree=tree,
                         level_sizes=tuple(record["level_sizes"]),
                         signature=record["signature"],
+                        degree_profiles=profiles,
                     )
                 )
-            return cls(payload["k"], entries)
-        except (KeyError, TypeError, TreeError) as error:
+            return cls(k, entries)
+        except (KeyError, TypeError, ValueError, TreeError) as error:
             raise GraphError(
                 f"{path} is not a valid TreeStore file ({type(error).__name__}: {error})"
             ) from error

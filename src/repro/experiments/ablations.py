@@ -4,6 +4,9 @@ These do not correspond to a numbered figure of the paper, but they verify
 (and quantify) the analytical claims the design relies on:
 
 * the bound chain ``GED ≤ 2·TED*`` and ``TED ≤ δ_T(W+)`` (Sections 11-12),
+* the tier cascade of :class:`repro.ted.resolver.BoundedNedDistance` — the
+  degree-multiset lower bound dominates the level-size one and both sandwich
+  exact TED*, with the tighter tier resolving strictly more pairs,
 * the monotonicity of NED in ``k`` (Lemma 5),
 * the equivalence (and relative speed) of the from-scratch Hungarian solver
   and SciPy's assignment solver.
@@ -69,6 +72,84 @@ def ablation_bounds(
         avg_ted=mean(ted_values),
         avg_ged=mean(ged_values),
         avg_w_plus=mean(w_plus_values),
+    )
+    return table
+
+
+def ablation_bound_tiers(
+    pair_count: int = 60,
+    k: int = 3,
+    scale: float = 0.5,
+    threshold: float = 2.0,
+    seed: RngLike = 73,
+) -> ExperimentTable:
+    """Quantify the TED* bound tiers on sampled neighborhood-tree pairs.
+
+    For every sampled pair the level-size and degree-multiset lower bounds
+    and the exact TED* are computed; the table reports how often each tier's
+    interval decided or (against ``threshold``) excluded the pair, the
+    average tightness of each lower bound, and — the correctness half — the
+    number of dominance violations (degree below level-size) and sandwich
+    violations (a lower bound above the exact distance), both of which must
+    be zero.
+    """
+    from repro.engine.tree_store import summarize_tree
+    from repro.ted.bounds import (
+        ted_star_degree_multiset_bounds,
+        ted_star_level_size_bounds,
+    )
+    from repro.ted.resolver import BoundedNedDistance, BOUND_TIERS
+
+    graph_a, graph_b = load_dataset_pair("CAR", "PGP", scale=scale, seed=seed)
+    pairs = sample_node_pairs(graph_a, graph_b, pair_count, seed=seed)
+    computer = NedComputer(k=k, backend=default_backend())
+
+    level_resolver = BoundedNedDistance(k=k, tiers=("signature", "level-size"))
+    degree_resolver = BoundedNedDistance(k=k, tiers=BOUND_TIERS)
+    dominance_violations = 0
+    sandwich_violations = 0
+    level_lowers, degree_lowers, exact_values = [], [], []
+    for u, v in pairs:
+        first = summarize_tree(u, computer.tree(graph_a, u), k)
+        second = summarize_tree(v, computer.tree(graph_b, v), k)
+        exact = ted_star(first.tree, second.tree, k=k)
+        level_lower, level_upper = ted_star_level_size_bounds(
+            first.level_sizes, second.level_sizes
+        )
+        degree_lower, degree_upper = ted_star_degree_multiset_bounds(
+            first.degree_profiles, second.degree_profiles
+        )
+        if degree_lower < level_lower:
+            dominance_violations += 1
+        if degree_lower > exact + 1e-9 or exact > degree_upper + 1e-9:
+            sandwich_violations += 1
+        level_lowers.append(float(level_lower))
+        degree_lowers.append(float(degree_lower))
+        exact_values.append(exact)
+        level_resolver.resolve(first, second, threshold=threshold)
+        degree_resolver.resolve(first, second, threshold=threshold)
+
+    table = ExperimentTable(
+        title="Ablation: TED* bound tiers (level-size vs degree-multiset)",
+        columns=[
+            "pairs", "dominance_violations", "sandwich_violations",
+            "avg_level_size_lower", "avg_degree_lower", "avg_exact",
+            "level_size_exact_evals", "degree_exact_evals",
+        ],
+        notes=[
+            f"k={k}, threshold={threshold}: *_exact_evals count the exact TED* "
+            "computations each tier configuration still had to pay for",
+        ],
+    )
+    table.add_row(
+        pairs=len(pairs),
+        dominance_violations=dominance_violations,
+        sandwich_violations=sandwich_violations,
+        avg_level_size_lower=mean(level_lowers),
+        avg_degree_lower=mean(degree_lowers),
+        avg_exact=mean(exact_values),
+        level_size_exact_evals=level_resolver.counters.exact_evaluations,
+        degree_exact_evals=degree_resolver.counters.exact_evaluations,
     )
     return table
 

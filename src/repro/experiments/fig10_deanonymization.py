@@ -12,7 +12,7 @@ drift more than the neighborhood tree structure.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, List, Optional, Sequence
+from typing import Callable, Hashable, List, Optional, Sequence
 
 from repro.anonymize.anonymizers import (
     AnonymizedGraph,
@@ -88,6 +88,7 @@ def deanonymization_experiment(
     candidate_sample: Optional[int] = None,
     seed: RngLike = 43,
     engine_mode: Optional[str] = None,
+    engine_tiers: Optional[Sequence[str]] = None,
 ) -> ExperimentTable:
     """Run the Figure 10 experiment for one dataset.
 
@@ -99,11 +100,14 @@ def deanonymization_experiment(
     precision of the two methods, which is the figure's claim.
 
     ``engine_mode`` routes the NED attacker through
-    :class:`repro.engine.NedSearchEngine` (``"exact"`` or ``"bound-prune"``)
-    instead of the pairwise callable: identical candidate lists, but the
-    training trees are extracted once per scheme and — with ``"bound-prune"``
-    — most exact TED* evaluations are skipped, which the extra
-    ``exact_ted_star_evals``/``pruned_pairs`` columns report.
+    :class:`repro.engine.NedSearchEngine` (``"exact"``, ``"bound-prune"`` or
+    ``"hybrid"``) instead of the pairwise callable: identical candidate
+    lists, but the training trees are extracted once per scheme and — with
+    pruning enabled — most exact TED* evaluations are skipped, which the
+    extra ``exact_ted_star_evals``/``pruned_pairs`` columns report.
+    ``engine_tiers`` restricts the engine's resolution cascade (any subset of
+    :data:`repro.ted.resolver.BOUND_TIERS`) for tier ablations, e.g.
+    ``("signature", "level-size")`` reproduces the PR-1 pruning behaviour.
     """
     rng = ensure_rng(seed)
     graph = load_dataset(dataset, scale=scale, seed=rng.randrange(1 << 30))
@@ -115,7 +119,8 @@ def deanonymization_experiment(
                  "exact_ted_star_evals", "pruned_pairs"],
         notes=[
             f"k={k}, scale={scale}, query_sample={query_sample}, "
-            f"candidate_sample={candidate_sample}, engine_mode={engine_mode}",
+            f"candidate_sample={candidate_sample}, engine_mode={engine_mode}, "
+            f"engine_tiers={engine_tiers}",
             "The paper perturbs 1%-5% of the edges of graphs 30-1000x larger; on the reduced "
             "stand-ins an equivalent amount of per-node structural damage needs a larger ratio, "
             "hence the default ratios used here.",
@@ -137,7 +142,8 @@ def deanonymization_experiment(
 
         if engine_mode is not None:
             ned_row = _engine_ned_row(
-                graph, anonymized, candidates, targets, k, top_l, backend, engine_mode
+                graph, anonymized, candidates, targets, k, top_l, backend,
+                engine_mode, engine_tiers,
             )
         else:
             ned_row = _callable_method_row(
@@ -165,10 +171,12 @@ def _callable_method_row(method, distance, anonymized, candidates, targets, top_
     return dict(method=method, precision=precision, evaluated=len(targets), hits=hits)
 
 
-def _engine_ned_row(graph, anonymized, candidates, targets, k, top_l, backend, engine_mode):
+def _engine_ned_row(
+    graph, anonymized, candidates, targets, k, top_l, backend, engine_mode, engine_tiers
+):
     """Evaluate the NED attacker through the batch engine."""
     store = TreeStore.from_graph(graph, k, nodes=candidates)
-    engine = NedSearchEngine(store, mode=engine_mode, backend=backend)
+    engine = NedSearchEngine(store, mode=engine_mode, backend=backend, tiers=engine_tiers)
     hits = 0
     for anon_node in targets:
         truth = anonymized.true_identity[anon_node]

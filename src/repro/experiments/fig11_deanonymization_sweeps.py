@@ -26,11 +26,13 @@ def figure11a_precision_vs_permutation_ratio(
     candidate_sample: Optional[int] = None,
     seed: RngLike = 47,
     engine_mode: Optional[str] = None,
+    engine_tiers: Optional[Sequence[str]] = None,
 ) -> ExperimentTable:
     """Precision of NED and Feature as the perturbation ratio grows.
 
-    ``engine_mode`` (``"exact"``/``"bound-prune"``) routes the NED attacker
-    through the batch engine; see
+    ``engine_mode`` (``"exact"``/``"bound-prune"``/``"hybrid"``) routes the
+    NED attacker through the batch engine and ``engine_tiers`` restricts its
+    resolution cascade for tier ablations; see
     :func:`repro.experiments.fig10_deanonymization.deanonymization_experiment`.
     """
     table = ExperimentTable(
@@ -50,6 +52,7 @@ def figure11a_precision_vs_permutation_ratio(
             candidate_sample=candidate_sample,
             seed=seed,
             engine_mode=engine_mode,
+            engine_tiers=engine_tiers,
         )
         for row in inner.rows:
             table.add_row(ratio=ratio, method=row["method"], precision=row["precision"])
@@ -66,11 +69,13 @@ def figure11b_precision_vs_top_l(
     candidate_sample: Optional[int] = None,
     seed: RngLike = 53,
     engine_mode: Optional[str] = None,
+    engine_tiers: Optional[Sequence[str]] = None,
 ) -> ExperimentTable:
     """Precision of NED and Feature as the examined top-l grows.
 
-    ``engine_mode`` (``"exact"``/``"bound-prune"``) routes the NED attacker
-    through the batch engine; see
+    ``engine_mode`` (``"exact"``/``"bound-prune"``/``"hybrid"``) routes the
+    NED attacker through the batch engine and ``engine_tiers`` restricts its
+    resolution cascade for tier ablations; see
     :func:`repro.experiments.fig10_deanonymization.deanonymization_experiment`.
     """
     table = ExperimentTable(
@@ -90,6 +95,7 @@ def figure11b_precision_vs_top_l(
             candidate_sample=candidate_sample,
             seed=seed,
             engine_mode=engine_mode,
+            engine_tiers=engine_tiers,
         )
         for row in inner.rows:
             table.add_row(top_l=top_l, method=row["method"], precision=row["precision"])

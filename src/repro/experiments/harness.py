@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.experiments.ablations import (
+    ablation_bound_tiers,
     ablation_bounds,
     ablation_matching_backend,
     ablation_monotonicity,
@@ -24,6 +25,7 @@ from repro.experiments.fig8_parameter_k import figure8_parameter_k
 from repro.experiments.fig9_query_comparison import (
     figure9a_similarity_computation_time,
     figure9b_nearest_neighbor_query_time,
+    figure9b_tier_ablation,
 )
 from repro.experiments.fig10_deanonymization import figure10a_pgp, figure10b_dblp
 from repro.experiments.fig11_deanonymization_sweeps import (
@@ -73,6 +75,12 @@ def run_all_experiments(quick: bool = True) -> Dict[str, ExperimentTable]:
         scale=0.3 if quick else 0.4,
     )
 
+    results["figure9b_tier_ablation"] = figure9b_tier_ablation(
+        candidate_count=60 if quick else 150,
+        query_count=4 if quick else 8,
+        scale=0.3 if quick else 0.4,
+    )
+
     results["figure10a_pgp"] = figure10a_pgp(
         query_sample=8 if quick else 20, candidate_sample=50 if quick else 120,
         scale=0.25 if quick else 0.4,
@@ -92,6 +100,9 @@ def run_all_experiments(quick: bool = True) -> Dict[str, ExperimentTable]:
     )
 
     results["ablation_bounds"] = ablation_bounds(pair_count=8 if quick else 20)
+    results["ablation_bound_tiers"] = ablation_bound_tiers(
+        pair_count=25 if quick else 60, scale=0.3 if quick else 0.5
+    )
     results["ablation_monotonicity"] = ablation_monotonicity(pair_count=8 if quick else 25)
     results["ablation_matching_backend"] = ablation_matching_backend(
         sizes=(10, 30) if quick else (10, 30, 60)

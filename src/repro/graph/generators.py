@@ -21,7 +21,7 @@ All generators are deterministic given a seed and return
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.exceptions import GraphError
 from repro.graph.graph import Graph

@@ -4,30 +4,55 @@ Feature-based similarities cannot use metric indexes (their distances do not
 satisfy the metric properties across pairs), so every query degenerates to a
 scan of all candidates — the behaviour this class models.  It also serves as
 the ground truth the VP-tree results are checked against in the tests.
+
+With an optional ``resolver`` hook (see
+:class:`~repro.index.knn.MetricIndexBase`), the scan still touches every
+item but resolves each one through the cheap interval tiers first, paying
+for an exact distance only when the interval straddles the running
+threshold — results identical to the plain scan, fewer exact evaluations.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, List, Sequence, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.exceptions import IndexingError
-from repro.index.knn import DistanceFn, MetricIndexBase
+from repro.index.knn import MetricIndexBase
 
 
 class LinearScanIndex(MetricIndexBase):
     """Answers kNN and range queries by evaluating every indexed item."""
 
-    def __init__(self, items: Sequence[Any], distance: DistanceFn) -> None:
-        super().__init__(items, distance)
+    def _knn(
+        self, query: Any, k: int, tau_hint: Optional[float] = None
+    ) -> List[Tuple[Any, float]]:
+        """Return the ``k`` closest items by scanning all of them.
 
-    def _knn(self, query: Any, k: int) -> List[Tuple[Any, float]]:
-        """Return the ``k`` closest items by scanning all of them."""
+        Ties at the ``k``-th cut are broken by scan (build) order, exactly
+        like ``heapq.nsmallest`` over ``(distance, index)`` pairs.
+        """
         if k <= 0:
             raise IndexingError(f"k must be positive, got {k}")
-        scored = [(self._measure(query, item), index) for index, item in enumerate(self._items)]
-        best = heapq.nsmallest(k, scored)
-        return [(self._items[index], distance) for distance, index in best]
+        hint = float("inf") if tau_hint is None else float(tau_hint)
+        # Max-heap of (-distance, -index): the root is the lexicographically
+        # largest (distance, index) pair, so eviction matches nsmallest.
+        best: List[Tuple[float, int]] = []
+
+        def tau() -> float:
+            return min(hint, -best[0][0]) if len(best) == k else hint
+
+        for index, item in enumerate(self._items):
+            distance = self._resolve_within(query, item, tau())
+            if distance is None:
+                continue
+            entry = (-distance, -index)
+            if len(best) < k:
+                heapq.heappush(best, entry)
+            elif entry > best[0]:
+                heapq.heapreplace(best, entry)
+        ordered = sorted((-negative, -negated_index) for negative, negated_index in best)
+        return [(self._items[index], distance) for distance, index in ordered]
 
     def _range_search(self, query: Any, radius: float) -> List[Tuple[Any, float]]:
         """Return every item within ``radius`` by scanning all of them."""
@@ -35,8 +60,8 @@ class LinearScanIndex(MetricIndexBase):
             raise IndexingError(f"radius must be non-negative, got {radius}")
         result = []
         for item in self._items:
-            distance = self._measure(query, item)
-            if distance <= radius:
+            distance = self._resolve_within(query, item, radius)
+            if distance is not None and distance <= radius:
                 result.append((item, distance))
         result.sort(key=lambda pair: pair[1])
         return result

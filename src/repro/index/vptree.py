@@ -13,11 +13,20 @@ distance is an arbitrary metric callable (NED over k-adjacent trees in the
 experiments).  ``last_query_distance_calls`` exposes the number of distance
 evaluations, which is the cost measure that matters when each distance is a
 TED* computation.
+
+With an optional ``resolver`` hook (see
+:class:`~repro.index.knn.MetricIndexBase`), the tree becomes a *hybrid*
+bound+triangle index: every query–item distance is first narrowed to a cheap
+``[lower, upper]`` summary interval, items whose lower bound already exceeds
+the pruning threshold never pay for an exact distance, and the triangle
+subtree tests run on the interval when the exact vantage distance was
+skipped.  Results stay identical; only the exact-evaluation count drops.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence, Tuple
 
@@ -55,6 +64,11 @@ class VPTree(MetricIndexBase):
     seed:
         Seed controlling vantage-point selection (kept deterministic so
         experiments are reproducible).
+    resolver:
+        Optional interval hook enabling hybrid bound+triangle pruning (see
+        :class:`~repro.index.knn.MetricIndexBase`).  Construction always
+        uses exact distances — the tree geometry must be true — so the hook
+        only affects queries.
     """
 
     def __init__(
@@ -63,8 +77,9 @@ class VPTree(MetricIndexBase):
         distance: DistanceFn,
         leaf_size: int = 8,
         seed: RngLike = 0,
+        resolver: Optional[Any] = None,
     ) -> None:
-        super().__init__(items, distance)
+        super().__init__(items, distance, resolver=resolver)
         if leaf_size < 1:
             raise IndexingError(f"leaf_size must be >= 1, got {leaf_size}")
         self._leaf_size = leaf_size
@@ -105,15 +120,37 @@ class VPTree(MetricIndexBase):
         return node
 
     # --------------------------------------------------------------- queries
-    def _knn(self, query: Any, k: int) -> List[Tuple[Any, float]]:
+    def _leaf_windows(self, query: Any, node: _VPNode) -> List[Tuple[Optional[Any], Any]]:
+        """Bucket items with their intervals, in resolution order.
+
+        With a resolver, each item's interval is evaluated exactly once and
+        the items are settled in ascending lower-bound order: the
+        likely-closest ones tighten the kNN threshold before the doubtful
+        ones are examined, so more of them are excluded by their interval
+        alone.
+        """
+        items = node.bucket or [node.vantage]
+        if self._resolver is None:
+            return [(None, item) for item in items]
+        windows = [(self._interval(query, item), item) for item in items]
+        windows.sort(key=lambda pair: pair[0].lower)
+        return windows
+
+    def _knn(
+        self, query: Any, k: int, tau_hint: Optional[float] = None
+    ) -> List[Tuple[Any, float]]:
         """Return the ``k`` indexed items closest to ``query``.
 
-        Uses best-bound pruning: a subtree is visited only if the triangle
-        inequality allows it to contain an item closer than the current
-        ``k``-th best distance.
+        Best-first traversal with best-bound pruning: subtrees are expanded
+        in ascending order of the least distance the triangle inequality (and
+        the summary intervals, when a resolver is present) allows them to
+        contain, and the walk stops as soon as that least distance exceeds
+        the current ``k``-th best (seeded from ``tau_hint`` when given) —
+        everything still unexpanded is provably worse.
         """
         if k <= 0:
             raise IndexingError(f"k must be positive, got {k}")
+        hint = math.inf if tau_hint is None else float(tau_hint)
         # Max-heap of (-distance, counter, item); counter breaks ties between
         # items that are not mutually comparable.
         best: List[Tuple[float, int, Any]] = []
@@ -128,30 +165,41 @@ class VPTree(MetricIndexBase):
             counter += 1
 
         def tau() -> float:
-            return -best[0][0] if len(best) == k else float("inf")
+            return min(hint, -best[0][0]) if len(best) == k else hint
 
-        def visit(node: Optional[_VPNode]) -> None:
-            if node is None:
-                return
+        # Min-heap of (gap, sequence, node): gap lower-bounds the distance of
+        # every item in the subtree, so the smallest-gap entry is always the
+        # most promising frontier; once it exceeds tau() the rest must too.
+        frontier: List[Tuple[float, int, _VPNode]] = []
+        sequence = 0
+
+        def push(node: Optional[_VPNode], gap: float) -> None:
+            nonlocal sequence
+            if node is not None and gap <= tau():
+                heapq.heappush(frontier, (gap, sequence, node))
+                sequence += 1
+
+        push(self._root, 0.0)
+        while frontier:
+            gap, _, node = heapq.heappop(frontier)
+            if gap > tau():
+                break
             if node.is_leaf:
-                for item in (node.bucket or [node.vantage]):
-                    offer(item, self._measure(query, item))
-                return
-            vantage_distance = self._measure(query, node.vantage)
-            offer(node.vantage, vantage_distance)
-            if vantage_distance <= node.radius:
-                near, far = node.inside, node.outside
-                near_gap = node.radius - vantage_distance
-            else:
-                near, far = node.outside, node.inside
-                near_gap = vantage_distance - node.radius
-            visit(near)
-            # Only cross the boundary when the ball of radius tau() around the
-            # query can reach the other side.
-            if near_gap <= tau():
-                visit(far)
+                for interval, item in self._leaf_windows(query, node):
+                    distance = self._resolve_within(query, item, tau(), interval=interval)
+                    if distance is not None:
+                        offer(item, distance)
+                continue
+            lower, upper, distance = self._distance_window(query, node.vantage, tau())
+            if distance is not None:
+                offer(node.vantage, distance)
+            # Triangle pruning on whatever is known about d(query, vantage):
+            # items inside the ball are at least lower - radius away, items
+            # outside at least radius - upper away.  A child inherits the
+            # tighter of its own gap and the parent's.
+            push(node.inside, max(gap, lower - node.radius))
+            push(node.outside, max(gap, node.radius - upper))
 
-        visit(self._root)
         ordered = sorted(((-negative, item) for negative, _, item in best), key=lambda p: p[0])
         return [(item, distance) for distance, item in ordered]
 
@@ -166,16 +214,16 @@ class VPTree(MetricIndexBase):
                 return
             if node.is_leaf:
                 for item in (node.bucket or [node.vantage]):
-                    distance = self._measure(query, item)
-                    if distance <= radius:
+                    distance = self._resolve_within(query, item, radius)
+                    if distance is not None and distance <= radius:
                         matches.append((item, distance))
                 return
-            vantage_distance = self._measure(query, node.vantage)
-            if vantage_distance <= radius:
-                matches.append((node.vantage, vantage_distance))
-            if vantage_distance - radius <= node.radius:
+            lower, upper, distance = self._distance_window(query, node.vantage, radius)
+            if distance is not None and distance <= radius:
+                matches.append((node.vantage, distance))
+            if lower - radius <= node.radius:
                 visit(node.inside)
-            if vantage_distance + radius >= node.radius:
+            if upper + radius >= node.radius:
                 visit(node.outside)
 
         visit(self._root)

@@ -8,8 +8,12 @@
   (NP-hard; branch-and-bound, usable for small trees, Section 13.1 baseline).
 * :mod:`repro.ted.exact_ged` — exact graph edit distance (NP-hard;
   branch-and-bound, small graphs, Section 13.1 baseline).
-* :mod:`repro.ted.bounds` — the relations among the three distances
+* :mod:`repro.ted.bounds` — the tier-cascade bound mathematics (signature,
+  level-size, degree-multiset) plus the relations among the three distances
   (Section 11: GED ≤ 2·TED*, TED ≤ δ_T(W+)).
+* :mod:`repro.ted.resolver` — :class:`BoundedNedDistance`, the staged
+  distance-resolution cascade consumed by the engine and the hybrid metric
+  indexes.
 """
 
 from repro.ted.ted_star import TedStarResult, ted_star, ted_star_detailed
@@ -21,6 +25,13 @@ from repro.ted.weighted import (
 from repro.ted.exact_ted import exact_tree_edit_distance
 from repro.ted.exact_ged import exact_graph_edit_distance
 from repro.ted.bounds import ged_upper_bound_from_ted_star, ted_upper_bound_from_weighted
+from repro.ted.resolver import (
+    BOUND_TIERS,
+    TIER_CASCADE,
+    BoundedNedDistance,
+    ResolutionCounters,
+    ResolutionInterval,
+)
 
 __all__ = [
     "ted_star",
@@ -33,4 +44,9 @@ __all__ = [
     "exact_graph_edit_distance",
     "ged_upper_bound_from_ted_star",
     "ted_upper_bound_from_weighted",
+    "BoundedNedDistance",
+    "ResolutionCounters",
+    "ResolutionInterval",
+    "BOUND_TIERS",
+    "TIER_CASCADE",
 ]

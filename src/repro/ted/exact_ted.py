@@ -20,7 +20,7 @@ that cannot beat the best mapping found so far.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.exceptions import DistanceError
 from repro.trees.tree import Tree

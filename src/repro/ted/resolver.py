@@ -1,0 +1,249 @@
+"""Tiered TED* distance resolution: one cascade shared by every consumer.
+
+Before this module existed, three places re-implemented "try cheap summaries
+before paying for exact TED*": the search engine, the distance-matrix
+builder, and (not at all) the metric indexes.  :class:`BoundedNedDistance`
+consolidates that discipline — the same move data-skipping systems make when
+they answer predicates from precomputed per-block summaries instead of
+scanning the blocks.
+
+The cascade runs the tiers of :data:`TIER_CASCADE` in order, each returning
+a ``(lower, upper)`` interval on TED*:
+
+1. ``"signature"`` — equal AHU canonical signatures ⇒ distance exactly 0.
+2. ``"level-size"`` — O(k) bounds from per-level sizes.
+3. ``"degree-multiset"`` — earth-mover-style per-level bounds from the child
+   count multisets; the lower bound dominates the level-size one.
+4. ``"exact"`` — the O(k·n³) TED* computation, paid only when the interval
+   left by the cheap tiers still straddles the caller's decision boundary.
+
+Inputs are summary records (duck-typed: ``.tree``, ``.signature``,
+``.level_sizes``, ``.degree_profiles`` — e.g.
+:class:`repro.engine.tree_store.StoredTree`), so resolution never touches a
+graph.  Every tier evaluation and every outcome (hit / decided / pruned /
+exact) is recorded in per-tier counters, which is how the benchmarks prove
+*where* exact evaluations were skipped.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+from typing import Optional, Sequence, Tuple
+
+from repro.exceptions import DistanceError
+from repro.ted.bounds import (
+    ted_star_degree_multiset_bounds,
+    ted_star_level_size_bounds,
+)
+from repro.ted.ted_star import ted_star
+
+SIGNATURE_TIER = "signature"
+LEVEL_SIZE_TIER = "level-size"
+DEGREE_TIER = "degree-multiset"
+EXACT_TIER = "exact"
+NO_TIER = "none"
+
+#: Cheap tiers, in cascade order (exact is always the implicit last resort).
+BOUND_TIERS = (SIGNATURE_TIER, LEVEL_SIZE_TIER, DEGREE_TIER)
+#: The full resolution cascade.
+TIER_CASCADE = BOUND_TIERS + (EXACT_TIER,)
+
+
+@dataclass
+class ResolutionCounters:
+    """Per-tier telemetry of a :class:`BoundedNedDistance`.
+
+    ``*_evaluations`` count how often a tier was computed; ``signature_hits``
+    / ``decided_by_*`` count pairs a tier answered exactly; ``pruned_by_*``
+    count pairs a tier excluded from a decision (threshold / kNN cut) without
+    ever knowing their distance.  :class:`repro.engine.stats.EngineStats`
+    extends this with engine-level counters and aggregate properties.
+    """
+
+    exact_evaluations: int = 0
+    signature_hits: int = 0
+    level_size_evaluations: int = 0
+    degree_evaluations: int = 0
+    decided_by_level_size: int = 0
+    decided_by_degree: int = 0
+    pruned_by_level_size: int = 0
+    pruned_by_degree: int = 0
+
+    def merge(self, other: "ResolutionCounters") -> None:
+        """Accumulate ``other`` into this instance (for running totals)."""
+        for spec in fields(self):
+            setattr(self, spec.name, getattr(self, spec.name) + getattr(other, spec.name))
+
+    def copy(self) -> "ResolutionCounters":
+        """Return an independent snapshot of the current counts."""
+        return type(self)(**{spec.name: getattr(self, spec.name) for spec in fields(self)})
+
+    def since(self, snapshot: "ResolutionCounters") -> "ResolutionCounters":
+        """Return the counter deltas accumulated after ``snapshot``."""
+        return type(self)(
+            **{
+                spec.name: getattr(self, spec.name) - getattr(snapshot, spec.name)
+                for spec in fields(self)
+            }
+        )
+
+
+@dataclass(frozen=True)
+class ResolutionInterval:
+    """A ``[lower, upper]`` interval on TED* produced by the bound tiers.
+
+    ``tier`` names the tier that supplied the governing (largest) lower
+    bound — the tier credited when the interval later prunes or decides the
+    pair.  ``exact`` is true when the interval pins a single value, which the
+    consumer may use without paying for a TED* computation.
+    """
+
+    lower: float
+    upper: float
+    tier: str
+
+    @property
+    def exact(self) -> bool:
+        return self.lower == self.upper
+
+    def excludes(self, threshold: float) -> bool:
+        """True when the whole interval lies beyond ``threshold``."""
+        return self.lower > threshold
+
+    def straddles(self, threshold: float) -> bool:
+        """True when only an exact evaluation can settle ``<= threshold``."""
+        return self.lower <= threshold < self.upper
+
+
+class BoundedNedDistance:
+    """Staged TED* resolution with per-tier counters.
+
+    Parameters
+    ----------
+    k:
+        Number of tree levels compared (must match the summaries' ``k``).
+    backend:
+        Bipartite matching backend forwarded to exact TED*.
+    tiers:
+        Which cheap tiers to run, any subset of :data:`BOUND_TIERS`; order is
+        normalised to cascade order.  ``None`` enables all of them.  The
+        exact tier cannot be disabled — it is the cascade's last resort.
+    counters:
+        Optional externally owned :class:`ResolutionCounters` (the engine
+        passes an :class:`repro.engine.stats.EngineStats`); a private one is
+        created when omitted.
+
+    Example
+    -------
+    >>> from repro.engine.tree_store import TreeStore
+    >>> from repro.graph.generators import grid_road_graph
+    >>> store = TreeStore.from_graph(grid_road_graph(4, 4, seed=1), k=2)
+    >>> resolver = BoundedNedDistance(k=2)
+    >>> resolver.distance(store.entry(0), store.entry(5)) >= 0
+    True
+    """
+
+    def __init__(
+        self,
+        k: int,
+        backend: str = "hungarian",
+        tiers: Optional[Sequence[str]] = None,
+        counters: Optional[ResolutionCounters] = None,
+    ) -> None:
+        requested = BOUND_TIERS if tiers is None else tuple(tiers)
+        unknown = [tier for tier in requested if tier not in BOUND_TIERS]
+        if unknown:
+            raise DistanceError(
+                f"unknown bound tiers {unknown}; expected a subset of {BOUND_TIERS}"
+            )
+        self.k = k
+        self.backend = backend
+        self.tiers: Tuple[str, ...] = tuple(t for t in BOUND_TIERS if t in requested)
+        self.counters = counters if counters is not None else ResolutionCounters()
+
+    # ------------------------------------------------------------ bound tiers
+    def bounds(self, first, second) -> ResolutionInterval:
+        """Run the cheap tiers only; never computes an exact TED*.
+
+        Stops at the first tier that pins the distance (``lower == upper``);
+        later tiers cannot improve a closed interval.
+        """
+        counters = self.counters
+        if SIGNATURE_TIER in self.tiers and first.signature == second.signature:
+            counters.signature_hits += 1
+            return ResolutionInterval(0.0, 0.0, SIGNATURE_TIER)
+        lower, upper = 0.0, math.inf
+        tier = NO_TIER
+        if LEVEL_SIZE_TIER in self.tiers:
+            counters.level_size_evaluations += 1
+            size_lower, size_upper = ted_star_level_size_bounds(
+                first.level_sizes, second.level_sizes
+            )
+            lower, upper, tier = float(size_lower), float(size_upper), LEVEL_SIZE_TIER
+            if lower == upper:
+                return ResolutionInterval(lower, upper, tier)
+        if DEGREE_TIER in self.tiers:
+            counters.degree_evaluations += 1
+            degree_lower, degree_upper = ted_star_degree_multiset_bounds(
+                first.degree_profiles, second.degree_profiles
+            )
+            if float(degree_lower) > lower:
+                lower, tier = float(degree_lower), DEGREE_TIER
+            upper = min(upper, float(degree_upper))
+        return ResolutionInterval(lower, upper, tier)
+
+    # ------------------------------------------------------------- exact tier
+    def exact(self, first, second) -> float:
+        """Pay for one exact TED* evaluation (always counted)."""
+        self.counters.exact_evaluations += 1
+        return ted_star(first.tree, second.tree, k=self.k, backend=self.backend)
+
+    # -------------------------------------------------------------- outcomes
+    def record_pruned(self, interval: ResolutionInterval) -> None:
+        """Credit ``interval``'s tier with excluding a pair from a decision."""
+        if interval.tier == LEVEL_SIZE_TIER:
+            self.counters.pruned_by_level_size += 1
+        elif interval.tier == DEGREE_TIER:
+            self.counters.pruned_by_degree += 1
+
+    def record_decided(self, interval: ResolutionInterval) -> None:
+        """Credit ``interval``'s tier with pinning a pair's distance.
+
+        Signature hits are already counted when :meth:`bounds` detects them,
+        so they are not double-counted here.
+        """
+        if interval.tier == LEVEL_SIZE_TIER:
+            self.counters.decided_by_level_size += 1
+        elif interval.tier == DEGREE_TIER:
+            self.counters.decided_by_degree += 1
+
+    # -------------------------------------------------------- full resolution
+    def resolve(
+        self, first, second, threshold: Optional[float] = None
+    ) -> Tuple[Optional[float], ResolutionInterval]:
+        """Run the full cascade for one pair.
+
+        Returns ``(value, interval)``.  With a ``threshold``, a pair whose
+        interval already lies beyond it is excluded without an exact
+        evaluation — ``value`` is ``None`` and the pruning is credited to the
+        responsible tier.  Otherwise ``value`` is the exact distance, paid
+        for only when the cheap tiers left the interval open.
+        """
+        interval = self.bounds(first, second)
+        if threshold is not None and interval.excludes(threshold):
+            self.record_pruned(interval)
+            return None, interval
+        if interval.exact:
+            self.record_decided(interval)
+            return interval.lower, interval
+        value = self.exact(first, second)
+        return value, ResolutionInterval(value, value, EXACT_TIER)
+
+    def distance(self, first, second) -> float:
+        """Return the exact distance through the cascade (never prunes)."""
+        value, _ = self.resolve(first, second)
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BoundedNedDistance(k={self.k}, tiers={self.tiers})"

@@ -12,7 +12,7 @@ so the edit scripts and matchings can be reported.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.exceptions import TreeError
 

@@ -9,7 +9,7 @@ reproducible and avoids accidental use of the global :mod:`random` state.
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Optional, Sequence, TypeVar, Union
+from typing import Iterable, List, Sequence, TypeVar, Union
 
 T = TypeVar("T")
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.exceptions import GraphError, NodeNotFoundError
-from repro.graph.graph import DiGraph, Graph
+from repro.graph.graph import DiGraph
 from repro.trees.adjacent import (
     incoming_k_adjacent_tree,
     k_adjacent_tree,

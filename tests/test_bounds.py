@@ -7,8 +7,11 @@ from hypothesis import strategies as st
 
 from repro.graph.graph import Graph
 from repro.ted.bounds import (
+    degree_profile_sequence,
     ged_upper_bound_from_ted_star,
     level_size_sequence,
+    ted_star_degree_lower_bound,
+    ted_star_degree_multiset_bounds,
     ted_star_level_size_bounds,
     ted_star_lower_bound,
     ted_star_upper_bound,
@@ -99,3 +102,87 @@ class TestLevelSizeBounds:
         second = random_tree_with_depth(12, 3, seed=2)
         assert ted_star_lower_bound(first, second) == ted_star_lower_bound(second, first)
         assert ted_star_upper_bound(first, second) == ted_star_upper_bound(second, first)
+
+
+class TestDegreeProfileSequence:
+    def test_profiles_of_simple_tree(self, three_level_tree):
+        # three_level_tree: root with 2 children, 3 grandchildren total.
+        profiles = degree_profile_sequence(three_level_tree)
+        assert len(profiles) == 3
+        assert profiles[0] == (2,)
+        assert sum(profiles[1]) == 3  # degrees on level 2 sum to level-3 size
+        assert profiles[2] == (0, 0, 0)  # deepest level has no in-view children
+        assert all(tuple(sorted(level)) == level for level in profiles)
+
+    def test_padding_to_k(self, three_level_tree):
+        profiles = degree_profile_sequence(three_level_tree, k=5)
+        assert len(profiles) == 5
+        assert profiles[3] == () and profiles[4] == ()
+        with pytest.raises(ValueError):
+            degree_profile_sequence(three_level_tree, k=2)
+
+    def test_truncation_zeroes_deepest_level(self):
+        # A path 0-1-2: with its natural k the middle node has degree 1, but
+        # a view truncated at the middle level must report degree 0 there to
+        # agree with ted_star(..., k=2).
+        path = Tree([-1, 0, 1])
+        assert degree_profile_sequence(path)[1] == (1,)
+
+
+class TestDegreeMultisetBounds:
+    def test_dominates_level_size_on_fixture(self):
+        # Same level sizes (1, 2), different branching: the star's two leaves
+        # hang off one child, the path's off both.  Level sizes see no
+        # difference; the degree multisets do.
+        lopsided = Tree.from_levels([[2], [2, 0]])
+        balanced = Tree.from_levels([[2], [1, 1]])
+        sizes = level_size_sequence(lopsided)
+        assert level_size_sequence(balanced) == sizes
+        size_lower, _ = ted_star_level_size_bounds(sizes, sizes)
+        assert size_lower == 0
+        degree_lower = ted_star_degree_lower_bound(lopsided, balanced)
+        assert degree_lower == 1
+        assert degree_lower <= ted_star(lopsided, balanced)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        size_a=st.integers(min_value=2, max_value=16),
+        size_b=st.integers(min_value=2, max_value=16),
+        depth=st.integers(min_value=1, max_value=4),
+        seed_a=st.integers(min_value=0, max_value=10**6),
+        seed_b=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_sandwiches_ted_star_and_dominates_level_size(
+        self, size_a, size_b, depth, seed_a, seed_b
+    ):
+        k = depth + 1
+        first = random_tree_with_depth(size_a, depth, seed=seed_a)
+        second = random_tree_with_depth(size_b, depth, seed=seed_b)
+        distance = ted_star(first, second, k=k)
+        degree_lower, degree_upper = ted_star_degree_multiset_bounds(
+            degree_profile_sequence(first, k), degree_profile_sequence(second, k)
+        )
+        # Sandwich: never above the exact distance, upper never below it.
+        assert degree_lower <= distance <= degree_upper
+        # Dominance: at least as tight as the level-size lower bound.
+        assert degree_lower >= ted_star_lower_bound(first, second, k)
+
+    def test_bounds_symmetric(self):
+        first = random_tree_with_depth(9, 3, seed=5)
+        second = random_tree_with_depth(12, 3, seed=6)
+        forward = ted_star_degree_multiset_bounds(
+            degree_profile_sequence(first), degree_profile_sequence(second, 4)
+        )
+        backward = ted_star_degree_multiset_bounds(
+            degree_profile_sequence(second, 4), degree_profile_sequence(first)
+        )
+        assert forward == backward
+
+    def test_zero_for_isomorphic_trees(self):
+        from repro.trees.random_trees import random_tree
+
+        tree = random_tree(9, seed=8)
+        lower, _ = ted_star_degree_multiset_bounds(
+            degree_profile_sequence(tree), degree_profile_sequence(tree)
+        )
+        assert lower == 0

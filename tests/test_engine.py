@@ -91,6 +91,48 @@ class TestTreeStore:
             assert loaded.signature(node) == ba_store.signature(node)
             assert loaded.tree(node).graph_nodes == ba_store.tree(node).graph_nodes
 
+    def test_degree_profiles_match_fresh_computation(self, ba_store):
+        from repro.ted.bounds import degree_profile_sequence
+
+        for node in ba_store.nodes()[:10]:
+            assert ba_store.degree_profiles(node) == degree_profile_sequence(
+                ba_store.tree(node), ba_store.k
+            )
+
+    def test_load_version1_store_recomputes_degree_profiles(self, ba_store, tmp_path):
+        # PR-1 stores predate the degree summaries; they must still load and
+        # prune exactly like freshly built ones.
+        import pickle
+
+        path = tmp_path / "v1.store"
+        ba_store.save(path)
+        with path.open("rb") as handle:
+            payload = pickle.load(handle)
+        payload["version"] = 1
+        for record in payload["entries"]:
+            del record["degree_profiles"]
+        with path.open("wb") as handle:
+            pickle.dump(payload, handle)
+        loaded = TreeStore.load(path)
+        for node in loaded.nodes():
+            assert loaded.degree_profiles(node) == ba_store.degree_profiles(node)
+
+    def test_load_rejects_unsupported_version_with_clear_error(self, ba_store, tmp_path):
+        import pickle
+
+        path = tmp_path / "future.store"
+        ba_store.save(path)
+        with path.open("rb") as handle:
+            payload = pickle.load(handle)
+        payload["version"] = 99
+        with path.open("wb") as handle:
+            pickle.dump(payload, handle)
+        with pytest.raises(GraphError) as caught:
+            TreeStore.load(path)
+        message = str(caught.value)
+        assert "99" in message  # the found version...
+        assert "1, 2" in message  # ...and the supported ones
+
     def test_load_rejects_foreign_files(self, tmp_path):
         path = tmp_path / "not_a_store.bin"
         import pickle
@@ -366,6 +408,111 @@ class TestNedSearchEngine:
             engine.top_l_candidates(ba_store.tree(0), 0)
 
 
+class TestHybridEngine:
+    """Hybrid bound+triangle indexes: identical results, fewer exact evals."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        graph = erdos_renyi_graph(150, 0.025, seed=29)
+        store = TreeStore.from_graph(graph, k=3)
+        queries = grid_road_graph(6, 6, seed=31)
+        return store, queries
+
+    def test_hybrid_knn_distances_match_scan(self, workload):
+        store, queries = workload
+        scan = NedSearchEngine(store, mode="exact", index="linear")
+        for backend in ("vptree", "bktree", "linear"):
+            hybrid = NedSearchEngine(store, mode="hybrid", index=backend)
+            for query_node in list(queries.nodes())[:4]:
+                probe = scan.probe(queries, query_node)
+                expected = [d for _, d in scan.knn(probe, 5)]
+                assert [d for _, d in hybrid.knn(probe, 5)] == expected
+
+    def test_hybrid_range_and_top_l_match_scan(self, workload):
+        store, queries = workload
+        scan = NedSearchEngine(store, mode="exact", index="linear")
+        hybrid = NedSearchEngine(store, mode="hybrid", index="vptree")
+        for query_node in list(queries.nodes())[:3]:
+            probe = scan.probe(queries, query_node)
+            assert sorted(hybrid.range_search(probe, 9.0)) == sorted(
+                scan.range_search(probe, 9.0)
+            )
+            assert hybrid.top_l_candidates(probe, 6) == scan.top_l_candidates(probe, 6)
+
+    def test_hybrid_beats_triangle_only_and_level_size_scan(self, workload):
+        """The headline claim: hybrid pruning needs strictly fewer exact
+        TED* evaluations than both the triangle-only VP-tree and the PR-1
+        level-size bound-prune scan."""
+        store, queries = workload
+        triangle = NedSearchEngine(store, mode="exact", index="vptree")
+        level_size_scan = NedSearchEngine(
+            store, mode="bound-prune", tiers=("signature", "level-size")
+        )
+        hybrid = NedSearchEngine(store, mode="hybrid", index="vptree")
+        totals = {"triangle": 0, "level-size-scan": 0, "hybrid": 0}
+        for query_node in list(queries.nodes())[:8]:
+            probe = triangle.probe(queries, query_node)
+            reference = [d for _, d in triangle.knn(probe, 5)]
+            assert [d for _, d in level_size_scan.knn(probe, 5)] == reference
+            assert [d for _, d in hybrid.knn(probe, 5)] == reference
+            totals["triangle"] += triangle.last_query_distance_calls
+            totals["level-size-scan"] += level_size_scan.last_query_distance_calls
+            totals["hybrid"] += hybrid.last_query_distance_calls
+        assert totals["hybrid"] < totals["triangle"]
+        assert totals["hybrid"] < totals["level-size-scan"]
+
+    def test_hybrid_per_tier_counters_are_recorded(self, workload):
+        store, queries = workload
+        hybrid = NedSearchEngine(store, mode="hybrid", index="vptree")
+        probe = hybrid.probe(queries, 0)
+        hybrid.knn(probe, 5)
+        counters = hybrid.last_query_stats.counters
+        assert counters.pairs_considered == len(store)
+        assert counters.level_size_evaluations > 0
+        assert counters.pruned_by_lower_bound > 0
+        # Conservation: nothing is both paid for exactly and skipped.
+        assert (
+            counters.exact_evaluations + counters.exact_evaluations_avoided
+            <= counters.pairs_considered
+        )
+
+    def test_degree_tier_never_pays_more_than_level_size_only(self, workload):
+        store, queries = workload
+        level_size_only = NedSearchEngine(
+            store, mode="bound-prune", tiers=("signature", "level-size")
+        )
+        full = NedSearchEngine(store, mode="bound-prune")
+        for query_node in list(queries.nodes())[:5]:
+            probe = full.probe(queries, query_node)
+            assert full.knn(probe, 5) == level_size_only.knn(probe, 5)
+        assert full.stats.exact_evaluations <= level_size_only.stats.exact_evaluations
+
+    def test_unknown_tier_rejected(self, workload):
+        store, _ = workload
+        with pytest.raises(IndexingError):
+            NedSearchEngine(store, tiers=("clairvoyance",))
+        from repro.exceptions import DistanceError
+
+        with pytest.raises(DistanceError):
+            pairwise_distance_matrix(store, mode="bound-prune", tiers=("exact",))
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        nodes=st.integers(min_value=10, max_value=40),
+        seed=st.integers(min_value=0, max_value=10**6),
+        count=st.integers(min_value=1, max_value=6),
+    )
+    def test_hybrid_identical_to_scan_property(self, nodes, seed, count):
+        graph = erdos_renyi_graph(nodes, 0.1, seed=seed)
+        store = TreeStore.from_graph(graph, k=3)
+        scan = NedSearchEngine(store, mode="exact", index="linear")
+        probe = scan.probe(graph, graph.nodes()[0])
+        expected = [d for _, d in scan.knn(probe, count)]
+        for backend in ("vptree", "bktree"):
+            hybrid = NedSearchEngine(store, mode="hybrid", index=backend)
+            assert [d for _, d in hybrid.knn(probe, count)] == expected
+
+
 class TestEngineDeanonymization:
     def test_engine_sweep_matches_callable_sweep(self):
         graph = barabasi_albert_graph(50, 2, seed=9)
@@ -416,7 +563,7 @@ class TestEngineDeanonymization:
 class TestEngineStats:
     def test_merge_and_ratios(self):
         first = EngineStats(pairs_considered=10, exact_evaluations=4,
-                            pruned_by_lower_bound=6)
+                            pruned_by_level_size=6)
         second = EngineStats(pairs_considered=10, exact_evaluations=10)
         first.merge(second)
         assert first.pairs_considered == 20
@@ -424,6 +571,29 @@ class TestEngineStats:
         assert first.exact_evaluations_avoided == 6
         assert first.pruning_ratio == pytest.approx(0.3)
         assert first.as_dict()["pruning_ratio"] == pytest.approx(0.3)
+
+    def test_per_tier_aggregates(self):
+        stats = EngineStats(
+            signature_hits=1,
+            decided_by_level_size=2, decided_by_degree=3,
+            pruned_by_level_size=4, pruned_by_degree=5,
+            level_size_evaluations=9, degree_evaluations=8,
+        )
+        assert stats.decided_by_bounds == 5
+        assert stats.pruned_by_lower_bound == 9
+        assert stats.bound_evaluations == 17
+        assert stats.exact_evaluations_avoided == 1 + 5 + 9
+        as_dict = stats.as_dict()
+        assert as_dict["decided_by_degree"] == 3
+        assert as_dict["pruned_by_lower_bound"] == 9
+
+    def test_copy_and_since(self):
+        stats = EngineStats(pairs_considered=5, exact_evaluations=2)
+        snapshot = stats.copy()
+        stats.merge(EngineStats(pairs_considered=3, exact_evaluations=1))
+        delta = stats.since(snapshot)
+        assert (delta.pairs_considered, delta.exact_evaluations) == (3, 1)
+        assert (snapshot.pairs_considered, snapshot.exact_evaluations) == (5, 2)
 
     def test_empty_stats_ratio(self):
         assert EngineStats().pruning_ratio == 0.0

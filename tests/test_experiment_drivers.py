@@ -6,9 +6,9 @@ the qualitative shape the paper reports (where that shape is deterministic
 enough to assert at this scale).
 """
 
-import pytest
 
 from repro.experiments.ablations import (
+    ablation_bound_tiers,
     ablation_bounds,
     ablation_matching_backend,
     ablation_monotonicity,
@@ -20,6 +20,7 @@ from repro.experiments.fig8_parameter_k import figure8_parameter_k
 from repro.experiments.fig9_query_comparison import (
     figure9a_similarity_computation_time,
     figure9b_nearest_neighbor_query_time,
+    figure9b_tier_ablation,
 )
 from repro.experiments.fig10_deanonymization import deanonymization_experiment, figure10a_pgp
 from repro.experiments.fig11_deanonymization_sweeps import (
@@ -108,6 +109,30 @@ class TestFigure9:
         assert row["ned_vptree_distance_evaluations"] <= row["feature_distance_evaluations"]
         assert row["ned_vptree_query_time"] <= row["ned_scan_query_time"] * 1.5
 
+    def test_tier_ablation_hybrid_beats_both_baselines(self):
+        """Acceptance: on the Fig 9b workload, the hybrid bound+triangle
+        VP-tree pays strictly fewer exact TED* evaluations than both the
+        triangle-only VP-tree and the PR-1 level-size bound-prune scan
+        (the driver itself asserts all regimes return identical results)."""
+        table = figure9b_tier_ablation(candidate_count=80, query_count=4, scale=0.3)
+        rows = {row["configuration"]: row for row in table.rows}
+        hybrid = rows["hybrid vptree"]["exact_evals_per_query"]
+        assert hybrid < rows["vptree triangle-only"]["exact_evals_per_query"]
+        assert hybrid < rows["scan level-size"]["exact_evals_per_query"]
+        # The per-tier counters must show where evaluations were skipped.
+        assert (
+            rows["hybrid vptree"]["pruned_level_size"]
+            + rows["hybrid vptree"]["pruned_degree"]
+            + rows["hybrid vptree"]["signature_hits"]
+            + rows["hybrid vptree"]["decided_level_size"]
+            + rows["hybrid vptree"]["decided_degree"]
+        ) > 0
+        # The degree tier tightens the scan beyond level-size alone.
+        assert (
+            rows["scan degree-multiset"]["exact_evals_per_query"]
+            <= rows["scan level-size"]["exact_evals_per_query"]
+        )
+
 
 class TestFigure10and11:
     def test_deanonymization_experiment_rows(self):
@@ -139,6 +164,29 @@ class TestFigure10and11:
 
 
 class TestAblations:
+    def test_bound_tiers_dominate_and_sandwich(self):
+        table = ablation_bound_tiers(pair_count=20, scale=0.3)
+        row = table.rows[0]
+        assert row["dominance_violations"] == 0
+        assert row["sandwich_violations"] == 0
+        assert row["avg_degree_lower"] >= row["avg_level_size_lower"]
+        assert row["degree_exact_evals"] <= row["level_size_exact_evals"]
+
+    def test_deanonymization_engine_tiers_match_full_cascade(self):
+        level_size = deanonymization_experiment(
+            dataset="PGP", top_l=5, ratio=0.1, scale=0.2, query_sample=4,
+            candidate_sample=25, seed=3, schemes=("perturbation",),
+            engine_mode="bound-prune", engine_tiers=("signature", "level-size"),
+        )
+        full = deanonymization_experiment(
+            dataset="PGP", top_l=5, ratio=0.1, scale=0.2, query_sample=4,
+            candidate_sample=25, seed=3, schemes=("perturbation",),
+            engine_mode="bound-prune",
+        )
+        ned = lambda table: next(r for r in table.rows if r["method"] == "NED")  # noqa: E731
+        assert ned(level_size)["precision"] == ned(full)["precision"]
+        assert ned(full)["exact_ted_star_evals"] <= ned(level_size)["exact_ted_star_evals"]
+
     def test_bounds_hold(self):
         table = ablation_bounds(pair_count=5, scale=0.3)
         row = table.rows[0]

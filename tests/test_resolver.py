@@ -1,0 +1,169 @@
+"""Tests for the tiered distance-resolution cascade (repro.ted.resolver)."""
+
+import math
+
+import pytest
+
+from repro.engine.tree_store import TreeStore, summarize_tree
+from repro.exceptions import DistanceError
+from repro.graph.generators import barabasi_albert_graph, grid_road_graph
+from repro.ted.bounds import ted_star_level_size_bounds
+from repro.ted.resolver import (
+    BOUND_TIERS,
+    DEGREE_TIER,
+    EXACT_TIER,
+    LEVEL_SIZE_TIER,
+    SIGNATURE_TIER,
+    TIER_CASCADE,
+    BoundedNedDistance,
+    ResolutionCounters,
+    ResolutionInterval,
+)
+from repro.ted.ted_star import ted_star
+from repro.trees.random_trees import random_tree_with_depth
+
+
+@pytest.fixture(scope="module")
+def store():
+    return TreeStore.from_graph(barabasi_albert_graph(40, 2, seed=11), k=3)
+
+
+class TestResolutionInterval:
+    def test_exact_and_predicates(self):
+        open_interval = ResolutionInterval(2.0, 5.0, LEVEL_SIZE_TIER)
+        assert not open_interval.exact
+        assert open_interval.excludes(1.5)
+        assert not open_interval.excludes(2.0)
+        assert open_interval.straddles(3.0)
+        assert not open_interval.straddles(5.0)
+        closed = ResolutionInterval(4.0, 4.0, DEGREE_TIER)
+        assert closed.exact and not closed.straddles(4.0)
+
+    def test_cascade_constants(self):
+        assert TIER_CASCADE == BOUND_TIERS + (EXACT_TIER,)
+        assert BOUND_TIERS[0] == SIGNATURE_TIER
+
+
+class TestBoundedNedDistance:
+    def test_signature_tier_resolves_isomorphic_pairs(self, store):
+        resolver = BoundedNedDistance(k=3)
+        entry = store.entry(store.nodes()[0])
+        interval = resolver.bounds(entry, entry)
+        assert interval == ResolutionInterval(0.0, 0.0, SIGNATURE_TIER)
+        assert resolver.counters.signature_hits == 1
+        assert resolver.counters.exact_evaluations == 0
+
+    def test_distance_matches_ted_star(self, store):
+        resolver = BoundedNedDistance(k=3)
+        nodes = store.nodes()
+        for u, v in [(nodes[0], nodes[5]), (nodes[3], nodes[17]), (nodes[8], nodes[8])]:
+            expected = ted_star(store.tree(u), store.tree(v), k=3)
+            assert resolver.distance(store.entry(u), store.entry(v)) == expected
+
+    def test_resolve_with_threshold_prunes_and_credits_the_tier(self, store):
+        resolver = BoundedNedDistance(k=3)
+        entries = store.entries()
+        pruned = 0
+        for first in entries[:8]:
+            for second in entries[8:]:
+                value, interval = resolver.resolve(first, second, threshold=0.5)
+                if value is None:
+                    pruned += 1
+                    assert interval.lower > 0.5
+                    assert interval.tier in (LEVEL_SIZE_TIER, DEGREE_TIER)
+        assert pruned > 0
+        counters = resolver.counters
+        assert counters.pruned_by_level_size + counters.pruned_by_degree == pruned
+
+    def test_degree_tier_credited_only_when_it_governs(self, store):
+        resolver = BoundedNedDistance(k=3)
+        entries = store.entries()
+        for first in entries:
+            for second in entries:
+                interval = resolver.bounds(first, second)
+                if interval.tier == DEGREE_TIER:
+                    # The degree tier governs only when it beat level-size.
+                    level_lower, _ = ted_star_level_size_bounds(
+                        first.level_sizes, second.level_sizes
+                    )
+                    assert interval.lower > level_lower
+
+    def test_tier_subset_skips_disabled_tiers(self, store):
+        entries = store.entries()
+        level_only = BoundedNedDistance(k=3, tiers=(SIGNATURE_TIER, LEVEL_SIZE_TIER))
+        for first in entries[:6]:
+            for second in entries[:6]:
+                level_only.bounds(first, second)
+        assert level_only.counters.degree_evaluations == 0
+        no_signature = BoundedNedDistance(k=3, tiers=(LEVEL_SIZE_TIER, DEGREE_TIER))
+        entry = entries[0]
+        interval = no_signature.bounds(entry, entry)
+        assert interval.tier != SIGNATURE_TIER
+        assert no_signature.counters.signature_hits == 0
+
+    def test_tier_order_normalised_and_validated(self):
+        resolver = BoundedNedDistance(k=3, tiers=(DEGREE_TIER, SIGNATURE_TIER))
+        assert resolver.tiers == (SIGNATURE_TIER, DEGREE_TIER)
+        with pytest.raises(DistanceError):
+            BoundedNedDistance(k=3, tiers=("psychic",))
+        with pytest.raises(DistanceError):
+            BoundedNedDistance(k=3, tiers=(EXACT_TIER,))  # exact is implicit
+
+    def test_bounds_never_lie_on_random_summaries(self):
+        resolver = BoundedNedDistance(k=4)
+        for seed in range(30):
+            first = summarize_tree(
+                "a", random_tree_with_depth(2 + seed % 12, 3, seed=seed), 4
+            )
+            second = summarize_tree(
+                "b", random_tree_with_depth(2 + (seed * 7) % 12, 3, seed=seed + 100), 4
+            )
+            interval = resolver.bounds(first, second)
+            distance = ted_star(first.tree, second.tree, k=4)
+            assert interval.lower <= distance <= interval.upper
+
+    def test_external_counters_are_shared(self, store):
+        counters = ResolutionCounters()
+        resolver = BoundedNedDistance(k=3, counters=counters)
+        entries = store.entries()
+        resolver.resolve(entries[0], entries[1])
+        assert counters is resolver.counters
+        assert counters.level_size_evaluations >= 1
+
+    def test_exact_interval_is_closed(self, store):
+        resolver = BoundedNedDistance(k=3)
+        entries = store.entries()
+        value, interval = resolver.resolve(entries[0], entries[4])
+        assert value == interval.lower == interval.upper
+        assert interval.tier in (SIGNATURE_TIER, LEVEL_SIZE_TIER, DEGREE_TIER, EXACT_TIER)
+
+
+class TestCountersArithmetic:
+    def test_merge_copy_since(self):
+        counters = ResolutionCounters(exact_evaluations=2, signature_hits=1)
+        snapshot = counters.copy()
+        counters.merge(ResolutionCounters(exact_evaluations=3, pruned_by_degree=4))
+        delta = counters.since(snapshot)
+        assert delta.exact_evaluations == 3
+        assert delta.pruned_by_degree == 4
+        assert delta.signature_hits == 0
+        assert snapshot.exact_evaluations == 2
+
+
+class TestResolverOnGridWorkload:
+    def test_full_cascade_cheaper_than_level_size_only(self):
+        graph = grid_road_graph(7, 7, seed=3)
+        store = TreeStore.from_graph(graph, k=3)
+        entries = store.entries()
+
+        def run(tiers):
+            resolver = BoundedNedDistance(k=3, tiers=tiers)
+            for i, first in enumerate(entries):
+                for second in entries[i + 1:]:
+                    resolver.resolve(first, second, threshold=2.0)
+            return resolver.counters
+
+        level_only = run((SIGNATURE_TIER, LEVEL_SIZE_TIER))
+        full = run(BOUND_TIERS)
+        assert full.exact_evaluations <= level_only.exact_evaluations
+        assert math.isfinite(full.exact_evaluations)
