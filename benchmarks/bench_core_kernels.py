@@ -4,11 +4,27 @@ These do not correspond to a figure of the paper; they track the cost of the
 individual building blocks (tree extraction, canonization, TED*, NED, VP-tree
 construction) so performance regressions are visible independently of the
 figure-level sweeps.
+
+Besides the pytest-benchmark fixtures, the module runs standalone as a CI
+smoke check that times the TED* kernel under every matching backend
+(``hungarian``, ``scipy`` when available, and what ``auto`` resolves to) on
+one fixed batch of random tree pairs and records the pairs/sec into
+``BENCH_kernel.json``::
+
+    PYTHONPATH=src python benchmarks/bench_core_kernels.py --smoke
 """
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
 
 from repro.core.ned import NedComputer
 from repro.datasets.registry import load_dataset
 from repro.index.vptree import VPTree
+from repro.matching.bipartite import resolve_backend
+from repro.matching.scipy_backend import scipy_available
 from repro.ted.ted_star import ted_star
 from repro.trees.adjacent import k_adjacent_tree
 from repro.trees.canonize import canonical_string
@@ -63,3 +79,72 @@ def test_bench_vptree_build(benchmark):
 
     index = benchmark.pedantic(lambda: VPTree(trees, metric, seed=0), rounds=1, iterations=1)
     assert index.height() >= 0
+
+
+def _kernel_pair_batch(pairs: int, size: int, depth: int, seed: int):
+    """One fixed batch of random tree pairs for the per-backend timings."""
+    return [
+        (
+            random_tree_with_depth(size, depth, seed=seed + 2 * index),
+            random_tree_with_depth(size, depth, seed=seed + 2 * index + 1),
+        )
+        for index in range(pairs)
+    ]
+
+
+def kernel_backend_timings(
+    pairs: int = 30, size: int = 120, depth: int = 3, seed: int = 11
+) -> dict:
+    """Time ``ted_star`` under every matching backend on the same batch.
+
+    Returns the ``core_kernels`` section of ``BENCH_kernel.json``: one entry
+    per backend with elapsed seconds and pairs/sec, plus what ``"auto"``
+    resolves to in this environment.
+    """
+    k = depth + 1
+    batch = _kernel_pair_batch(pairs, size, depth, seed)
+    backends = ["hungarian"] + (["scipy"] if scipy_available() else []) + ["auto"]
+    record = dict(
+        workload=dict(pairs=pairs, tree_size=size, depth=depth, seed=seed, k=k),
+        auto_resolves_to=resolve_backend("auto"),
+        backends={},
+    )
+    for backend in backends:
+        # One untimed evaluation first: the scipy path pays a first-call
+        # import cost that would otherwise be billed to the kernel.
+        ted_star(batch[0][0], batch[0][1], k=k, backend=backend)
+        start = time.perf_counter()
+        for left, right in batch:
+            ted_star(left, right, k=k, backend=backend)
+        elapsed = time.perf_counter() - start
+        record["backends"][backend] = dict(
+            elapsed=elapsed,
+            pairs_per_sec=pairs / elapsed if elapsed else None,
+        )
+    return record
+
+
+def main(argv=None) -> int:
+    from _bench_utils import emit_bench_json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload for CI (seconds, not minutes)")
+    parser.add_argument("--pairs", type=int, default=None,
+                        help="tree pairs per backend (default: 20 with --smoke, 60 otherwise)")
+    args = parser.parse_args(argv)
+    pairs = args.pairs if args.pairs is not None else (20 if args.smoke else 60)
+    record = kernel_backend_timings(pairs=pairs)
+    emit_bench_json("core_kernels", record)
+    print(f"TED* kernel backends (k={record['workload']['k']}, "
+          f"{record['workload']['tree_size']}-node trees, {pairs} pairs; "
+          f"auto -> {record['auto_resolves_to']}):")
+    for backend, numbers in record["backends"].items():
+        print(f"  {backend:>10}: {numbers['elapsed']:.3f}s "
+              f"({numbers['pairs_per_sec']:.1f} pairs/sec)")
+    print("recorded in BENCH_kernel.json")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

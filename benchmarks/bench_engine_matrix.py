@@ -1,12 +1,24 @@
 """Engine distance matrices — serial vs process vs bound-pruned builds.
 
 Times :func:`repro.engine.pairwise_distance_matrix` over the same tree store
-in four configurations (serial exact, process-parallel exact, bound-pruned
-with level-size bounds only, bound-pruned with the full signature →
-level-size → degree-multiset cascade), verifies all of them produce
+in several configurations (serial exact, a reference build with the
+pure-Python Hungarian backend and the distance cache off, process-parallel
+exact, bound-pruned with level-size bounds only, bound-pruned with the full
+signature → level-size → degree-multiset cascade), verifies they produce
 identical matrices, and reports the per-tier resolution counts — how many
-pairs each tier answered (signature hits, coinciding bounds) — so the
-pruning win is visible straight from the CI smoke output.
+pairs each tier answered (signature hits, coinciding bounds, cache hits) —
+so the pruning and caching wins are visible straight from the CI smoke
+output.
+
+A second, repeated-probe workload runs kNN for every graph node through one
+:class:`repro.engine.NedSearchEngine` twice — once with the signature-keyed
+distance cache on, once off — verifies the results are identical, and
+reports the cache hit rate.
+
+Both workloads are recorded machine-readably in ``BENCH_kernel.json``
+(pairs/sec, cache hit rate, per-configuration timings, and the speedup of
+the default exact build over the reference configuration), so the kernel's
+perf trajectory is tracked from PR 3 onward.
 
 Runs two ways:
 
@@ -23,16 +35,27 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.engine.matrix import pairwise_distance_matrix
+from repro.engine.search import NedSearchEngine
 from repro.engine.tree_store import TreeStore
 from repro.experiments.reporting import ExperimentTable
 from repro.graph.generators import barabasi_albert_graph
+from repro.ted.resolver import DEFAULT_CACHE_SIZE
+from repro.ted.ted_star import ted_star
 from repro.utils.timer import Timer
+
+# The reference configuration approximates the pre-PR-3 kernel cost profile
+# (pure-Python Hungarian matching, no distance cache); it is timed but kept
+# out of the value-identity assertion because the Hungarian and SciPy
+# solvers may legitimately pick different optimal matchings on tie pairs.
+REFERENCE = "reference[hungarian,no-cache]"
 
 CONFIGURATIONS: Tuple[Tuple[str, Dict[str, object]], ...] = (
     ("serial", dict(mode="exact", executor="serial")),
+    (REFERENCE,
+     dict(mode="exact", executor="serial", backend="hungarian", cache_size=0)),
     ("process", dict(mode="exact", executor="process")),
     ("bound-prune[level-size]",
      dict(mode="bound-prune", executor="serial", tiers=("signature", "level-size"))),
@@ -47,30 +70,45 @@ def _tier_columns(stats) -> Dict[str, int]:
         decided_level_size=stats.decided_by_level_size,
         decided_degree=stats.decided_by_degree,
         pruned_lower_bound=stats.pruned_by_lower_bound,
+        cache_hits=stats.cache_hits,
     )
 
 
-def build_matrices(nodes: int = 120, k: int = 3, seed: int = 5) -> ExperimentTable:
-    """Build the all-pairs matrix under every configuration and tabulate."""
+def build_matrices(
+    nodes: int = 120, k: int = 3, seed: int = 5, record: Optional[dict] = None
+) -> ExperimentTable:
+    """Build the all-pairs matrix under every configuration and tabulate.
+
+    When ``record`` is given, per-configuration measurements (build time,
+    pairs/sec, cache hit rate) are appended to it for the JSON trail.
+    """
     graph = barabasi_albert_graph(nodes, 2, seed=seed)
     with Timer() as extraction_timer:
         store = TreeStore.from_graph(graph, k)
+    pair_count = len(store) * (len(store) - 1) // 2
+    # Warm the kernel once so the SciPy backend's first-call import cost is
+    # not billed to whichever configuration happens to run first.
+    entries = store.entries()
+    ted_star(entries[0].tree, entries[-1].tree, k=k)
     table = ExperimentTable(
-        title=f"Engine matrix build: {nodes} nodes, k={k} "
-              f"({len(store) * (len(store) - 1) // 2} pairs)",
+        title=f"Engine matrix build: {nodes} nodes, k={k} ({pair_count} pairs)",
         columns=["configuration", "executor_used", "build_time", "exact_evaluations",
                  "signature_hits", "decided_level_size", "decided_degree",
-                 "pruned_lower_bound"],
+                 "pruned_lower_bound", "cache_hits"],
         notes=[f"tree extraction: {extraction_timer.elapsed:.3f}s (shared by all builds)"],
     )
+    timings: Dict[str, float] = {}
     reference = None
     for name, options in CONFIGURATIONS:
         with Timer() as timer:
             result = pairwise_distance_matrix(store, **options)
-        if reference is None:
+        if name == REFERENCE:
+            pass  # timed only; solver tie-breaks may differ legitimately
+        elif reference is None:
             reference = result
         elif result.values != reference.values:
             raise AssertionError(f"{name} build disagrees with the serial exact matrix")
+        timings[name] = timer.elapsed
         table.add_row(
             configuration=name,
             executor_used=result.executor_used,
@@ -78,6 +116,22 @@ def build_matrices(nodes: int = 120, k: int = 3, seed: int = 5) -> ExperimentTab
             exact_evaluations=result.stats.exact_evaluations,
             **_tier_columns(result.stats),
         )
+        if record is not None:
+            record.setdefault("configurations", []).append(dict(
+                configuration=name,
+                executor_used=result.executor_used,
+                build_time=timer.elapsed,
+                pairs_per_sec=pair_count / timer.elapsed if timer.elapsed else None,
+                exact_evaluations=result.stats.exact_evaluations,
+                cache_hits=result.stats.cache_hits,
+                cache_misses=result.stats.cache_misses,
+                cache_hit_rate=result.stats.cache_hit_rate,
+            ))
+
+    if record is not None:
+        record["workload"] = dict(nodes=nodes, k=k, seed=seed, pairs=pair_count)
+        if timings.get("serial"):
+            record["speedup_exact_vs_reference"] = timings[REFERENCE] / timings["serial"]
 
     # Range-style workloads only need entries below a radius: with a
     # threshold, the lower bound can discard pairs outright (entries become
@@ -102,6 +156,56 @@ def build_matrices(nodes: int = 120, k: int = 3, seed: int = 5) -> ExperimentTab
     return table
 
 
+def repeated_probe_workload(
+    nodes: int = 40, k: int = 3, seed: int = 5, record: Optional[dict] = None
+) -> ExperimentTable:
+    """kNN for every graph node, distance cache on vs off.
+
+    The acceptance check of the cache tier: identical neighbour lists either
+    way, nonzero hits with the cache on (recurring signature pairs across
+    the per-node probes are answered from memory).
+    """
+    graph = barabasi_albert_graph(nodes, 2, seed=seed)
+    store = TreeStore.from_graph(graph, k)
+    table = ExperimentTable(
+        title=f"Repeated-probe kNN sweep: every node of {nodes}, k={k}",
+        columns=["cache", "sweep_time", "exact_evaluations", "cache_hits",
+                 "cache_misses", "cache_hit_rate"],
+    )
+    results = {}
+    for cache_size in (DEFAULT_CACHE_SIZE, 0):
+        engine = NedSearchEngine(store, mode="bound-prune", cache_size=cache_size)
+        with Timer() as timer:
+            answers = [
+                engine.knn(engine.probe(graph, node), 5) for node in graph.nodes()
+            ]
+        results[cache_size] = answers
+        label = "on" if cache_size else "off"
+        table.add_row(
+            cache=label,
+            sweep_time=timer.elapsed,
+            exact_evaluations=engine.stats.exact_evaluations,
+            cache_hits=engine.stats.cache_hits,
+            cache_misses=engine.stats.cache_misses,
+            cache_hit_rate=engine.stats.cache_hit_rate,
+        )
+        if record is not None:
+            record.setdefault("sweeps", []).append(dict(
+                cache=label,
+                sweep_time=timer.elapsed,
+                exact_evaluations=engine.stats.exact_evaluations,
+                cache_hits=engine.stats.cache_hits,
+                cache_misses=engine.stats.cache_misses,
+                cache_hit_rate=engine.stats.cache_hit_rate,
+            ))
+    if results[DEFAULT_CACHE_SIZE] != results[0]:
+        raise AssertionError("cache-on kNN sweep disagrees with cache-off")
+    if record is not None:
+        record["identical_cache_on_off"] = True
+        record["workload"] = dict(nodes=nodes, k=k, seed=seed, queries=nodes)
+    return table
+
+
 def test_engine_matrix_builds(benchmark):
     """All build configurations agree; each extra tier skips more exact work."""
     from _bench_utils import emit_table
@@ -121,11 +225,29 @@ def test_engine_matrix_builds(benchmark):
         + by_name["bound-prune"]["decided_level_size"]
         + by_name["bound-prune"]["decided_degree"]
         + by_name["bound-prune"]["pruned_lower_bound"]
+        + by_name["bound-prune"]["cache_hits"]
     )
     assert cheap > 0
 
 
+def test_repeated_probe_cache(benchmark):
+    """Cache-on and cache-off sweeps agree and the cache actually hits."""
+    from _bench_utils import emit_table
+
+    record: dict = {}
+    table = benchmark.pedantic(
+        repeated_probe_workload, kwargs=dict(nodes=25, record=record),
+        rounds=1, iterations=1,
+    )
+    emit_table(table)
+    by_cache = {row["cache"]: row for row in table.rows}
+    assert by_cache["on"]["cache_hits"] > 0
+    assert record["identical_cache_on_off"]
+
+
 def main(argv=None) -> int:
+    from _bench_utils import emit_bench_json
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="tiny workload for CI (seconds, not minutes)")
@@ -134,8 +256,17 @@ def main(argv=None) -> int:
     parser.add_argument("--k", type=int, default=3, help="tree levels (default 3)")
     args = parser.parse_args(argv)
     nodes = args.nodes if args.nodes is not None else (40 if args.smoke else 120)
-    table = build_matrices(nodes=nodes, k=args.k)
-    print(table)
+
+    matrix_record: dict = {}
+    print(build_matrices(nodes=nodes, k=args.k, record=matrix_record))
+    probe_record: dict = {}
+    print(repeated_probe_workload(nodes=nodes, k=args.k, record=probe_record))
+    emit_bench_json("engine_matrix", matrix_record)
+    emit_bench_json("repeated_probe", probe_record)
+    speedup = matrix_record.get("speedup_exact_vs_reference")
+    if speedup:
+        print(f"exact-mode speedup vs {REFERENCE}: {speedup:.2f}x "
+              "(recorded in BENCH_kernel.json)")
     return 0
 
 

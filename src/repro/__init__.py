@@ -48,6 +48,7 @@ from repro.core.ned import NedComputer, directed_ned, ned, ned_from_trees, weigh
 from repro.engine.matrix import cross_distance_matrix, pairwise_distance_matrix
 from repro.engine.search import NedSearchEngine
 from repro.engine.tree_store import TreeStore
+from repro.ted.resolver import BoundedNedDistance
 from repro.graph.graph import DiGraph, Graph
 from repro.graph.generators import (
     barabasi_albert_graph,
@@ -83,6 +84,7 @@ __all__ = [
     "NedSearchEngine",
     "pairwise_distance_matrix",
     "cross_distance_matrix",
+    "BoundedNedDistance",
     # Tree edit distances
     "ted_star",
     "ted_star_detailed",

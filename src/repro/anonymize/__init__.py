@@ -17,7 +17,10 @@ from repro.anonymize.anonymizers import (
 from repro.anonymize.deanonymize import (
     DeanonymizationReport,
     deanonymization_precision,
+    deanonymization_precision_with_engine,
+    deanonymization_precision_with_matrix,
     deanonymize_node,
+    top_l_from_matrix,
 )
 
 __all__ = [
@@ -28,4 +31,7 @@ __all__ = [
     "DeanonymizationReport",
     "deanonymize_node",
     "deanonymization_precision",
+    "deanonymization_precision_with_engine",
+    "deanonymization_precision_with_matrix",
+    "top_l_from_matrix",
 ]

@@ -24,15 +24,18 @@ same candidate lists as the quadratic callable path.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Hashable, List, Optional, Sequence, Tuple
 
 from repro.anonymize.anonymizers import AnonymizedGraph
+from repro.engine.matrix import MatrixResult, cross_distance_matrix
 from repro.engine.search import NedSearchEngine
 from repro.engine.stats import EngineStats
 from repro.engine.tree_store import TreeStore
 from repro.exceptions import ExperimentError
 from repro.graph.graph import Graph
+from repro.ted.resolver import DEFAULT_CACHE_SIZE
 from repro.utils.rng import RngLike, sample_distinct
 from repro.utils.validation import check_positive_int
 
@@ -169,7 +172,7 @@ def deanonymization_precision_with_engine(
     k: int,
     top_l: int,
     mode: str = "bound-prune",
-    backend: str = "hungarian",
+    backend: str = "auto",
     sample_size: Optional[int] = None,
     seed: RngLike = 0,
     candidate_nodes: Optional[Sequence[Node]] = None,
@@ -214,3 +217,81 @@ def deanonymization_precision_with_engine(
         ),
     )
     return report, engine.stats
+
+
+def top_l_from_matrix(
+    matrix: MatrixResult, anon_node: Node, top_l: int
+) -> List[Tuple[Node, float]]:
+    """Return one anonymised node's top-``l`` candidate list from a matrix.
+
+    ``matrix`` must be a cross distance matrix whose *rows* are training
+    candidates and whose *columns* are anonymised nodes (the shape
+    :func:`repro.engine.matrix.cross_distance_matrix` produces).  Ties break
+    by ``repr(node)``, exactly like :func:`deanonymize_node`; ``inf``
+    entries (pairs a matrix ``threshold`` pruned) are skipped.  Lookups go
+    through the matrix's precomputed node→index dicts, so ranking one
+    column is O(rows · log rows) with no per-candidate ``list.index`` scan.
+    """
+    check_positive_int(top_l, "top_l")
+    column = matrix.col_index[anon_node]
+    scored = [
+        (train_node, row[column])
+        for train_node, row in zip(matrix.row_nodes, matrix.values)
+        if row[column] != math.inf
+    ]
+    scored.sort(key=lambda pair: (pair[1], repr(pair[0])))
+    return scored[:top_l]
+
+
+def deanonymization_precision_with_matrix(
+    training_graph: Graph,
+    anonymized: AnonymizedGraph,
+    k: int,
+    top_l: int,
+    mode: str = "bound-prune",
+    executor: str = "serial",
+    backend: str = "auto",
+    sample_size: Optional[int] = None,
+    seed: RngLike = 0,
+    candidate_nodes: Optional[Sequence[Node]] = None,
+    training_store: Optional[TreeStore] = None,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+) -> Tuple[DeanonymizationReport, EngineStats]:
+    """Matrix-driven NED de-anonymization sweep.
+
+    Builds one training×anonymised cross distance matrix (training trees in
+    rows, attacked nodes in columns) and ranks every column through
+    :func:`top_l_from_matrix` — identical candidate lists to
+    :func:`deanonymization_precision` with a NED callable (same distances,
+    same ``(distance, repr(node))`` tie order), but the batch build gets the
+    engine's whole performance arsenal: bound-based resolution (``mode``),
+    the signature-keyed distance cache (duplicate tree shapes are computed
+    once), and the zero-copy ``"process"`` executor for multi-core sweeps.
+    Returns the usual report plus the matrix build's counters.
+    """
+    check_positive_int(top_l, "top_l")
+    candidates = list(candidate_nodes) if candidate_nodes is not None else training_graph.nodes()
+    if not candidates:
+        raise ExperimentError("no candidate training nodes to match against")
+    if training_store is None:
+        store = TreeStore.from_graph(training_graph, k, nodes=candidates)
+    else:
+        if training_store.k != k:
+            raise ExperimentError(
+                f"training_store was built with k={training_store.k}, expected k={k}"
+            )
+        store = training_store.subset(candidates)
+
+    targets = anonymized.pseudonyms()
+    if sample_size is not None:
+        targets = sample_distinct(targets, sample_size, seed)
+    anon_store = TreeStore.from_graph(anonymized.graph, k, nodes=targets)
+    matrix = cross_distance_matrix(
+        store, anon_store, mode=mode, executor=executor, backend=backend,
+        cache_size=cache_size,
+    )
+    report = _sweep(
+        targets, anonymized, training_graph, top_l,
+        lambda anon_node: top_l_from_matrix(matrix, anon_node, top_l),
+    )
+    return report, matrix.stats

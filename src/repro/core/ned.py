@@ -42,7 +42,7 @@ def ned(
     graph_v: Graph,
     v: Node,
     k: int,
-    backend: str = "hungarian",
+    backend: str = "auto",
 ) -> float:
     """Return the NED distance between node ``u`` of ``graph_u`` and node ``v`` of ``graph_v``.
 
@@ -56,7 +56,7 @@ def ned(
     return ted_star(tree_u, tree_v, k=k, backend=backend)
 
 
-def ned_from_trees(tree_u: Tree, tree_v: Tree, k: int, backend: str = "hungarian") -> float:
+def ned_from_trees(tree_u: Tree, tree_v: Tree, k: int, backend: str = "auto") -> float:
     """Return NED given already extracted k-adjacent trees."""
     check_positive_int(k, "k")
     return ted_star(tree_u, tree_v, k=k, backend=backend)
@@ -68,7 +68,7 @@ def directed_ned(
     graph_v: DiGraph,
     v: Node,
     k: int,
-    backend: str = "hungarian",
+    backend: str = "auto",
 ) -> float:
     """Return the directed-graph NED (Section 3.3).
 
@@ -94,7 +94,7 @@ def weighted_ned(
     k: int,
     insert_delete_weight: WeightSpec = 1.0,
     move_weight: WeightSpec = 1.0,
-    backend: str = "hungarian",
+    backend: str = "auto",
 ) -> float:
     """Return the weighted NED using Section 12's per-level weights.
 
@@ -128,7 +128,7 @@ class NedComputer:
     True
     """
 
-    def __init__(self, k: int, backend: str = "hungarian") -> None:
+    def __init__(self, k: int, backend: str = "auto") -> None:
         check_positive_int(k, "k")
         self.k = k
         self.backend = backend

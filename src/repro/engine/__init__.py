@@ -18,8 +18,42 @@ TED* for every call; the engine splits the work the way a data system would:
 * :mod:`repro.engine.stats` — the shared telemetry counters.
 
 Distance resolution itself — the signature → level-size → degree-multiset →
-exact TED* cascade every component drives — lives in
+(cache) → exact TED* cascade every component drives — lives in
 :class:`repro.ted.resolver.BoundedNedDistance` (re-exported here).
+
+Performance knobs
+-----------------
+Every engine entry point exposes the three levers that decide how fast the
+exact path runs; the defaults are the fast ones except where counters are
+the point (see each knob).
+
+* ``backend`` — the bipartite matching solver inside TED*.  ``"auto"``
+  (default everywhere) picks SciPy's C ``linear_sum_assignment`` on a numpy
+  cost matrix when SciPy is importable and the dependency-free pure-Python
+  Hungarian solver otherwise; ``"hungarian"``/``"scipy"`` force a choice.
+  On ~100-node trees the SciPy path is an order of magnitude faster (see
+  ``BENCH_kernel.json``).  Note that tie pairs may admit several optimal
+  matchings, so the two solvers are each self-consistent but may disagree
+  with each other on rare pairs — compare like with like.
+* ``cache_size`` — the signature-keyed LRU distance cache between the bound
+  tiers and exact TED*.  TED* canonicalizes its inputs, so the distance is
+  a pure function of the two isomorphism classes and a cache hit is exact.
+  Matrices default it on (:data:`repro.ted.resolver.DEFAULT_CACHE_SIZE`):
+  duplicate tree shapes within a build are computed once and fanned out,
+  and passing your own ``resolver=`` to the matrix builders shares the warm
+  cache across repeated builds.
+  :class:`NedSearchEngine` defaults it *off* (0) because its per-query
+  ``exact_evaluations`` counters are the Figure 9b measure; pass a capacity
+  to answer repeated probes (kNN for every node, the Figure 11 permutation
+  sweeps) from memory.  ``stats.cache_hits`` / ``cache_misses`` /
+  ``cache_hit_rate`` report the effect.
+* ``executor`` — where matrix chunks run.  ``"serial"`` stays in-process;
+  ``"process"`` ships the packed stores *once per worker* (process-pool
+  initializer) and streams chunks of bare ``(i, j)`` index pairs, so the
+  per-chunk serialization cost is a few integers.  If the pool cannot be
+  created or breaks mid-run, the build finishes serially — re-running only
+  the chunks that had not yielded — and records the downgrade in
+  ``executor_used``.
 
 Quickstart
 ----------

@@ -2,15 +2,21 @@
 
 Builds full pairwise (one store) or cross (two stores) distance matrices —
 the workhorse behind kNN-for-every-node sweeps and de-anonymization runs —
-with two orthogonal knobs:
+with three orthogonal knobs:
 
 * ``executor`` — how exact TED* evaluations run.  ``"serial"`` computes in
-  process; ``"process"`` ships chunks of parent arrays to a
-  :class:`concurrent.futures.ProcessPoolExecutor` (each worker rebuilds the
-  trees and runs TED*, so only plain lists cross the process boundary).  A
-  callable ``executor(chunks) -> iterable of result lists`` plugs in custom
-  strategies.  When a process pool cannot be created (restricted sandboxes),
-  the build degrades to serial and records that in ``executor_used``.
+  process straight from the store entries.  ``"process"`` runs a
+  :class:`concurrent.futures.ProcessPoolExecutor` whose *worker initializer*
+  materializes the two stores once per worker (the packed parent arrays
+  cross the process boundary a single time, via ``initargs``); after that,
+  chunks are plain ``(i, j)`` index pairs, so per-chunk serialization is a
+  few integers instead of whole trees.  A callable
+  ``executor(chunks) -> iterable of result lists`` plugs in custom
+  strategies (those receive the legacy self-contained chunks carrying
+  parent arrays).  When a process pool cannot be created or breaks mid-run
+  (restricted sandboxes, killed workers), the build degrades to serial for
+  *only the chunks that have not yet yielded* and records that in
+  ``executor_used``.
 * ``mode`` — ``"exact"`` evaluates every pair; ``"bound-prune"`` first runs
   each pair through the :class:`repro.ted.resolver.BoundedNedDistance`
   cascade (signature → level-size → degree-multiset): a tier that pins the
@@ -19,23 +25,30 @@ with two orthogonal knobs:
   it — the data-skipping move: answer from the summary, touch the expensive
   evaluation only when forced.  ``tiers`` restricts the cascade for
   ablations (e.g. level-size only).
+* ``cache_size`` — capacity of the signature-keyed distance cache
+  (:data:`repro.ted.resolver.DEFAULT_CACHE_SIZE` by default; 0 disables
+  every signature-based shortcut, including within-build dedup).  TED*
+  depends only on the isomorphism classes of the two trees, so duplicate
+  signature pairs within one build are computed once and fanned out, and —
+  when builds share a resolver via the ``resolver`` parameter — pairs an
+  earlier build already resolved are answered from memory.
 
-Both modes return identical values for every finite entry; ``bound-prune``
-just pays for fewer exact TED* computations (reported per tier in
-``stats``).
+All modes and executors return identical values for every finite entry;
+they only differ in how many exact TED* computations are paid for (reported
+per tier in ``stats``) and where those computations run.
 """
 
 from __future__ import annotations
 
 import math
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from dataclasses import dataclass, field
-from typing import Callable, Hashable, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, fields
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import DistanceError
 from repro.engine.stats import EngineStats
 from repro.engine.tree_store import TreeStore
-from repro.ted.resolver import BoundedNedDistance
+from repro.ted.resolver import DEFAULT_CACHE_SIZE, BoundedNedDistance
 from repro.ted.ted_star import ted_star
 from repro.trees.tree import Tree
 
@@ -44,9 +57,13 @@ Node = Hashable
 MODES = ("exact", "bound-prune")
 EXECUTORS = ("serial", "process")
 
-# One chunk of exact work: (k, backend, [(parent_array_a, parent_array_b), ...]).
+# One legacy chunk of exact work, self-contained for custom executors:
+# (k, backend, [(parent_array_a, parent_array_b), ...]).
 Chunk = Tuple[int, str, List[Tuple[List[int], List[int]]]]
 ExecutorFn = Callable[[List[Chunk]], Iterable[List[float]]]
+
+# One index chunk of exact work for the built-in executors: [(i, j), ...].
+IndexChunk = List[Tuple[int, int]]
 
 
 @dataclass
@@ -55,6 +72,9 @@ class MatrixResult:
 
     ``values[i][j]`` is the NED distance between ``row_nodes[i]`` and
     ``col_nodes[j]`` (``inf`` for pairs pruned by a ``threshold``).
+    ``row_index`` / ``col_index`` map nodes back to their positions, so
+    per-pair lookups (:meth:`value`) and per-row rankings are O(1)/O(n)
+    instead of the O(n) / O(n²) a ``list.index`` scan would cost.
     """
 
     row_nodes: List[Node]
@@ -64,14 +84,24 @@ class MatrixResult:
     executor: str
     executor_used: str
     stats: EngineStats = field(default_factory=EngineStats)
+    row_index: Dict[Node, int] = field(init=False, repr=False)
+    col_index: Dict[Node, int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.row_index = {node: i for i, node in enumerate(self.row_nodes)}
+        self.col_index = {node: j for j, node in enumerate(self.col_nodes)}
 
     def value(self, row_node: Node, col_node: Node) -> float:
-        """Return the entry for a (row node, column node) pair."""
-        return self.values[self.row_nodes.index(row_node)][self.col_nodes.index(col_node)]
+        """Return the entry for a (row node, column node) pair in O(1)."""
+        return self.values[self.row_index[row_node]][self.col_index[col_node]]
+
+    def row(self, row_node: Node) -> List[float]:
+        """Return the full row of distances of ``row_node``."""
+        return self.values[self.row_index[row_node]]
 
 
 def _compute_chunk(chunk: Chunk) -> List[float]:
-    """Evaluate one chunk of exact TED* pairs (runs in worker processes)."""
+    """Evaluate one legacy self-contained chunk (for custom executors)."""
     k, backend, pairs = chunk
     return [
         ted_star(Tree(parents_a), Tree(parents_b), k=k, backend=backend)
@@ -79,37 +109,66 @@ def _compute_chunk(chunk: Chunk) -> List[float]:
     ]
 
 
-def _run_serial(chunks: List[Chunk]) -> Iterable[List[float]]:
-    return (_compute_chunk(chunk) for chunk in chunks)
+# Per-worker state installed by _init_worker; module-global because process
+# pool initializers cannot return values to the tasks they precede.
+_WORKER_STATE: Dict[str, object] = {}
 
 
-def _make_process_executor(max_workers: Optional[int]) -> ExecutorFn:
-    def run(chunks: List[Chunk]) -> Iterable[List[float]]:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            yield from pool.map(_compute_chunk, chunks)
+def _init_worker(
+    row_parents: List[List[int]],
+    col_parents: Optional[List[List[int]]],
+    k: int,
+    backend: str,
+) -> None:
+    """Materialize the two stores once per worker process.
 
-    return run
+    ``col_parents is None`` means rows and columns come from the same store
+    (the symmetric pairwise build), so the trees are shared instead of
+    rebuilt.
+    """
+    rows = [Tree(parents) for parents in row_parents]
+    cols = rows if col_parents is None else [Tree(parents) for parents in col_parents]
+    _WORKER_STATE["rows"] = rows
+    _WORKER_STATE["cols"] = cols
+    _WORKER_STATE["k"] = k
+    _WORKER_STATE["backend"] = backend
+
+
+def _compute_index_chunk(pairs: IndexChunk) -> List[float]:
+    """Evaluate one chunk of (i, j) pairs against the worker-side stores."""
+    rows: List[Tree] = _WORKER_STATE["rows"]  # type: ignore[assignment]
+    cols: List[Tree] = _WORKER_STATE["cols"]  # type: ignore[assignment]
+    k: int = _WORKER_STATE["k"]  # type: ignore[assignment]
+    backend: str = _WORKER_STATE["backend"]  # type: ignore[assignment]
+    return [ted_star(rows[i], cols[j], k=k, backend=backend) for i, j in pairs]
 
 
 def pairwise_distance_matrix(
     store: TreeStore,
     mode: str = "exact",
     executor: "str | ExecutorFn" = "serial",
-    backend: str = "hungarian",
+    backend: str = "auto",
     chunk_size: int = 64,
     max_workers: Optional[int] = None,
     threshold: Optional[float] = None,
     tiers: Optional[Sequence[str]] = None,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    resolver: Optional[BoundedNedDistance] = None,
 ) -> MatrixResult:
     """Return the symmetric all-pairs NED matrix of one store.
 
     Only the upper triangle is evaluated (NED is symmetric); the diagonal is
-    0 by the identity property, both for free.
+    0 by the identity property, both for free.  Pass an externally owned
+    ``resolver`` (its ``k`` must match the store's) to share its distance
+    cache across builds — repeated sweeps over overlapping stores then pay
+    for each distinct signature pair once; ``backend``/``tiers``/
+    ``cache_size`` are ignored in that case in favour of the resolver's own
+    configuration.
     """
     return _build_matrix(
         store, store, symmetric=True, mode=mode, executor=executor, backend=backend,
         chunk_size=chunk_size, max_workers=max_workers, threshold=threshold,
-        tiers=tiers,
+        tiers=tiers, cache_size=cache_size, resolver=resolver,
     )
 
 
@@ -118,17 +177,24 @@ def cross_distance_matrix(
     col_store: TreeStore,
     mode: str = "exact",
     executor: "str | ExecutorFn" = "serial",
-    backend: str = "hungarian",
+    backend: str = "auto",
     chunk_size: int = 64,
     max_workers: Optional[int] = None,
     threshold: Optional[float] = None,
     tiers: Optional[Sequence[str]] = None,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    resolver: Optional[BoundedNedDistance] = None,
 ) -> MatrixResult:
     """Return the rows × columns NED matrix between two stores.
 
-    This is the de-anonymization shape: rows are anonymised nodes, columns
-    are training candidates, and the per-row order of the finite entries is
-    the candidate ranking.
+    This is the de-anonymization shape — one store of training candidates,
+    one of anonymised nodes, every pair evaluated.  The matrix takes
+    whatever orientation the argument order gives it; the matrix-driven
+    sweep (:func:`repro.anonymize.deanonymize.top_l_from_matrix`) expects
+    training candidates in *rows* and anonymised nodes in *columns*, i.e.
+    ``cross_distance_matrix(training_store, anon_store)``.  ``resolver``
+    shares a distance cache across builds, as in
+    :func:`pairwise_distance_matrix`.
     """
     if row_store.k != col_store.k:
         raise DistanceError(
@@ -138,7 +204,7 @@ def cross_distance_matrix(
     return _build_matrix(
         row_store, col_store, symmetric=False, mode=mode, executor=executor,
         backend=backend, chunk_size=chunk_size, max_workers=max_workers,
-        threshold=threshold, tiers=tiers,
+        threshold=threshold, tiers=tiers, cache_size=cache_size, resolver=resolver,
     )
 
 
@@ -153,6 +219,8 @@ def _build_matrix(
     max_workers: Optional[int],
     threshold: Optional[float],
     tiers: Optional[Sequence[str]],
+    cache_size: int,
+    resolver: Optional[BoundedNedDistance],
 ) -> MatrixResult:
     if mode not in MODES:
         raise DistanceError(f"unknown matrix mode {mode!r}; expected one of {MODES}")
@@ -160,20 +228,39 @@ def _build_matrix(
         raise DistanceError(f"chunk_size must be >= 1, got {chunk_size}")
     if threshold is not None and threshold < 0:
         raise DistanceError(f"threshold must be non-negative, got {threshold}")
-    executor_name, run_chunks = _resolve_executor(executor, max_workers)
+    executor_name = _executor_name(executor)
 
     rows = row_store.entries()
     cols = col_store.entries()
     k = row_store.k
     stats = EngineStats()
-    # The resolver writes its per-tier counters straight into the result's
-    # stats; exact evaluations are queued for the executor instead of going
+    # A private resolver writes its per-tier counters straight into the
+    # result's stats; a shared one keeps its own counters (and its warm
+    # cache) and the deltas of this build are merged into the stats at the
+    # end.  Exact evaluations are queued for the executor instead of going
     # through resolver.exact, so they are tallied after the chunks run.
-    resolver = BoundedNedDistance(k=k, backend=backend, tiers=tiers, counters=stats)
+    counter_snapshot = None
+    if resolver is None:
+        resolver = BoundedNedDistance(
+            k=k, backend=backend, tiers=tiers, counters=stats, cache_size=cache_size
+        )
+    else:
+        if resolver.k != k:
+            raise DistanceError(
+                f"shared resolver was built with k={resolver.k}, expected k={k}"
+            )
+        backend = resolver.backend
+        counter_snapshot = resolver.counters.copy()
     values: List[List[float]] = [[0.0] * len(cols) for _ in rows]
 
-    # Resolve every pair from the summaries when possible; queue the rest.
+    # Resolve every pair from the summaries / the distance cache when
+    # possible; queue the rest.  Duplicate signature pairs within the build
+    # are queued once (the first occurrence owns the computation) and fanned
+    # out to their follower cells when the chunks come back.
     pending: List[Tuple[int, int]] = []
+    pending_keys: List[Optional[Tuple[str, str]]] = []
+    owners: Dict[Tuple[str, str], int] = {}
+    followers: Dict[int, List[Tuple[int, int]]] = {}
     for i, row in enumerate(rows):
         start = i + 1 if symmetric else 0
         for j in range(start, len(cols)):
@@ -189,40 +276,71 @@ def _build_matrix(
                     resolver.record_decided(interval)
                     values[i][j] = interval.lower
                     continue
+            key = resolver.cache_key(row, col)
+            if key is not None:
+                owner = owners.get(key)
+                if owner is not None:
+                    # Deferred hit: the first occurrence owns the computation
+                    # and this cell is filled from it when the chunks return.
+                    resolver.counters.cache_hits += 1
+                    followers.setdefault(owner, []).append((i, j))
+                    continue
+                cached = resolver.cache_get(key)
+                if cached is not None:
+                    values[i][j] = cached
+                    continue
+                owners[key] = len(pending)
             pending.append((i, j))
+            pending_keys.append(key)
 
     # Evaluate the queued pairs in chunks through the executor.
-    chunks: List[Chunk] = []
-    for offset in range(0, len(pending), chunk_size):
-        block = pending[offset:offset + chunk_size]
-        chunks.append((
-            k,
-            backend,
-            [
-                (rows[i].tree.parent_array(), cols[j].tree.parent_array())
-                for i, j in block
-            ],
-        ))
+    index_chunks: List[IndexChunk] = [
+        pending[offset:offset + chunk_size]
+        for offset in range(0, len(pending), chunk_size)
+    ]
     executor_used = executor_name
-    if chunks:
+    if index_chunks:
+        dispatch = _make_dispatch(
+            executor, executor_name, row_store, col_store, rows, cols,
+            symmetric, k, backend, max_workers,
+        )
+        results: List[List[float]] = []
         try:
-            results = [list(block) for block in run_chunks(chunks)]
+            for block in dispatch(index_chunks):
+                results.append(list(block))
         except (OSError, PermissionError, NotImplementedError, BrokenExecutor) as error:
             if executor_name == "serial":
                 raise
             # Process pools need fork/spawn primitives some sandboxes deny —
             # denied at pool creation (OSError/PermissionError) or after, when
             # workers die and the pool reports itself broken (BrokenExecutor).
-            # The matrix is still computable, just not in parallel.
+            # The matrix is still computable, just not in parallel: finish
+            # only the chunks that have not yielded yet.
             executor_used = f"serial (fallback: {type(error).__name__})"
-            results = [list(block) for block in _run_serial(chunks)]
+            for chunk in index_chunks[len(results):]:
+                results.append([
+                    ted_star(rows[i].tree, cols[j].tree, k=k, backend=backend)
+                    for i, j in chunk
+                ])
         position = 0
         for block in results:
             for value in block:
                 i, j = pending[position]
                 values[i][j] = value
+                key = pending_keys[position]
+                if key is not None:
+                    resolver.cache_put(key, value)
+                for fi, fj in followers.get(position, ()):
+                    values[fi][fj] = value
                 position += 1
-        stats.exact_evaluations += len(pending)
+        resolver.counters.exact_evaluations += len(pending)
+
+    if counter_snapshot is not None:
+        # Shared resolver: fold only this build's counter deltas into the
+        # result's stats (the resolver keeps its own running totals).
+        delta = resolver.counters.since(counter_snapshot)
+        for spec in fields(delta):
+            setattr(stats, spec.name, getattr(stats, spec.name) + getattr(delta, spec.name))
 
     if symmetric:
         for i in range(len(rows)):
@@ -240,13 +358,67 @@ def _build_matrix(
     )
 
 
-def _resolve_executor(
-    executor: "str | ExecutorFn", max_workers: Optional[int]
-) -> Tuple[str, ExecutorFn]:
+def _executor_name(executor: "str | ExecutorFn") -> str:
     if callable(executor):
-        return getattr(executor, "__name__", "custom"), executor
-    if executor == "serial":
-        return "serial", _run_serial
-    if executor == "process":
-        return "process", _make_process_executor(max_workers)
+        return getattr(executor, "__name__", "custom")
+    if executor in EXECUTORS:
+        return executor
     raise DistanceError(f"unknown executor {executor!r}; expected one of {EXECUTORS}")
+
+
+def _make_dispatch(
+    executor: "str | ExecutorFn",
+    executor_name: str,
+    row_store: TreeStore,
+    col_store: TreeStore,
+    rows: Sequence,
+    cols: Sequence,
+    symmetric: bool,
+    k: int,
+    backend: str,
+    max_workers: Optional[int],
+) -> Callable[[List[IndexChunk]], Iterable[List[float]]]:
+    """Turn an executor selection into ``index chunks -> result blocks``."""
+    if callable(executor):
+        # Custom executors keep the legacy self-contained chunk contract:
+        # each chunk carries the parent arrays it needs.
+        def run_custom(index_chunks: List[IndexChunk]) -> Iterable[List[float]]:
+            legacy: List[Chunk] = [
+                (
+                    k,
+                    backend,
+                    [
+                        (rows[i].tree.parent_array(), cols[j].tree.parent_array())
+                        for i, j in chunk
+                    ],
+                )
+                for chunk in index_chunks
+            ]
+            return executor(legacy)
+
+        return run_custom
+
+    if executor_name == "serial":
+        def run_serial(index_chunks: List[IndexChunk]) -> Iterable[List[float]]:
+            for chunk in index_chunks:
+                yield [
+                    ted_star(rows[i].tree, cols[j].tree, k=k, backend=backend)
+                    for i, j in chunk
+                ]
+
+        return run_serial
+
+    # Built-in process executor: ship the packed stores once per worker via
+    # the initializer, then stream chunks of bare (i, j) index pairs.
+    row_parents = row_store.packed_parent_arrays()
+    col_parents = None if symmetric else col_store.packed_parent_arrays()
+
+    def run_process(index_chunks: List[IndexChunk]) -> Iterable[List[float]]:
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_init_worker,
+            initargs=(row_parents, col_parents, k, backend),
+        ) as pool:
+            yield from pool.map(_compute_index_chunk, index_chunks)
+
+    return run_process

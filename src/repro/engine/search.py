@@ -107,6 +107,16 @@ class NedSearchEngine:
         :data:`repro.ted.resolver.BOUND_TIERS`; ``None`` enables all.  The
         tier-ablation experiments restrict this (e.g. level-size only
         reproduces the PR-1 pruning behaviour).
+    cache_size:
+        Capacity of the signature-keyed exact-distance cache shared by every
+        query this engine answers (0, the default, disables it; pass e.g.
+        :data:`repro.ted.resolver.DEFAULT_CACHE_SIZE` to enable).  Repeated
+        probes — kNN for every node of a graph, the permutation sweeps of
+        Figure 11 — then resolve recurring signature pairs from memory;
+        ``stats.cache_hits`` / ``stats.cache_misses`` report the effect.
+        Off by default because the per-query ``exact_evaluations`` counters
+        are the measure the Figure 9b comparisons report; with a cache they
+        count distinct signature pairs instead of touched pairs.
     leaf_size, index_seed:
         VP-tree construction parameters (ignored by other backends).
 
@@ -124,8 +134,9 @@ class NedSearchEngine:
         store: TreeStore,
         mode: str = "exact",
         index: str = "linear",
-        backend: str = "hungarian",
+        backend: str = "auto",
         tiers: Optional[Sequence[str]] = None,
+        cache_size: int = 0,
         leaf_size: int = 8,
         index_seed: int = 0,
     ) -> None:
@@ -147,7 +158,8 @@ class NedSearchEngine:
         self._index: Optional[MetricIndexBase] = None
         try:
             self._resolver = BoundedNedDistance(
-                k=store.k, backend=backend, tiers=tiers, counters=EngineStats()
+                k=store.k, backend=backend, tiers=tiers, counters=EngineStats(),
+                cache_size=cache_size,
             )
         except DistanceError as error:
             raise IndexingError(str(error)) from None

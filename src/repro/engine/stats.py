@@ -38,6 +38,11 @@ class EngineStats(ResolutionCounters):
     pruned_by_level_size, pruned_by_degree:
         Pairs a bound tier excluded from the decision at hand (kNN cut,
         range radius, matrix threshold) without ever knowing their distance.
+    cache_hits, cache_misses:
+        Lookups of the signature-keyed distance cache tier.  A hit answers
+        the pair exactly from memory; every exact-path pair of a
+        cache-enabled resolver does exactly one lookup, so
+        ``cache_hits + cache_misses`` equals the exact-path pair count.
 
     Engine-level field
     ------------------
@@ -66,7 +71,20 @@ class EngineStats(ResolutionCounters):
     @property
     def exact_evaluations_avoided(self) -> int:
         """Pairs resolved without paying for an exact TED*."""
-        return self.signature_hits + self.decided_by_bounds + self.pruned_by_lower_bound
+        return (
+            self.signature_hits
+            + self.decided_by_bounds
+            + self.pruned_by_lower_bound
+            + self.cache_hits
+        )
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of exact-path lookups the distance cache answered."""
+        lookups = self.cache_hits + self.cache_misses
+        if not lookups:
+            return 0.0
+        return self.cache_hits / lookups
 
     @property
     def pruning_ratio(self) -> float:
@@ -82,6 +100,7 @@ class EngineStats(ResolutionCounters):
         result["decided_by_bounds"] = self.decided_by_bounds
         result["pruned_by_lower_bound"] = self.pruned_by_lower_bound
         result["exact_evaluations_avoided"] = self.exact_evaluations_avoided
+        result["cache_hit_rate"] = self.cache_hit_rate
         result["pruning_ratio"] = self.pruning_ratio
         return result
 

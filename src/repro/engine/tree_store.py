@@ -172,6 +172,17 @@ class TreeStore:
         """Return the AHU canonical signature of ``node``'s k-adjacent tree."""
         return self.entry(node).signature
 
+    def packed_parent_arrays(self) -> List[List[int]]:
+        """Return every entry's parent array, in build order.
+
+        This is the store's wire format for worker processes: the matrix
+        builder ships it once per worker through the process-pool
+        initializer, after which chunks of bare ``(i, j)`` index pairs are
+        enough to name any pair of trees — the zero-copy alternative to
+        serializing parent arrays into every chunk.
+        """
+        return [entry.tree.parent_array() for entry in self._entries.values()]
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Hashable, List, Optional, Sequence, Tuple
 
 from repro.graph.graph import Graph
-from repro.matching.scipy_backend import scipy_available
+from repro.matching.bipartite import resolve_backend
 from repro.trees.adjacent import k_adjacent_tree
 from repro.trees.tree import Tree
 from repro.utils.rng import RngLike, ensure_rng
@@ -22,12 +22,13 @@ Node = Hashable
 def default_backend() -> str:
     """Return the preferred matching backend for large experiment sweeps.
 
-    The from-scratch Hungarian solver is the library default, but the
-    experiment harness prefers SciPy's C implementation when present so the
-    figure sweeps finish quickly; the two backends are cross-validated
-    against each other in the test suite.
+    Delegates to the library-wide ``"auto"`` selection (SciPy's C
+    implementation when present, the from-scratch Hungarian solver
+    otherwise); the two backends are cross-validated against each other in
+    the test suite.  Kept as a named helper so experiment notes can record
+    the concrete solver that ran.
     """
-    return "scipy" if scipy_available() else "hungarian"
+    return resolve_backend("auto")
 
 
 def sample_node_pairs(

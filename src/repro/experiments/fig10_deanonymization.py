@@ -29,6 +29,7 @@ from repro.engine.search import NedSearchEngine
 from repro.engine.tree_store import TreeStore
 from repro.experiments.common import default_backend
 from repro.experiments.reporting import ExperimentTable
+from repro.ted.resolver import DEFAULT_CACHE_SIZE
 from repro.graph.graph import Graph
 from repro.utils.rng import RngLike, ensure_rng, sample_distinct
 
@@ -176,7 +177,17 @@ def _engine_ned_row(
 ):
     """Evaluate the NED attacker through the batch engine."""
     store = TreeStore.from_graph(graph, k, nodes=candidates)
-    engine = NedSearchEngine(store, mode=engine_mode, backend=backend, tiers=engine_tiers)
+    # The per-target probes of a sweep keep hitting the same candidate tree
+    # shapes, so the signature-keyed distance cache answers the repeats from
+    # memory (the Figure 11 sweeps funnel through here too).  Tier ablations
+    # keep it off: their exact_ted_star_evals column measures what the
+    # restricted bound cascade failed to resolve, and a cache would absorb
+    # repeats regardless of which tiers are enabled.
+    cache_size = 0 if engine_tiers is not None else DEFAULT_CACHE_SIZE
+    engine = NedSearchEngine(
+        store, mode=engine_mode, backend=backend, tiers=engine_tiers,
+        cache_size=cache_size,
+    )
     hits = 0
     for anon_node in targets:
         truth = anonymized.true_identity[anon_node]

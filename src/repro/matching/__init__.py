@@ -14,13 +14,20 @@ Hungarian algorithm).  This subpackage provides:
   TED*, selecting a backend and validating inputs.
 """
 
-from repro.matching.bipartite import AssignmentResult, min_cost_matching
+from repro.matching.bipartite import (
+    AUTO_BACKEND,
+    AssignmentResult,
+    min_cost_matching,
+    resolve_backend,
+)
 from repro.matching.hungarian import hungarian
 from repro.matching.scipy_backend import scipy_assignment, scipy_available
 
 __all__ = [
     "AssignmentResult",
+    "AUTO_BACKEND",
     "min_cost_matching",
+    "resolve_backend",
     "hungarian",
     "scipy_assignment",
     "scipy_available",

@@ -2,23 +2,55 @@
 
 TED* calls :func:`min_cost_matching` once per tree level with the complete
 weighted bipartite graph of Section 5.4.  The function validates the cost
-matrix, dispatches to a backend ("hungarian" from scratch by default,
-"scipy" optionally), and returns an :class:`AssignmentResult`.
+matrix, dispatches to a backend ("hungarian" from scratch, "scipy"
+optionally, or "auto" to pick the fastest available), and returns an
+:class:`AssignmentResult`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.exceptions import MatchingError
 from repro.matching.hungarian import hungarian
-from repro.matching.scipy_backend import scipy_assignment
+from repro.matching.scipy_backend import scipy_assignment, scipy_available
 
 _BACKENDS = {
     "hungarian": hungarian,
     "scipy": scipy_assignment,
 }
+
+#: Backend name that defers the choice to :func:`resolve_backend`.
+AUTO_BACKEND = "auto"
+
+# What "auto" resolved to in this process; scipy availability cannot change
+# mid-run, so the import probe is paid once, not once per matching.
+_RESOLVED_AUTO: Optional[str] = None
+
+
+def resolve_backend(backend: str) -> str:
+    """Return the concrete solver name for a requested backend.
+
+    ``"auto"`` resolves to ``"scipy"`` (numpy cost matrix +
+    :func:`scipy.optimize.linear_sum_assignment`) when SciPy is importable
+    and to the pure-Python ``"hungarian"`` solver otherwise; concrete names
+    pass through after validation.  The resolution is deterministic within a
+    process, so every component that says ``"auto"`` agrees on the solver —
+    which matters because distances are cached and cross-checked across
+    components.
+    """
+    if backend == AUTO_BACKEND:
+        global _RESOLVED_AUTO
+        if _RESOLVED_AUTO is None:
+            _RESOLVED_AUTO = "scipy" if scipy_available() else "hungarian"
+        return _RESOLVED_AUTO
+    if backend not in _BACKENDS:
+        raise MatchingError(
+            f"unknown matching backend {backend!r}; expected one of "
+            f"{sorted(_BACKENDS) + [AUTO_BACKEND]}"
+        )
+    return backend
 
 
 @dataclass(frozen=True)
@@ -60,12 +92,10 @@ def min_cost_matching(
         Square matrix of non-negative costs (TED* weights are multiset
         symmetric-difference sizes, hence non-negative integers).
     backend:
-        ``"hungarian"`` (default, no dependencies) or ``"scipy"``.
+        ``"hungarian"`` (default, no dependencies), ``"scipy"``, or
+        ``"auto"`` (SciPy when available, Hungarian otherwise).
     """
-    if backend not in _BACKENDS:
-        raise MatchingError(
-            f"unknown matching backend {backend!r}; expected one of {sorted(_BACKENDS)}"
-        )
+    backend = resolve_backend(backend)
     n = len(cost_matrix)
     for row in cost_matrix:
         if len(row) != n:

@@ -14,20 +14,28 @@ a ``(lower, upper)`` interval on TED*:
 2. ``"level-size"`` — O(k) bounds from per-level sizes.
 3. ``"degree-multiset"`` — earth-mover-style per-level bounds from the child
    count multisets; the lower bound dominates the level-size one.
-4. ``"exact"`` — the O(k·n³) TED* computation, paid only when the interval
-   left by the cheap tiers still straddles the caller's decision boundary.
+4. ``"cache"`` — an LRU memory of previously computed exact distances,
+   keyed by the ordered pair of canonical signatures.  TED* is a pure
+   function of the two isomorphism classes (the kernel canonicalizes its
+   inputs), so a hit closes the interval *exactly* without paying for a
+   computation.  Sized per resolver (``cache_size``; 0 disables).
+5. ``"exact"`` — the O(k·n³) TED* computation, paid only when the interval
+   left by the cheap tiers still straddles the caller's decision boundary
+   and the cache has never seen the signature pair; the result is routed
+   back into the cache for the next probe.
 
 Inputs are summary records (duck-typed: ``.tree``, ``.signature``,
 ``.level_sizes``, ``.degree_profiles`` — e.g.
 :class:`repro.engine.tree_store.StoredTree`), so resolution never touches a
 graph.  Every tier evaluation and every outcome (hit / decided / pruned /
-exact) is recorded in per-tier counters, which is how the benchmarks prove
-*where* exact evaluations were skipped.
+cached / exact) is recorded in per-tier counters, which is how the
+benchmarks prove *where* exact evaluations were skipped.
 """
 
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, fields
 from typing import Optional, Sequence, Tuple
 
@@ -41,13 +49,19 @@ from repro.ted.ted_star import ted_star
 SIGNATURE_TIER = "signature"
 LEVEL_SIZE_TIER = "level-size"
 DEGREE_TIER = "degree-multiset"
+CACHE_TIER = "cache"
 EXACT_TIER = "exact"
 NO_TIER = "none"
 
 #: Cheap tiers, in cascade order (exact is always the implicit last resort).
 BOUND_TIERS = (SIGNATURE_TIER, LEVEL_SIZE_TIER, DEGREE_TIER)
-#: The full resolution cascade.
+#: The full resolution cascade.  The cache tier sits between the bound tiers
+#: and exact but is controlled by ``cache_size`` (not the ``tiers``
+#: selection), so it is not part of this tuple.
 TIER_CASCADE = BOUND_TIERS + (EXACT_TIER,)
+
+#: Cache capacity the engine components use unless told otherwise.
+DEFAULT_CACHE_SIZE = 32768
 
 
 @dataclass
@@ -57,8 +71,13 @@ class ResolutionCounters:
     ``*_evaluations`` count how often a tier was computed; ``signature_hits``
     / ``decided_by_*`` count pairs a tier answered exactly; ``pruned_by_*``
     count pairs a tier excluded from a decision (threshold / kNN cut) without
-    ever knowing their distance.  :class:`repro.engine.stats.EngineStats`
-    extends this with engine-level counters and aggregate properties.
+    ever knowing their distance.  ``cache_hits`` / ``cache_misses`` count the
+    lookups of the signature-keyed cache tier: every pair that reaches the
+    exact path of a cache-enabled resolver performs exactly one lookup, so
+    ``cache_hits + cache_misses`` equals the number of exact-path pairs and
+    ``cache_misses`` bounds ``exact_evaluations`` from above.
+    :class:`repro.engine.stats.EngineStats` extends this with engine-level
+    counters and aggregate properties.
     """
 
     exact_evaluations: int = 0
@@ -69,6 +88,8 @@ class ResolutionCounters:
     decided_by_degree: int = 0
     pruned_by_level_size: int = 0
     pruned_by_degree: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def merge(self, other: "ResolutionCounters") -> None:
         """Accumulate ``other`` into this instance (for running totals)."""
@@ -124,7 +145,8 @@ class BoundedNedDistance:
     k:
         Number of tree levels compared (must match the summaries' ``k``).
     backend:
-        Bipartite matching backend forwarded to exact TED*.
+        Bipartite matching backend forwarded to exact TED* (``"auto"``
+        picks SciPy when available).
     tiers:
         Which cheap tiers to run, any subset of :data:`BOUND_TIERS`; order is
         normalised to cascade order.  ``None`` enables all of them.  The
@@ -133,6 +155,12 @@ class BoundedNedDistance:
         Optional externally owned :class:`ResolutionCounters` (the engine
         passes an :class:`repro.engine.stats.EngineStats`); a private one is
         created when omitted.
+    cache_size:
+        Capacity of the signature-keyed LRU distance cache that sits between
+        the bound tiers and exact TED* (0, the default, disables it).  TED*
+        is a pure function of the two isomorphism classes, so a hit returns
+        the exact distance; repeated probes — kNN for every node,
+        permutation sweeps — are answered from memory.
 
     Example
     -------
@@ -147,9 +175,10 @@ class BoundedNedDistance:
     def __init__(
         self,
         k: int,
-        backend: str = "hungarian",
+        backend: str = "auto",
         tiers: Optional[Sequence[str]] = None,
         counters: Optional[ResolutionCounters] = None,
+        cache_size: int = 0,
     ) -> None:
         requested = BOUND_TIERS if tiers is None else tuple(tiers)
         unknown = [tier for tier in requested if tier not in BOUND_TIERS]
@@ -157,10 +186,14 @@ class BoundedNedDistance:
             raise DistanceError(
                 f"unknown bound tiers {unknown}; expected a subset of {BOUND_TIERS}"
             )
+        if cache_size < 0:
+            raise DistanceError(f"cache_size must be >= 0, got {cache_size}")
         self.k = k
         self.backend = backend
         self.tiers: Tuple[str, ...] = tuple(t for t in BOUND_TIERS if t in requested)
         self.counters = counters if counters is not None else ResolutionCounters()
+        self.cache_size = cache_size
+        self._cache: "OrderedDict[Tuple[str, str], float]" = OrderedDict()
 
     # ------------------------------------------------------------ bound tiers
     def bounds(self, first, second) -> ResolutionInterval:
@@ -193,11 +226,67 @@ class BoundedNedDistance:
             upper = min(upper, float(degree_upper))
         return ResolutionInterval(lower, upper, tier)
 
+    # ------------------------------------------------------------- cache tier
+    def cache_key(self, first, second) -> Optional[Tuple[str, str]]:
+        """Return the cache key for a pair, or ``None`` when caching is off.
+
+        The key is the *ordered* pair of canonical signatures (TED* is
+        symmetric), so (a, b) and (b, a) share one entry.  Keying by
+        signature is sound because the kernel canonicalizes its inputs: the
+        distance is a pure function of the two isomorphism classes.
+        """
+        if not self.cache_size:
+            return None
+        a, b = first.signature, second.signature
+        return (a, b) if a <= b else (b, a)
+
+    def cache_get(self, key: Tuple[str, str]) -> Optional[float]:
+        """Look up one exact-path pair in the cache (always counted).
+
+        Every exact-path pair of a cache-enabled resolver performs exactly
+        one lookup, so ``cache_hits + cache_misses`` counts those pairs.
+        """
+        value = self._cache.get(key)
+        if value is None:
+            self.counters.cache_misses += 1
+            return None
+        self._cache.move_to_end(key)
+        self.counters.cache_hits += 1
+        return value
+
+    def cache_put(self, key: Tuple[str, str], value: float) -> None:
+        """Store an exact distance, evicting least-recently-used entries."""
+        self._cache[key] = value
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    def cache_len(self) -> int:
+        """Return the number of cached distances."""
+        return len(self._cache)
+
+    def cache_clear(self) -> None:
+        """Drop every cached distance (counters are left untouched)."""
+        self._cache.clear()
+
     # ------------------------------------------------------------- exact tier
     def exact(self, first, second) -> float:
-        """Pay for one exact TED* evaluation (always counted)."""
+        """Resolve a pair on the exact path (cache first, then TED*)."""
+        value, _ = self._exact_resolution(first, second)
+        return value
+
+    def _exact_resolution(self, first, second) -> Tuple[float, str]:
+        """Return ``(distance, tier)`` where tier is cache or exact."""
+        key = self.cache_key(first, second)
+        if key is not None:
+            cached = self.cache_get(key)
+            if cached is not None:
+                return cached, CACHE_TIER
         self.counters.exact_evaluations += 1
-        return ted_star(first.tree, second.tree, k=self.k, backend=self.backend)
+        value = ted_star(first.tree, second.tree, k=self.k, backend=self.backend)
+        if key is not None:
+            self.cache_put(key, value)
+        return value, EXACT_TIER
 
     # -------------------------------------------------------------- outcomes
     def record_pruned(self, interval: ResolutionInterval) -> None:
@@ -237,8 +326,8 @@ class BoundedNedDistance:
         if interval.exact:
             self.record_decided(interval)
             return interval.lower, interval
-        value = self.exact(first, second)
-        return value, ResolutionInterval(value, value, EXACT_TIER)
+        value, tier = self._exact_resolution(first, second)
+        return value, ResolutionInterval(value, value, tier)
 
     def distance(self, first, second) -> float:
         """Return the exact distance through the cascade (never prunes)."""

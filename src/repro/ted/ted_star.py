@@ -18,19 +18,57 @@ Per level ``i`` the algorithm performs the six steps of Algorithm 1:
 
 ``TED* = Σ_i (P_i + M_i)``.  The overall complexity is O(k·n³) where ``n``
 is the largest level size (Section 9).
+
+Two implementation choices make this kernel both fast and well-defined:
+
+* **Canonical inputs.**  The per-level matching can admit several optimal
+  solutions, and which one a deterministic solver returns depends on the
+  node numbering of its input; the re-canonization step propagates that
+  choice upwards, so the raw algorithm's value could depend on how the trees
+  were labeled.  Both trees are therefore rewritten into their AHU-canonical
+  form first (:func:`repro.trees.canonize.canonical_form`), which makes the
+  distance a pure function of the two isomorphism classes — the property
+  the paper's Section 7 metric proofs assume, and the property that lets
+  :mod:`repro.ted.resolver` cache distances by signature pair.
+
+* **Label-pair memoized cost matrices.**  Within a level, the matching
+  weight between two nodes depends only on their children-label collections,
+  i.e. only on the two canonization labels.  Weights are computed once per
+  distinct ``(label, label)`` pair and broadcast into the cost matrix,
+  turning O(n²·c) weight construction into O(d²·c) for ``d`` distinct
+  labels (equal labels are free: their symmetric difference is 0).
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import DistanceError
-from repro.matching.bipartite import min_cost_matching
-from repro.trees.canonize import canonical_string
+from repro.matching.bipartite import min_cost_matching, resolve_backend
+from repro.trees.canonize import canonical_form
 from repro.trees.levels import LevelView
 from repro.trees.tree import Tree
 from repro.utils.validation import check_positive_int
+
+# Canonical forms memoized per live Tree, so batch workloads (a distance
+# matrix holds every tree while evaluating O(n²) pairs) canonicalize each
+# tree once, not once per pair.  Keyed weakly: entries die with their trees.
+# Tree equality/hash are structural, which is exactly the right granularity
+# — structurally equal trees share one canonical form by definition.
+_CANONICAL_CACHE: "weakref.WeakKeyDictionary[Tree, Tuple[Tree, str]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _canonical(tree: Tree) -> Tuple[Tree, str]:
+    """Return (and memoize) the canonical form and signature of ``tree``."""
+    cached = _CANONICAL_CACHE.get(tree)
+    if cached is None:
+        cached = canonical_form(tree)
+        _CANONICAL_CACHE[tree] = cached
+    return cached
 
 
 @dataclass(frozen=True)
@@ -104,7 +142,7 @@ def ted_star(
     first: Tree,
     second: Tree,
     k: Optional[int] = None,
-    backend: str = "hungarian",
+    backend: str = "auto",
 ) -> float:
     """Return the TED* distance between two unordered rooted trees.
 
@@ -117,7 +155,13 @@ def ted_star(
         Number of levels to compare (paper-style: level 1 is the root).  When
         omitted, enough levels to cover both trees entirely are used.
     backend:
-        Bipartite matching backend, ``"hungarian"`` (default) or ``"scipy"``.
+        Bipartite matching backend: ``"auto"`` (default; SciPy's
+        ``linear_sum_assignment`` when available, pure-Python Hungarian
+        otherwise), ``"hungarian"`` or ``"scipy"``.  Each solver is
+        deterministic, but on tie pairs admitting several optimal matchings
+        the two can return different (equally valid) TED* values — pin a
+        concrete backend when distances must reproduce across environments
+        where SciPy's availability differs.
     """
     return ted_star_detailed(first, second, k=k, backend=backend).distance
 
@@ -126,7 +170,7 @@ def ted_star_detailed(
     first: Tree,
     second: Tree,
     k: Optional[int] = None,
-    backend: str = "hungarian",
+    backend: str = "auto",
 ) -> TedStarResult:
     """Return the TED* distance together with its per-level cost breakdown."""
     if not isinstance(first, Tree) or not isinstance(second, Tree):
@@ -134,13 +178,14 @@ def ted_star_detailed(
     if k is None:
         k = max(first.height(), second.height()) + 1
     check_positive_int(k, "k")
+    backend = resolve_backend(backend)
 
-    # The level-by-level matching can admit several optimal solutions; which
-    # one the Hungarian solver returns depends on the orientation of the cost
-    # matrix, and the re-canonization step propagates that choice upwards.
-    # Normalising the argument order ("without loss of generality", as the
-    # paper's Section 5.7 puts it) makes the computed value independent of the
-    # caller's argument order, i.e. exactly symmetric.
+    # Rewrite both trees into their AHU-canonical representatives and order
+    # the pair canonically ("without loss of generality", as the paper's
+    # Section 5.7 puts it).  Together these make the computed value a pure
+    # function of the two isomorphism classes: independent of the caller's
+    # argument order (exact symmetry) and of how the trees were labeled
+    # (relabel-invariance) — see the module docstring.
     first, second = _normalise_order(first, second)
 
     left = LevelView(first, k)
@@ -178,14 +223,28 @@ def ted_star_detailed(
         canon_left = canon[: len(collections_left)]
         canon_right = canon[len(collections_left):]
 
-        # Complete weighted bipartite graph + minimum matching.
-        weights = [
-            [
-                _multiset_symmetric_difference(s_left, s_right)
-                for s_right in collections_right
-            ]
-            for s_left in collections_left
-        ]
+        # Complete weighted bipartite graph + minimum matching.  A weight
+        # depends only on the two canonization labels (equal labels ⇔ equal
+        # collections ⇒ weight 0), so each distinct label pair is computed
+        # once and broadcast into the matrix.
+        pair_cost: Dict[Tuple[int, int], int] = {}
+        weights = []
+        for label_left, collection_left in zip(canon_left, collections_left):
+            row = []
+            for label_right, collection_right in zip(canon_right, collections_right):
+                key = (label_left, label_right)
+                cost = pair_cost.get(key)
+                if cost is None:
+                    cost = (
+                        0
+                        if label_left == label_right
+                        else _multiset_symmetric_difference(
+                            collection_left, collection_right
+                        )
+                    )
+                    pair_cost[key] = cost
+                row.append(cost)
+            weights.append(row)
         if weights:
             matching = min_cost_matching(weights, backend=backend)
             bipartite_cost = matching.cost
@@ -236,17 +295,22 @@ def ted_star_detailed(
 
 
 def _normalise_order(first: Tree, second: Tree) -> Tuple[Tree, Tree]:
-    """Order a tree pair canonically so TED* is invariant to argument order.
+    """Return canonical representatives of the pair, canonically ordered.
 
-    The AHU canonical string is a total order up to isomorphism; when the two
-    keys are equal the trees are isomorphic and the distance is zero either
-    way, so the result is symmetric in every case.
+    Both trees are rewritten into their AHU-canonical form, so the rest of
+    the algorithm only ever sees one representative per isomorphism class.
+    The AHU canonical string is a total order up to isomorphism; when the
+    two keys are equal the trees are isomorphic (identical canonical forms)
+    and the distance is zero either way, so the result is symmetric in every
+    case.
     """
-    key_first = (first.size(), first.height(), canonical_string(first))
-    key_second = (second.size(), second.height(), canonical_string(second))
+    first_canonical, signature_first = _canonical(first)
+    second_canonical, signature_second = _canonical(second)
+    key_first = (first.size(), first.height(), signature_first)
+    key_second = (second.size(), second.height(), signature_second)
     if key_second < key_first:
-        return second, first
-    return first, second
+        return second_canonical, first_canonical
+    return first_canonical, second_canonical
 
 
 def _children_collection(
@@ -279,10 +343,24 @@ def _canonize(collections: Sequence[Tuple[int, ...]]) -> List[int]:
 
 
 def _multiset_symmetric_difference(first: Tuple[int, ...], second: Tuple[int, ...]) -> int:
-    """Size of the multiset symmetric difference of two sorted label tuples."""
-    counts: Dict[int, int] = {}
-    for label in first:
-        counts[label] = counts.get(label, 0) + 1
-    for label in second:
-        counts[label] = counts.get(label, 0) - 1
-    return sum(abs(value) for value in counts.values())
+    """Size of the multiset symmetric difference of two sorted label tuples.
+
+    Both inputs are sorted (``_children_collection`` sorts them), so a
+    single merge walk counts the unmatched elements on either side — no
+    intermediate counting dict.
+    """
+    i = j = 0
+    length_first, length_second = len(first), len(second)
+    total = 0
+    while i < length_first and j < length_second:
+        a, b = first[i], second[j]
+        if a == b:
+            i += 1
+            j += 1
+        elif a < b:
+            total += 1
+            i += 1
+        else:
+            total += 1
+            j += 1
+    return total + (length_first - i) + (length_second - j)

@@ -30,7 +30,7 @@ def weighted_ted_star(
     insert_delete_weight: WeightSpec = 1.0,
     move_weight: WeightSpec = 1.0,
     k: Optional[int] = None,
-    backend: str = "hungarian",
+    backend: str = "auto",
 ) -> float:
     """Return the weighted TED* distance δ_T(W).
 
@@ -58,7 +58,7 @@ def ted_star_upper_bound_weights(
     first: Tree,
     second: Tree,
     k: Optional[int] = None,
-    backend: str = "hungarian",
+    backend: str = "auto",
 ) -> float:
     """Return δ_T(W+) — the weighted TED* that upper-bounds exact TED.
 

@@ -14,14 +14,13 @@ from typing import Dict, List, Tuple
 from repro.trees.tree import Tree
 
 
-def canonical_string(tree: Tree, node: int = 0) -> str:
-    """Return the AHU canonical string of the subtree rooted at ``node``.
+def _subtree_strings(tree: Tree, node: int = 0) -> Dict[int, str]:
+    """Return the AHU string of every node in the subtree rooted at ``node``.
 
-    The canonical string of a leaf is ``"()"``; the canonical string of an
-    internal node is ``"(" + sorted children strings concatenated + ")"``.
-    Two subtrees are isomorphic iff their canonical strings are equal.
+    Iterative post-order to avoid recursion limits on deep trees.  Shared by
+    :func:`canonical_string` and :func:`canonical_form` so the signature the
+    stores persist and the form the kernel evaluates can never diverge.
     """
-    # Iterative post-order to avoid recursion limits on deep trees.
     result: Dict[int, str] = {}
     stack: List[Tuple[int, bool]] = [(node, False)]
     while stack:
@@ -33,7 +32,17 @@ def canonical_string(tree: Tree, node: int = 0) -> str:
         stack.append((current, True))
         for child in tree.children(current):
             stack.append((child, False))
-    return result[node]
+    return result
+
+
+def canonical_string(tree: Tree, node: int = 0) -> str:
+    """Return the AHU canonical string of the subtree rooted at ``node``.
+
+    The canonical string of a leaf is ``"()"``; the canonical string of an
+    internal node is ``"(" + sorted children strings concatenated + ")"``.
+    Two subtrees are isomorphic iff their canonical strings are equal.
+    """
+    return _subtree_strings(tree, node)[node]
 
 
 def ahu_signature(tree: Tree) -> Tuple[int, ...]:
@@ -67,3 +76,35 @@ def trees_isomorphic(first: Tree, second: Tree) -> bool:
     if first.size() != second.size() or first.height() != second.height():
         return False
     return canonical_string(first) == canonical_string(second)
+
+
+def canonical_form(tree: Tree) -> Tuple[Tree, str]:
+    """Return the AHU-canonical representative of ``tree`` and its signature.
+
+    The returned tree is isomorphic to ``tree`` and is a pure function of
+    ``tree``'s isomorphism class: every node's children are visited in sorted
+    canonical-string order and nodes are renumbered in that BFS order, so two
+    trees produce ``==`` (identical parent array) canonical forms exactly
+    when they are isomorphic.  Isomorphic siblings are interchangeable, hence
+    any of their orders yields the same parent array.
+
+    This is what makes TED* well-defined on isomorphism classes in this
+    implementation (and what makes caching distances by signature pair
+    sound): the per-level bipartite matching can have several optimal
+    solutions, and which one a deterministic solver returns depends on the
+    node numbering of its input.  Feeding the solver canonical
+    representatives removes that dependence.
+    """
+    strings = _subtree_strings(tree)
+    order = [0]
+    index = 0
+    while index < len(order):
+        node = order[index]
+        index += 1
+        order.extend(sorted(tree.children(node), key=strings.__getitem__))
+    new_id = {old: new for new, old in enumerate(order)}
+    parents = [0] * tree.size()
+    for old in order:
+        parent = tree.parent(old)
+        parents[new_id[old]] = -1 if parent == -1 else new_id[parent]
+    return Tree(parents), strings[0]

@@ -1,0 +1,122 @@
+"""Minimal reference copy of the pre-PR-3 TED* level loop.
+
+This is the Algorithm-1 implementation exactly as it stood before the
+kernel was optimised (label-pair memoized cost matrices, sorted-merge
+symmetric differences, canonical input normalization): per-pair weight
+computation with a dict-counting multiset symmetric difference, and no input
+canonicalization.  The property tests in ``test_kernel_reference.py`` feed
+both kernels the same (canonicalized) inputs and require bitwise-equal
+distances per backend, which pins down that the optimisations changed the
+cost of the computation, never its value.
+
+Deliberately minimal: only the distance is computed (no per-level cost
+breakdown), and nothing here should be used outside the test suite.
+"""
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.matching.bipartite import min_cost_matching
+from repro.trees.levels import LevelView
+from repro.trees.tree import Tree
+
+
+def reference_ted_star(
+    first: Tree,
+    second: Tree,
+    k: Optional[int] = None,
+    backend: str = "hungarian",
+) -> float:
+    """Pre-change TED* on exactly the trees given (no canonicalization)."""
+    if k is None:
+        k = max(first.height(), second.height()) + 1
+
+    left = LevelView(first, k)
+    right = LevelView(second, k)
+
+    labels_left: Dict[int, int] = {}
+    labels_right: Dict[int, int] = {}
+    padding_below = 0
+    distance = 0.0
+
+    for level_number in range(k, 0, -1):
+        nodes_left = left.level(level_number)
+        nodes_right = right.level(level_number)
+        size_left, size_right = len(nodes_left), len(nodes_right)
+        padding_cost = abs(size_left - size_right)
+
+        collections_left = [
+            tuple(sorted(labels_left[child] for child in left.children(node)))
+            for node in nodes_left
+        ]
+        collections_right = [
+            tuple(sorted(labels_right[child] for child in right.children(node)))
+            for node in nodes_right
+        ]
+        padded = size_left - size_right
+        if padded > 0:
+            collections_right = collections_right + [tuple()] * padded
+        elif padded < 0:
+            collections_left = collections_left + [tuple()] * (-padded)
+
+        canon = _canonize(collections_left + collections_right)
+        canon_left = canon[: len(collections_left)]
+        canon_right = canon[len(collections_left):]
+
+        weights = [
+            [
+                _multiset_symmetric_difference(s_left, s_right)
+                for s_right in collections_right
+            ]
+            for s_left in collections_left
+        ]
+        if weights:
+            matching = min_cost_matching(weights, backend=backend)
+            bipartite_cost = matching.cost
+            assignment = matching.assignment
+        else:
+            bipartite_cost = 0.0
+            assignment = []
+
+        matching_cost = (bipartite_cost - padding_below) / 2.0
+        if matching_cost < 0:
+            matching_cost = 0.0
+
+        final_left = list(canon_left)
+        final_right = list(canon_right)
+        if size_left < size_right:
+            for row, col in enumerate(assignment):
+                final_left[row] = canon_right[col]
+        else:
+            for row, col in enumerate(assignment):
+                final_right[col] = canon_left[row]
+
+        labels_left = {node: final_left[i] for i, node in enumerate(nodes_left)}
+        labels_right = {node: final_right[i] for i, node in enumerate(nodes_right)}
+
+        distance += padding_cost + matching_cost
+        padding_below = padding_cost
+
+    return float(distance)
+
+
+def _canonize(collections: Sequence[Tuple[int, ...]]) -> List[int]:
+    order = sorted(range(len(collections)), key=lambda i: (len(collections[i]), collections[i]))
+    labels = [0] * len(collections)
+    next_label = 0
+    previous: Optional[Tuple[int, ...]] = None
+    for index in order:
+        collection = collections[index]
+        if previous is not None and collection != previous:
+            next_label += 1
+        labels[index] = next_label
+        previous = collection
+    return labels
+
+
+def _multiset_symmetric_difference(first: Tuple[int, ...], second: Tuple[int, ...]) -> int:
+    counts: Dict[int, int] = {}
+    for label in first:
+        counts[label] = counts.get(label, 0) + 1
+    for label in second:
+        counts[label] = counts.get(label, 0) - 1
+    return sum(abs(value) for value in counts.values())

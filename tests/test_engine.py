@@ -12,7 +12,7 @@ from repro.anonymize.deanonymize import (
     deanonymization_precision,
     deanonymization_precision_with_engine,
 )
-from repro.core.ned import NedComputer, ned
+from repro.core.ned import NedComputer, ned, ned_from_trees
 from repro.engine import (
     EngineStats,
     NedSearchEngine,
@@ -623,6 +623,157 @@ class TestIndexCounterReset:
             per_range = index.last_query_distance_calls
             index.range_search(10.0, 5.0)
             assert index.last_query_distance_calls == per_range
+
+
+class TestMatrixResultLookups:
+    """PR-3 satellite: node→index dicts replace O(n) list.index lookups."""
+
+    def test_value_and_row_use_index_maps(self, ba_store):
+        matrix = pairwise_distance_matrix(ba_store)
+        nodes = matrix.row_nodes
+        assert matrix.row_index[nodes[7]] == 7
+        assert matrix.col_index[nodes[3]] == 3
+        assert matrix.value(nodes[7], nodes[3]) == matrix.values[7][3]
+        assert matrix.row(nodes[7]) == matrix.values[7]
+
+    def test_unknown_node_raises_key_error(self, ba_store):
+        matrix = pairwise_distance_matrix(ba_store)
+        with pytest.raises(KeyError):
+            matrix.value("no-such-node", matrix.col_nodes[0])
+
+
+class TestZeroCopyProcessExecutor:
+    def test_worker_initializer_round_trip(self, ba_store):
+        from repro.engine.matrix import _compute_index_chunk, _init_worker
+
+        payload = ba_store.packed_parent_arrays()
+        assert len(payload) == len(ba_store)
+        _init_worker(payload, None, ba_store.k, "auto")
+        entries = ba_store.entries()
+        pairs = [(0, 5), (2, 9)]
+        values = _compute_index_chunk(pairs)
+        for (i, j), value in zip(pairs, values):
+            assert value == ned_from_trees(entries[i].tree, entries[j].tree, ba_store.k)
+
+    def test_cross_matrix_process_matches_serial(self):
+        graph_a = barabasi_albert_graph(20, 2, seed=21)
+        graph_b = barabasi_albert_graph(22, 2, seed=22)
+        store_a = TreeStore.from_graph(graph_a, k=3)
+        store_b = TreeStore.from_graph(graph_b, k=3)
+        serial = cross_distance_matrix(store_a, store_b, executor="serial")
+        process = cross_distance_matrix(
+            store_a, store_b, executor="process", chunk_size=37
+        )
+        assert process.values == serial.values
+
+
+class TestIncrementalFallback:
+    """PR-3 satellite: a pool that breaks mid-run only re-runs unyielded chunks."""
+
+    def _flaky_executor(self, yield_chunks):
+        from concurrent.futures import BrokenExecutor
+
+        from repro.trees.tree import Tree as TreeClass
+
+        def executor(chunks):
+            def generate():
+                for index, (k, backend, pairs) in enumerate(chunks):
+                    if index == yield_chunks:
+                        raise BrokenExecutor("workers died mid-run")
+                    yield [
+                        ned_from_trees(TreeClass(a), TreeClass(b), k)
+                        for a, b in pairs
+                    ]
+
+            return generate()
+
+        return executor
+
+    def test_only_remaining_chunks_recomputed(self, ba_store, monkeypatch):
+        import repro.engine.matrix as matrix_module
+
+        real_ted_star = matrix_module.ted_star
+        fallback_calls = {"count": 0}
+
+        def counting_ted_star(*args, **kwargs):
+            fallback_calls["count"] += 1
+            return real_ted_star(*args, **kwargs)
+
+        monkeypatch.setattr(matrix_module, "ted_star", counting_ted_star)
+        chunk_size = 100
+        yield_chunks = 2
+        total_pairs = len(ba_store) * (len(ba_store) - 1) // 2
+        result = pairwise_distance_matrix(
+            ba_store,
+            executor=self._flaky_executor(yield_chunks),
+            chunk_size=chunk_size,
+            cache_size=0,
+        )
+        assert result.executor_used.startswith("serial (fallback:")
+        # Exactly the pairs of the unyielded chunks were recomputed serially.
+        assert fallback_calls["count"] == total_pairs - yield_chunks * chunk_size
+        reference = pairwise_distance_matrix(ba_store, cache_size=0)
+        assert result.values == reference.values
+
+    def test_immediate_break_recomputes_everything(self, ba_store, monkeypatch):
+        import repro.engine.matrix as matrix_module
+
+        real_ted_star = matrix_module.ted_star
+        fallback_calls = {"count": 0}
+
+        def counting_ted_star(*args, **kwargs):
+            fallback_calls["count"] += 1
+            return real_ted_star(*args, **kwargs)
+
+        monkeypatch.setattr(matrix_module, "ted_star", counting_ted_star)
+        total_pairs = len(ba_store) * (len(ba_store) - 1) // 2
+        result = pairwise_distance_matrix(
+            ba_store, executor=self._flaky_executor(0), cache_size=0
+        )
+        assert result.executor_used.startswith("serial (fallback:")
+        assert fallback_calls["count"] == total_pairs
+
+
+class TestMatrixDeanonymization:
+    """PR-3 satellite: the matrix-driven sweep matches the callable sweep."""
+
+    def test_matrix_sweep_matches_callable_sweep(self):
+        from repro.anonymize.deanonymize import deanonymization_precision_with_matrix
+
+        graph = barabasi_albert_graph(45, 2, seed=19)
+        anonymized = perturbation_anonymization(graph, ratio=0.1, seed=23)
+        computer = NedComputer(k=3)
+
+        def distance(train_node, anon_node):
+            return computer.distance(graph, train_node, anonymized.graph, anon_node)
+
+        baseline = deanonymization_precision(
+            graph, anonymized, distance, top_l=5, sample_size=10, seed=3
+        )
+        for mode in ("exact", "bound-prune"):
+            report, stats = deanonymization_precision_with_matrix(
+                graph, anonymized, k=3, top_l=5, mode=mode, sample_size=10, seed=3
+            )
+            assert report == baseline
+            assert isinstance(stats, EngineStats)
+
+    def test_top_l_from_matrix_tie_order_matches_deanonymize_node(self):
+        from repro.anonymize.deanonymize import deanonymize_node, top_l_from_matrix
+
+        graph = barabasi_albert_graph(30, 2, seed=31)
+        anonymized = perturbation_anonymization(graph, ratio=0.15, seed=37)
+        train_store = TreeStore.from_graph(graph, 3)
+        targets = anonymized.pseudonyms()[:6]
+        anon_store = TreeStore.from_graph(anonymized.graph, 3, nodes=targets)
+        matrix = cross_distance_matrix(train_store, anon_store)
+        computer = NedComputer(k=3)
+
+        def distance(train_node, anon_node):
+            return computer.distance(graph, train_node, anonymized.graph, anon_node)
+
+        for anon_node in targets:
+            expected = deanonymize_node(anon_node, graph.nodes(), distance, 7)
+            assert top_l_from_matrix(matrix, anon_node, 7) == expected
 
 
 class TestNedComputerCache:

@@ -1,0 +1,132 @@
+"""The optimised TED* kernel is value-identical to the pre-change reference.
+
+PR 3 rewrote the kernel's hot path: cost-matrix entries are memoized per
+distinct label pair, the multiset symmetric difference is a sorted-merge
+walk, the matching backend is auto-selected, and inputs are canonicalized
+(AHU form) so the distance depends only on the isomorphism classes.  These
+property tests pin down each claim:
+
+* fed the same canonical inputs, the new kernel and the preserved pre-change
+  level loop (``tests/_reference_ted_star.py``) return **bitwise-equal**
+  distances, per backend;
+* ``backend="auto"`` dispatches to exactly the solver
+  :func:`repro.matching.bipartite.resolve_backend` names;
+* canonicalization makes the distance relabel-invariant — the property the
+  signature-keyed cache tier relies on.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from _reference_ted_star import reference_ted_star
+from repro.matching.bipartite import resolve_backend
+from repro.matching.scipy_backend import scipy_available
+from repro.exceptions import MatchingError
+from repro.ted.ted_star import ted_star
+from repro.trees.canonize import canonical_form, trees_isomorphic
+from repro.trees.tree import Tree
+from repro.utils.rng import ensure_rng
+
+BACKENDS = ["hungarian"] + (["scipy"] if scipy_available() else [])
+
+
+@st.composite
+def bounded_trees(draw, max_nodes=16, max_depth=4):
+    """Generate a random tree with bounded size and depth."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = ensure_rng(seed)
+    parents = [-1]
+    depths = [0]
+    for node in range(1, n):
+        eligible = [i for i in range(node) if depths[i] < max_depth]
+        parent = rng.choice(eligible) if eligible else 0
+        parents.append(parent)
+        depths.append(depths[parent] + 1)
+    return Tree(parents)
+
+
+def normalised_canonical_pair(first: Tree, second: Tree):
+    """Replicate the kernel's input normalization: canonical forms, ordered."""
+    first_canonical, signature_first = canonical_form(first)
+    second_canonical, signature_second = canonical_form(second)
+    key_first = (first.size(), first.height(), signature_first)
+    key_second = (second.size(), second.height(), signature_second)
+    if key_second < key_first:
+        return second_canonical, first_canonical
+    return first_canonical, second_canonical
+
+
+class TestBitwiseEqualityWithReference:
+    @settings(max_examples=60, deadline=None)
+    @given(bounded_trees(), bounded_trees())
+    def test_matches_reference_on_canonical_inputs(self, first, second):
+        left, right = normalised_canonical_pair(first, second)
+        for backend in BACKENDS:
+            assert ted_star(first, second, backend=backend) == reference_ted_star(
+                left, right, backend=backend
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(bounded_trees(), bounded_trees(), st.integers(min_value=1, max_value=6))
+    def test_matches_reference_with_explicit_k(self, first, second, k):
+        left, right = normalised_canonical_pair(first, second)
+        for backend in BACKENDS:
+            assert ted_star(first, second, k=k, backend=backend) == reference_ted_star(
+                left, right, k=k, backend=backend
+            )
+
+
+class TestAutoBackend:
+    def test_auto_resolves_deterministically(self):
+        resolved = resolve_backend("auto")
+        assert resolved == ("scipy" if scipy_available() else "hungarian")
+        assert resolve_backend("auto") == resolved
+
+    def test_concrete_backends_pass_through(self):
+        assert resolve_backend("hungarian") == "hungarian"
+        assert resolve_backend("scipy") == "scipy"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(MatchingError):
+            resolve_backend("quantum")
+
+    @settings(max_examples=25, deadline=None)
+    @given(bounded_trees(), bounded_trees())
+    def test_auto_equals_resolved_backend(self, first, second):
+        resolved = resolve_backend("auto")
+        assert ted_star(first, second, backend="auto") == ted_star(
+            first, second, backend=resolved
+        )
+
+
+class TestCanonicalInvariance:
+    """Canonicalization makes TED* a function of the isomorphism classes."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(bounded_trees(), bounded_trees(), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_relabeling_both_operands_preserves_distance(self, first, second, seed):
+        rng = ensure_rng(seed)
+        relabeled_first = _relabel(first, rng)
+        relabeled_second = _relabel(second, rng)
+        assert trees_isomorphic(first, relabeled_first)
+        assert ted_star(first, second) == ted_star(relabeled_first, relabeled_second)
+
+    @settings(max_examples=40, deadline=None)
+    @given(bounded_trees(), bounded_trees())
+    def test_canonical_inputs_are_a_fixed_point(self, first, second):
+        left, right = normalised_canonical_pair(first, second)
+        assert ted_star(first, second) == ted_star(left, right)
+
+
+def _relabel(tree: Tree, rng) -> Tree:
+    nodes = list(tree.nodes())
+    non_root = nodes[1:]
+    rng.shuffle(non_root)
+    order = [0] + non_root
+    new_id = {old: new for new, old in enumerate(order)}
+    parents = [0] * tree.size()
+    for old in nodes:
+        parent = tree.parent(old)
+        parents[new_id[old]] = -1 if parent == -1 else new_id[parent]
+    return Tree(parents)
