@@ -7,6 +7,11 @@ TED* for every call; the engine splits the work the way a data system would:
   canonizes and summarises the k-adjacent trees of all nodes of a graph in
   one pass, with ``save()``/``load()`` persistence so the extraction outlives
   the process.
+* :mod:`repro.engine.shards` — :class:`ShardedTreeStore`: the same store
+  persisted as a manifest plus N shard files, loaded lazily with a bounded
+  LRU of resident shards, for graphs whose trees do not all fit in memory
+  at once.  Same surface as :class:`TreeStore`, so matrices and search
+  consume either.
 * :mod:`repro.engine.matrix` — chunked pairwise/cross distance matrices with
   pluggable executors (``serial``, ``process``) and a ``bound-prune`` mode
   that resolves pairs from O(k) summaries whenever possible.
@@ -16,6 +21,26 @@ TED* for every call; the engine splits the work the way a data system would:
   bound-based pruning, with per-query distance-call and per-tier pruning
   statistics.
 * :mod:`repro.engine.stats` — the shared telemetry counters.
+
+Persistence workflow (precompute once, query from any process)
+--------------------------------------------------------------
+The paper's Sections 6–7 split — extract trees and summaries once, answer
+many queries from them — extends across process boundaries with two durable
+artifacts:
+
+1. the *store shards*: ``save_sharded(store, directory, shards=N)`` writes
+   the extraction; ``ShardedTreeStore.load(directory)`` attaches it lazily
+   from any later process, and
+2. the *distance-cache sidecar*: every exact TED* a run pays for can be
+   persisted (``cache_file=`` on the matrix builders and
+   :class:`NedSearchEngine`, or ``save_cache()``/``warm_from()`` directly on
+   :class:`repro.ted.resolver.BoundedNedDistance`), so the next process
+   answers the repeated signature pairs from memory — a warm re-run of the
+   same workload performs zero exact evaluations.
+
+See ``examples/persistent_sweep.py`` for the full save → reload → warm-sweep
+walkthrough, and the ``persistence`` section of ``BENCH_kernel.json`` for
+the measured cold-vs-warm gap.
 
 Distance resolution itself — the signature → level-size → degree-multiset →
 (cache) → exact TED* cascade every component drives — lives in
@@ -74,6 +99,7 @@ from repro.engine.matrix import (
     pairwise_distance_matrix,
 )
 from repro.engine.search import INDEX_BACKENDS, SEARCH_MODES, NedSearchEngine
+from repro.engine.shards import ShardedTreeStore, save_sharded, sharded_store_exists
 from repro.engine.stats import EngineStats, QueryStats
 from repro.engine.tree_store import StoredTree, TreeStore, summarize_tree
 from repro.ted.resolver import (
@@ -87,6 +113,9 @@ __all__ = [
     "TreeStore",
     "StoredTree",
     "summarize_tree",
+    "ShardedTreeStore",
+    "save_sharded",
+    "sharded_store_exists",
     "NedSearchEngine",
     "pairwise_distance_matrix",
     "cross_distance_matrix",

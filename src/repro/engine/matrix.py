@@ -42,10 +42,12 @@ from __future__ import annotations
 
 import math
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from dataclasses import dataclass, field, fields
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import DistanceError
+from repro.engine.shards import ShardedTreeStore
 from repro.engine.stats import EngineStats
 from repro.engine.tree_store import TreeStore
 from repro.ted.resolver import DEFAULT_CACHE_SIZE, BoundedNedDistance
@@ -53,6 +55,11 @@ from repro.ted.ted_star import ted_star
 from repro.trees.tree import Tree
 
 Node = Hashable
+
+#: Either store flavour works: the builders only touch the shared surface
+#: (``k``, ``entries()``, ``packed_parent_arrays()``).
+StoreLike = Union[TreeStore, ShardedTreeStore]
+PathLike = Union[str, Path]
 
 MODES = ("exact", "bound-prune")
 EXECUTORS = ("serial", "process")
@@ -144,7 +151,7 @@ def _compute_index_chunk(pairs: IndexChunk) -> List[float]:
 
 
 def pairwise_distance_matrix(
-    store: TreeStore,
+    store: StoreLike,
     mode: str = "exact",
     executor: "str | ExecutorFn" = "serial",
     backend: str = "auto",
@@ -154,6 +161,7 @@ def pairwise_distance_matrix(
     tiers: Optional[Sequence[str]] = None,
     cache_size: int = DEFAULT_CACHE_SIZE,
     resolver: Optional[BoundedNedDistance] = None,
+    cache_file: Optional[PathLike] = None,
 ) -> MatrixResult:
     """Return the symmetric all-pairs NED matrix of one store.
 
@@ -163,18 +171,24 @@ def pairwise_distance_matrix(
     cache across builds — repeated sweeps over overlapping stores then pay
     for each distinct signature pair once; ``backend``/``tiers``/
     ``cache_size`` are ignored in that case in favour of the resolver's own
-    configuration.
+    configuration.  ``store`` may be a dense :class:`TreeStore` or a
+    :class:`repro.engine.shards.ShardedTreeStore`.
+
+    ``cache_file`` persists the exact-distance cache across *processes*: if
+    the sidecar exists it warms the resolver before the build (pairs a
+    previous run already computed cost nothing), and the cache is saved back
+    on completion.
     """
     return _build_matrix(
         store, store, symmetric=True, mode=mode, executor=executor, backend=backend,
         chunk_size=chunk_size, max_workers=max_workers, threshold=threshold,
-        tiers=tiers, cache_size=cache_size, resolver=resolver,
+        tiers=tiers, cache_size=cache_size, resolver=resolver, cache_file=cache_file,
     )
 
 
 def cross_distance_matrix(
-    row_store: TreeStore,
-    col_store: TreeStore,
+    row_store: StoreLike,
+    col_store: StoreLike,
     mode: str = "exact",
     executor: "str | ExecutorFn" = "serial",
     backend: str = "auto",
@@ -184,6 +198,7 @@ def cross_distance_matrix(
     tiers: Optional[Sequence[str]] = None,
     cache_size: int = DEFAULT_CACHE_SIZE,
     resolver: Optional[BoundedNedDistance] = None,
+    cache_file: Optional[PathLike] = None,
 ) -> MatrixResult:
     """Return the rows × columns NED matrix between two stores.
 
@@ -193,8 +208,8 @@ def cross_distance_matrix(
     sweep (:func:`repro.anonymize.deanonymize.top_l_from_matrix`) expects
     training candidates in *rows* and anonymised nodes in *columns*, i.e.
     ``cross_distance_matrix(training_store, anon_store)``.  ``resolver``
-    shares a distance cache across builds, as in
-    :func:`pairwise_distance_matrix`.
+    shares a distance cache across builds and ``cache_file`` persists it
+    across processes, as in :func:`pairwise_distance_matrix`.
     """
     if row_store.k != col_store.k:
         raise DistanceError(
@@ -205,12 +220,13 @@ def cross_distance_matrix(
         row_store, col_store, symmetric=False, mode=mode, executor=executor,
         backend=backend, chunk_size=chunk_size, max_workers=max_workers,
         threshold=threshold, tiers=tiers, cache_size=cache_size, resolver=resolver,
+        cache_file=cache_file,
     )
 
 
 def _build_matrix(
-    row_store: TreeStore,
-    col_store: TreeStore,
+    row_store: StoreLike,
+    col_store: StoreLike,
     symmetric: bool,
     mode: str,
     executor: "str | ExecutorFn",
@@ -221,6 +237,7 @@ def _build_matrix(
     tiers: Optional[Sequence[str]],
     cache_size: int,
     resolver: Optional[BoundedNedDistance],
+    cache_file: Optional[PathLike] = None,
 ) -> MatrixResult:
     if mode not in MODES:
         raise DistanceError(f"unknown matrix mode {mode!r}; expected one of {MODES}")
@@ -228,6 +245,11 @@ def _build_matrix(
         raise DistanceError(f"chunk_size must be >= 1, got {chunk_size}")
     if threshold is not None and threshold < 0:
         raise DistanceError(f"threshold must be non-negative, got {threshold}")
+    if cache_file is not None and (resolver.cache_size if resolver is not None else cache_size) == 0:
+        raise DistanceError(
+            "cache_file needs the distance cache: pass a cache_size > 0 "
+            "(or a resolver whose cache is enabled)"
+        )
     executor_name = _executor_name(executor)
 
     rows = row_store.entries()
@@ -251,6 +273,10 @@ def _build_matrix(
             )
         backend = resolver.backend
         counter_snapshot = resolver.counters.copy()
+    if cache_file is not None and Path(cache_file).exists():
+        # Attach the sidecar a previous process (or build) left behind:
+        # every signature pair it resolved is answered from memory below.
+        resolver.warm_from(cache_file)
     values: List[List[float]] = [[0.0] * len(cols) for _ in rows]
 
     # Resolve every pair from the summaries / the distance cache when
@@ -338,14 +364,17 @@ def _build_matrix(
     if counter_snapshot is not None:
         # Shared resolver: fold only this build's counter deltas into the
         # result's stats (the resolver keeps its own running totals).
-        delta = resolver.counters.since(counter_snapshot)
-        for spec in fields(delta):
-            setattr(stats, spec.name, getattr(stats, spec.name) + getattr(delta, spec.name))
+        stats.merge(resolver.counters.since(counter_snapshot))
 
     if symmetric:
         for i in range(len(rows)):
             for j in range(i + 1, len(cols)):
                 values[j][i] = values[i][j]
+
+    if cache_file is not None:
+        # Save-on-completion: the sidecar now also holds every pair this
+        # build resolved, so the next process starts warm.
+        resolver.save_cache(cache_file)
 
     return MatrixResult(
         row_nodes=[entry.node for entry in rows],
@@ -369,8 +398,8 @@ def _executor_name(executor: "str | ExecutorFn") -> str:
 def _make_dispatch(
     executor: "str | ExecutorFn",
     executor_name: str,
-    row_store: TreeStore,
-    col_store: TreeStore,
+    row_store: StoreLike,
+    col_store: StoreLike,
     rows: Sequence,
     cols: Sequence,
     symmetric: bool,

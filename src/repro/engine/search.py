@@ -34,9 +34,11 @@ from __future__ import annotations
 
 import bisect
 from contextlib import contextmanager
+from pathlib import Path
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import DistanceError, IndexingError
+from repro.engine.shards import ShardedTreeStore
 from repro.engine.stats import EngineStats, QueryStats
 from repro.engine.tree_store import StoredTree, TreeStore, summarize_tree
 from repro.graph.graph import Graph
@@ -44,11 +46,12 @@ from repro.index.bktree import BKTree
 from repro.index.linear_scan import LinearScanIndex
 from repro.index.knn import MetricIndexBase
 from repro.index.vptree import VPTree
-from repro.ted.resolver import BoundedNedDistance, ResolutionInterval
+from repro.ted.resolver import DEFAULT_CACHE_SIZE, BoundedNedDistance, ResolutionInterval
 from repro.trees.tree import Tree
 
 Node = Hashable
 Query = Union[StoredTree, Tree]
+StoreLike = Union[TreeStore, ShardedTreeStore]
 
 SEARCH_MODES = ("exact", "bound-prune", "hybrid")
 INDEX_BACKENDS = ("linear", "vptree", "bktree")
@@ -117,8 +120,21 @@ class NedSearchEngine:
         Off by default because the per-query ``exact_evaluations`` counters
         are the measure the Figure 9b comparisons report; with a cache they
         count distinct signature pairs instead of touched pairs.
+    cache_file:
+        Optional path of a distance-cache *sidecar* (see
+        :meth:`repro.ted.resolver.BoundedNedDistance.save_cache`).  If the
+        file exists, the engine warms its cache from it at construction, so
+        a sweep started by a previous process resumes with its exact
+        distances already resolved; call :meth:`save_cache` when the sweep
+        finishes to write the accumulated cache back.  Implies a
+        :data:`~repro.ted.resolver.DEFAULT_CACHE_SIZE` cache when
+        ``cache_size`` is 0.
     leaf_size, index_seed:
         VP-tree construction parameters (ignored by other backends).
+
+    ``store`` may be a dense :class:`TreeStore` or a lazily loaded
+    :class:`repro.engine.shards.ShardedTreeStore`; the engine snapshots the
+    entry list once at construction, so queries never re-decode shards.
 
     Example
     -------
@@ -131,12 +147,13 @@ class NedSearchEngine:
 
     def __init__(
         self,
-        store: TreeStore,
+        store: StoreLike,
         mode: str = "exact",
         index: str = "linear",
         backend: str = "auto",
         tiers: Optional[Sequence[str]] = None,
         cache_size: int = 0,
+        cache_file: Optional[Union[str, Path]] = None,
         leaf_size: int = 8,
         index_seed: int = 0,
     ) -> None:
@@ -153,20 +170,45 @@ class NedSearchEngine:
         self.mode = mode
         self.index_kind = index
         self.backend = backend
+        self.cache_file = Path(cache_file) if cache_file is not None else None
+        if self.cache_file is not None and cache_size == 0:
+            cache_size = DEFAULT_CACHE_SIZE
         self._leaf_size = leaf_size
         self._index_seed = index_seed
         self._index: Optional[MetricIndexBase] = None
+        self._entries = store.entries()
         try:
             self._resolver = BoundedNedDistance(
                 k=store.k, backend=backend, tiers=tiers, counters=EngineStats(),
                 cache_size=cache_size,
             )
+            if self.cache_file is not None and self.cache_file.exists():
+                self._resolver.warm_from(self.cache_file)
         except DistanceError as error:
             raise IndexingError(str(error)) from None
         self.tiers = self._resolver.tiers
         self._bounds_memo = _QueryBoundsMemo(self._resolver)
         self.stats = EngineStats()
         self.last_query_stats: Optional[QueryStats] = None
+
+    def save_cache(self, path: "Optional[Union[str, Path]]" = None) -> Path:
+        """Write the exact-distance cache sidecar; returns the path written.
+
+        ``path`` defaults to the ``cache_file`` the engine was built with.
+        Typically called once at the end of a sweep, so the next process's
+        engine (constructed with the same ``cache_file``) starts warm.
+        """
+        target = Path(path) if path is not None else self.cache_file
+        if target is None:
+            raise IndexingError(
+                "no cache path: pass save_cache(path) or construct the engine "
+                "with cache_file="
+            )
+        try:
+            self._resolver.save_cache(target)
+        except DistanceError as error:
+            raise IndexingError(str(error)) from None
+        return target
 
     # ---------------------------------------------------------------- factory
     @classmethod
@@ -223,7 +265,7 @@ class NedSearchEngine:
         if self.mode == "bound-prune":
             with self._query_window() as counters:
                 matches: List[Tuple[Node, float]] = []
-                for entry in self.store:
+                for entry in self._entries:
                     value, _ = self._resolver.resolve(probe, entry, threshold=radius)
                     if value is not None and value <= radius:
                         matches.append((entry.node, value))
@@ -295,7 +337,7 @@ class NedSearchEngine:
 
     def _get_index(self) -> MetricIndexBase:
         if self._index is None:
-            entries = self.store.entries()
+            entries = self._entries
             measure = self._exact
             resolver = self._bounds_memo if self.mode == "hybrid" else None
             if self.index_kind == "linear":
@@ -317,7 +359,7 @@ class NedSearchEngine:
         with self._query_window() as counters:
             tau_hint = None
             if self.mode == "hybrid":
-                intervals = self._bounds_memo.begin(probe, self.store.entries())
+                intervals = self._bounds_memo.begin(probe, self._entries)
                 if len(intervals) > count:
                     # The count-th smallest upper bound is an achievable
                     # distance, so the search threshold can start there.
@@ -344,7 +386,7 @@ class NedSearchEngine:
         which is tie-break-agnostic (ties at the cut never involve pruned
         candidates, whose distances are strictly larger).
         """
-        entries = self.store.entries()
+        entries = self._entries
         with self._query_window() as counters:
             # Phase 1: cascade intervals for every candidate (skipped when
             # not pruning — the exact scan is the reference path and pays

@@ -25,7 +25,6 @@ makes repeated sweeps (Figures 9–11) cheap.
 
 from __future__ import annotations
 
-import pickle
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
@@ -36,6 +35,7 @@ from repro.ted.bounds import degree_profile_sequence, level_size_sequence
 from repro.trees.adjacent import k_adjacent_tree
 from repro.trees.canonize import canonical_string
 from repro.trees.tree import Tree
+from repro.utils.io import atomic_pickle_dump, load_validated_payload
 from repro.utils.validation import check_positive_int
 
 Node = Hashable
@@ -84,6 +84,81 @@ def summarize_tree(node: Node, tree: Tree, k: int) -> StoredTree:
         signature=canonical_string(tree),
         degree_profiles=degree_profiles,
     )
+
+
+def _copy_entry(entry: StoredTree) -> StoredTree:
+    """Return a ``StoredTree`` whose tree shares no live objects with ``entry``.
+
+    The summaries (level sizes, signature, degree profiles) are immutable and
+    safe to share; the :class:`Tree` carries the mutable ``graph_nodes``
+    attachment and is rebuilt from its parent array.
+    """
+    tree = Tree(entry.tree.parent_array())
+    graph_nodes = getattr(entry.tree, "graph_nodes", None)
+    if graph_nodes is not None:
+        tree.graph_nodes = tuple(graph_nodes)  # type: ignore[attr-defined]
+    return StoredTree(
+        node=entry.node,
+        tree=tree,
+        level_sizes=entry.level_sizes,
+        signature=entry.signature,
+        degree_profiles=entry.degree_profiles,
+    )
+
+
+def _encode_entry(entry: StoredTree) -> dict:
+    """Turn one entry into the on-disk record shared by stores and shards.
+
+    Records carry parent arrays (plus the original graph-node attachments
+    k-adjacent extraction adds) rather than live objects, so the on-disk
+    format is independent of :class:`Tree` internals.
+    """
+    return {
+        "node": entry.node,
+        "parents": entry.tree.parent_array(),
+        "graph_nodes": getattr(entry.tree, "graph_nodes", None),
+        "level_sizes": entry.level_sizes,
+        "signature": entry.signature,
+        "degree_profiles": entry.degree_profiles,
+    }
+
+
+def _decode_entry(record: dict, k: int, version: int) -> StoredTree:
+    """Rebuild one :class:`StoredTree` from its on-disk record.
+
+    ``version`` is the store format version the record was written under;
+    version-1 records predate the degree summaries, which are recomputed so
+    upgraded stores prune exactly like fresh ones.
+    """
+    tree = Tree(record["parents"])
+    if record["graph_nodes"] is not None:
+        tree.graph_nodes = tuple(record["graph_nodes"])  # type: ignore[attr-defined]
+    if version >= 2:
+        profiles = tuple(tuple(level) for level in record["degree_profiles"])
+    else:
+        profiles = degree_profile_sequence(tree, k)
+    return StoredTree(
+        node=record["node"],
+        tree=tree,
+        level_sizes=tuple(record["level_sizes"]),
+        signature=record["signature"],
+        degree_profiles=profiles,
+    )
+
+
+def _check_payload_k(payload: dict, path: "Union[str, Path]") -> int:
+    """Validate a persisted payload's ``k`` before any entry is decoded.
+
+    A corrupted header must surface as a clear "not a valid TreeStore file"
+    error, not as whatever arbitrary exception ``degree_profile_sequence``
+    raises mid-upgrade with a garbage ``k``.
+    """
+    k = payload.get("k")
+    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+        raise GraphError(
+            f"{path} is not a valid TreeStore file (k must be a positive int, got {k!r})"
+        )
+    return k
 
 
 class TreeStore:
@@ -137,8 +212,15 @@ class TreeStore:
         return cls(k, entries)
 
     def subset(self, nodes: Iterable[Node]) -> "TreeStore":
-        """Return a new store restricted to ``nodes`` (in the given order)."""
-        return TreeStore(self.k, [self.entry(node) for node in nodes])
+        """Return a new store restricted to ``nodes`` (in the given order).
+
+        Entries are deep-copied: the subset shares no live :class:`Tree`
+        objects (or their mutable ``graph_nodes`` attachments) with the
+        parent store, so mutating a tree through one store cannot silently
+        corrupt the other, and ``save()`` of a subset is independent of the
+        parent's fate.
+        """
+        return TreeStore(self.k, [_copy_entry(self.entry(node)) for node in nodes])
 
     # -------------------------------------------------------------- accessors
     def nodes(self) -> List[Node]:
@@ -207,64 +289,20 @@ class TreeStore:
             "format": _FORMAT,
             "version": _VERSION,
             "k": self.k,
-            "entries": [
-                {
-                    "node": entry.node,
-                    "parents": entry.tree.parent_array(),
-                    "graph_nodes": getattr(entry.tree, "graph_nodes", None),
-                    "level_sizes": entry.level_sizes,
-                    "signature": entry.signature,
-                    "degree_profiles": entry.degree_profiles,
-                }
-                for entry in self._entries.values()
-            ],
+            "entries": [_encode_entry(entry) for entry in self._entries.values()],
         }
-        with Path(path).open("wb") as handle:
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        atomic_pickle_dump(payload, Path(path))
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "TreeStore":
         """Restore a store previously written by :meth:`save`."""
+        payload = load_validated_payload(
+            path, _FORMAT, _SUPPORTED_VERSIONS, "TreeStore", GraphError
+        )
+        version = payload["version"]
+        k = _check_payload_k(payload, path)
         try:
-            with Path(path).open("rb") as handle:
-                payload = pickle.load(handle)
-        except (pickle.UnpicklingError, EOFError, AttributeError, ImportError) as error:
-            raise GraphError(f"{path} is not a TreeStore file ({error})") from error
-        if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
-            raise GraphError(f"{path} is not a TreeStore file")
-        version = payload.get("version")
-        if version not in _SUPPORTED_VERSIONS:
-            supported = ", ".join(str(v) for v in _SUPPORTED_VERSIONS)
-            raise GraphError(
-                f"unsupported TreeStore format version {version!r} in {path}: "
-                f"this build reads versions {supported} — the store was written "
-                f"by {'a newer' if isinstance(version, int) and version > _VERSION else 'an unknown'} "
-                f"build; re-extract it or upgrade"
-            )
-        try:
-            k = payload["k"]
-            entries = []
-            for record in payload["entries"]:
-                tree = Tree(record["parents"])
-                if record["graph_nodes"] is not None:
-                    tree.graph_nodes = tuple(record["graph_nodes"])  # type: ignore[attr-defined]
-                if version >= 2:
-                    profiles = tuple(
-                        tuple(level) for level in record["degree_profiles"]
-                    )
-                else:
-                    # Version-1 stores predate the degree summaries; rebuild
-                    # them so loaded stores prune exactly like fresh ones.
-                    profiles = degree_profile_sequence(tree, k)
-                entries.append(
-                    StoredTree(
-                        node=record["node"],
-                        tree=tree,
-                        level_sizes=tuple(record["level_sizes"]),
-                        signature=record["signature"],
-                        degree_profiles=profiles,
-                    )
-                )
+            entries = [_decode_entry(record, k, version) for record in payload["entries"]]
             return cls(k, entries)
         except (KeyError, TypeError, ValueError, TreeError) as error:
             raise GraphError(

@@ -45,13 +45,39 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="also write every selected experiment table to DIR/<name>.csv",
     )
+    parser.add_argument(
+        "--cache-file",
+        metavar="PATH",
+        help="persist the engine's exact-distance cache as a sidecar at PATH: "
+        "loaded when it exists, written back after each engine-backed sweep, "
+        "so repeated runs skip the exact TED* work already paid for",
+    )
+    parser.add_argument(
+        "--store-dir",
+        metavar="DIR",
+        help="shard the engine-backed training TreeStores under DIR and "
+        "reload them lazily on later runs instead of re-extracting",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        metavar="N",
+        help="shard count for --store-dir (default 4)",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI main; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    results = run_all_experiments(quick=not args.full)
+    persistence = {}
+    if getattr(args, "cache_file", None):
+        persistence["cache_file"] = args.cache_file
+    if getattr(args, "store_dir", None):
+        persistence["store_dir"] = args.store_dir
+        persistence["shards"] = args.shards
+    results = run_all_experiments(quick=not args.full, **persistence)
     if args.list:
         for name in results:
             print(name)

@@ -9,7 +9,8 @@ Both sweeps reuse the experiment machinery of Figure 10 on the PGP stand-in.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
 
 from repro.experiments.fig10_deanonymization import deanonymization_experiment
 from repro.experiments.reporting import ExperimentTable
@@ -27,12 +28,18 @@ def figure11a_precision_vs_permutation_ratio(
     seed: RngLike = 47,
     engine_mode: Optional[str] = None,
     engine_tiers: Optional[Sequence[str]] = None,
+    cache_file: Optional[Union[str, Path]] = None,
+    store_dir: Optional[Union[str, Path]] = None,
+    shards: int = 4,
 ) -> ExperimentTable:
     """Precision of NED and Feature as the perturbation ratio grows.
 
     ``engine_mode`` (``"exact"``/``"bound-prune"``/``"hybrid"``) routes the
     NED attacker through the batch engine and ``engine_tiers`` restricts its
-    resolution cascade for tier ablations; see
+    resolution cascade for tier ablations; ``cache_file``/``store_dir``/
+    ``shards`` persist the engine's distance cache and sharded training
+    stores across the sweep points (and across processes) — every point
+    after the first reuses the pairs already resolved; see
     :func:`repro.experiments.fig10_deanonymization.deanonymization_experiment`.
     """
     table = ExperimentTable(
@@ -53,6 +60,9 @@ def figure11a_precision_vs_permutation_ratio(
             seed=seed,
             engine_mode=engine_mode,
             engine_tiers=engine_tiers,
+            cache_file=cache_file,
+            store_dir=store_dir,
+            shards=shards,
         )
         for row in inner.rows:
             table.add_row(ratio=ratio, method=row["method"], precision=row["precision"])
@@ -70,12 +80,18 @@ def figure11b_precision_vs_top_l(
     seed: RngLike = 53,
     engine_mode: Optional[str] = None,
     engine_tiers: Optional[Sequence[str]] = None,
+    cache_file: Optional[Union[str, Path]] = None,
+    store_dir: Optional[Union[str, Path]] = None,
+    shards: int = 4,
 ) -> ExperimentTable:
     """Precision of NED and Feature as the examined top-l grows.
 
     ``engine_mode`` (``"exact"``/``"bound-prune"``/``"hybrid"``) routes the
     NED attacker through the batch engine and ``engine_tiers`` restricts its
-    resolution cascade for tier ablations; see
+    resolution cascade for tier ablations; ``cache_file``/``store_dir``/
+    ``shards`` persist the engine's distance cache and sharded training
+    stores across the sweep points (and across processes) — every point
+    after the first reuses the pairs already resolved; see
     :func:`repro.experiments.fig10_deanonymization.deanonymization_experiment`.
     """
     table = ExperimentTable(
@@ -96,6 +112,9 @@ def figure11b_precision_vs_top_l(
             seed=seed,
             engine_mode=engine_mode,
             engine_tiers=engine_tiers,
+            cache_file=cache_file,
+            store_dir=store_dir,
+            shards=shards,
         )
         for row in inner.rows:
             table.add_row(top_l=top_l, method=row["method"], precision=row["precision"])

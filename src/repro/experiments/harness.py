@@ -10,7 +10,8 @@ finishes in a couple of minutes on a laptop; the benchmark harness under
 
 from __future__ import annotations
 
-from typing import Dict
+from pathlib import Path
+from typing import Dict, Optional, Union
 
 from repro.experiments.ablations import (
     ablation_bound_tiers,
@@ -36,12 +37,24 @@ from repro.experiments.reporting import ExperimentTable
 from repro.experiments.table2_datasets import table2_dataset_summary
 
 
-def run_all_experiments(quick: bool = True) -> Dict[str, ExperimentTable]:
+def run_all_experiments(
+    quick: bool = True,
+    cache_file: Optional[Union[str, Path]] = None,
+    store_dir: Optional[Union[str, Path]] = None,
+    shards: int = 4,
+) -> Dict[str, ExperimentTable]:
     """Run every experiment and return a mapping ``name -> ExperimentTable``.
 
     ``quick=True`` (default) uses reduced sample counts; ``quick=False`` uses
     each driver's default parameters (slower, smoother curves).
+
+    ``cache_file``/``store_dir``/``shards`` thread the persistence layer
+    through the engine-backed drivers (Figures 9b, 10 and 11): exact
+    distances resolved by one run are written to the sidecar and reused by
+    the next, and the Figure 10/11 training stores are sharded into
+    ``store_dir`` and reloaded lazily instead of re-extracted.
     """
+    persistence = dict(cache_file=cache_file, store_dir=store_dir, shards=shards)
     results: Dict[str, ExperimentTable] = {}
     results["table2"] = table2_dataset_summary(scale=0.5 if quick else 1.0)
 
@@ -73,6 +86,7 @@ def run_all_experiments(quick: bool = True) -> Dict[str, ExperimentTable]:
         candidate_count=60 if quick else 150,
         query_count=4 if quick else 8,
         scale=0.3 if quick else 0.4,
+        cache_file=cache_file,
     )
 
     results["figure9b_tier_ablation"] = figure9b_tier_ablation(
@@ -83,20 +97,20 @@ def run_all_experiments(quick: bool = True) -> Dict[str, ExperimentTable]:
 
     results["figure10a_pgp"] = figure10a_pgp(
         query_sample=8 if quick else 20, candidate_sample=50 if quick else 120,
-        scale=0.25 if quick else 0.4,
+        scale=0.25 if quick else 0.4, **persistence,
     )
     results["figure10b_dblp"] = figure10b_dblp(
         query_sample=8 if quick else 20, candidate_sample=50 if quick else 120,
-        scale=0.25 if quick else 0.4,
+        scale=0.25 if quick else 0.4, **persistence,
     )
 
     results["figure11a_permutation_ratio"] = figure11a_precision_vs_permutation_ratio(
         query_sample=6 if quick else 15, candidate_sample=40 if quick else 100,
-        scale=0.25 if quick else 0.4,
+        scale=0.25 if quick else 0.4, **persistence,
     )
     results["figure11b_top_l"] = figure11b_precision_vs_top_l(
         query_sample=6 if quick else 15, candidate_sample=40 if quick else 100,
-        scale=0.25 if quick else 0.4,
+        scale=0.25 if quick else 0.4, **persistence,
     )
 
     results["ablation_bounds"] = ablation_bounds(pair_count=8 if quick else 20)

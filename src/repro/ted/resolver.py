@@ -37,7 +37,8 @@ from __future__ import annotations
 import math
 from collections import OrderedDict
 from dataclasses import dataclass, fields
-from typing import Optional, Sequence, Tuple
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import DistanceError
 from repro.ted.bounds import (
@@ -45,6 +46,7 @@ from repro.ted.bounds import (
     ted_star_level_size_bounds,
 )
 from repro.ted.ted_star import ted_star
+from repro.utils.io import atomic_pickle_dump, load_validated_payload
 
 SIGNATURE_TIER = "signature"
 LEVEL_SIZE_TIER = "level-size"
@@ -62,6 +64,13 @@ TIER_CASCADE = BOUND_TIERS + (EXACT_TIER,)
 
 #: Cache capacity the engine components use unless told otherwise.
 DEFAULT_CACHE_SIZE = 32768
+
+# On-disk format of the exact-distance cache sidecar (mirrors the TreeStore
+# header discipline: a format marker plus an integer version, validated
+# before any entry is decoded).
+_CACHE_FORMAT = "repro-ned-cache"
+_CACHE_VERSION = 1
+_CACHE_SUPPORTED_VERSIONS = (1,)
 
 
 @dataclass
@@ -92,21 +101,44 @@ class ResolutionCounters:
     cache_misses: int = 0
 
     def merge(self, other: "ResolutionCounters") -> None:
-        """Accumulate ``other`` into this instance (for running totals)."""
-        for spec in fields(self):
-            setattr(self, spec.name, getattr(self, spec.name) + getattr(other, spec.name))
+        """Accumulate ``other`` into this instance (for running totals).
+
+        Field-driven over ``dataclasses.fields(other)``: a future tier's
+        counters (added as new dataclass fields, possibly on a subclass) are
+        merged automatically.  Counters present on ``other`` but absent here
+        raise instead of silently dropping from the totals.
+        """
+        mine = {spec.name for spec in fields(self)}
+        theirs = [spec.name for spec in fields(other)]
+        missing = [name for name in theirs if name not in mine]
+        if missing:
+            raise TypeError(
+                f"cannot merge {type(other).__name__} into {type(self).__name__}: "
+                f"counters {missing} would be silently dropped"
+            )
+        for name in theirs:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
 
     def copy(self) -> "ResolutionCounters":
         """Return an independent snapshot of the current counts."""
         return type(self)(**{spec.name: getattr(self, spec.name) for spec in fields(self)})
 
     def since(self, snapshot: "ResolutionCounters") -> "ResolutionCounters":
-        """Return the counter deltas accumulated after ``snapshot``."""
+        """Return the counter deltas accumulated after ``snapshot``.
+
+        Field-driven like :meth:`merge`; the snapshot must cover exactly this
+        instance's counter fields (a :meth:`copy` always does), otherwise a
+        field would be silently dropped from — or missing in — the delta.
+        """
+        mine = [spec.name for spec in fields(self)]
+        theirs = {spec.name for spec in fields(snapshot)}
+        if theirs != set(mine):
+            raise TypeError(
+                f"cannot diff {type(self).__name__} against {type(snapshot).__name__}: "
+                f"counter fields differ ({sorted(set(mine) ^ theirs)})"
+            )
         return type(self)(
-            **{
-                spec.name: getattr(self, spec.name) - getattr(snapshot, spec.name)
-                for spec in fields(self)
-            }
+            **{name: getattr(self, name) - getattr(snapshot, name) for name in mine}
         )
 
 
@@ -268,6 +300,121 @@ class BoundedNedDistance:
     def cache_clear(self) -> None:
         """Drop every cached distance (counters are left untouched)."""
         self._cache.clear()
+
+    # ------------------------------------------------------ cache persistence
+    def save_cache(self, path: Union[str, Path]) -> int:
+        """Persist the exact-distance cache as a sidecar file at ``path``.
+
+        The sidecar records the resolver's ``k`` (distances are only
+        comparable at equal ``k``) and ``backend`` (tie pairs may admit
+        several optimal matchings, so values are only guaranteed reproducible
+        under the backend that produced them) next to the signature-keyed
+        entries, in LRU order (oldest first).  Returns the number of entries
+        written.  A sweep writes the sidecar once at the end of a run; the
+        next process attaches it with :meth:`load_cache` or
+        :meth:`warm_from` and answers the repeated pairs from memory.
+        """
+        entries = [(a, b, value) for (a, b), value in self._cache.items()]
+        payload = {
+            "format": _CACHE_FORMAT,
+            "version": _CACHE_VERSION,
+            "k": self.k,
+            "backend": self.backend,
+            "entries": entries,
+        }
+        atomic_pickle_dump(payload, Path(path))
+        return len(entries)
+
+    def _read_sidecar(self, path: Union[str, Path]) -> List[Tuple[str, str, float]]:
+        """Read, validate and return the entries of a cache sidecar."""
+        payload = load_validated_payload(
+            path, _CACHE_FORMAT, _CACHE_SUPPORTED_VERSIONS, "NED distance-cache",
+            DistanceError,
+        )
+        if payload.get("k") != self.k:
+            raise DistanceError(
+                f"distance-cache sidecar {path} was written with k={payload.get('k')!r}, "
+                f"but this resolver compares k={self.k} levels; the cached distances "
+                f"are not comparable"
+            )
+        sidecar_backend = payload.get("backend")
+        if sidecar_backend != self.backend:
+            raise DistanceError(
+                f"distance-cache sidecar {path} was written with backend="
+                f"{sidecar_backend!r}, but this resolver uses backend={self.backend!r}; "
+                f"tie pairs may admit several optimal matchings, so cached values are "
+                f"only reproducible under the backend that produced them"
+            )
+        entries = payload.get("entries")
+        try:
+            return [
+                (str(a), str(b), float(value))
+                for a, b, value in entries
+            ]
+        except (TypeError, ValueError) as error:
+            raise DistanceError(
+                f"{path} is not a valid NED distance-cache file "
+                f"({type(error).__name__}: {error})"
+            ) from error
+
+    def _require_cache_enabled(self, action: str) -> None:
+        if not self.cache_size:
+            raise DistanceError(
+                f"cannot {action}: this resolver's distance cache is disabled "
+                f"(cache_size=0)"
+            )
+
+    def load_cache(self, path: Union[str, Path]) -> int:
+        """Replace the cache with a sidecar's entries; returns how many stay.
+
+        When the sidecar holds more entries than ``cache_size``, the newest
+        (most recently used at save time) are kept.  Counters are untouched:
+        loading is not a lookup.
+        """
+        self._require_cache_enabled(f"load a distance-cache sidecar from {path}")
+        entries = self._read_sidecar(path)
+        self._cache = OrderedDict(
+            ((a, b), value) for a, b, value in entries[-self.cache_size:]
+        )
+        return len(self._cache)
+
+    def warm_from(self, source: "Union[str, Path, BoundedNedDistance]") -> int:
+        """Merge another cache into this one; returns the entries added.
+
+        ``source`` is a sidecar path (written by :meth:`save_cache`, e.g. by
+        a previous process of a sweep) or a live resolver.  Entries already
+        present keep their value and their recency; merged entries are
+        inserted as the coldest, so they are the first evicted if the merge
+        overflows ``cache_size``.
+        """
+        self._require_cache_enabled("warm its distance cache")
+        if isinstance(source, BoundedNedDistance):
+            if source.k != self.k:
+                raise DistanceError(
+                    f"cannot warm from a resolver with k={source.k}; this resolver "
+                    f"compares k={self.k} levels"
+                )
+            if source.backend != self.backend:
+                raise DistanceError(
+                    f"cannot warm from a resolver with backend={source.backend!r}; "
+                    f"this resolver uses backend={self.backend!r}"
+                )
+            incoming = [(a, b, value) for (a, b), value in source._cache.items()]
+        else:
+            incoming = self._read_sidecar(source)
+        merged: "OrderedDict[Tuple[str, str], float]" = OrderedDict()
+        added = 0
+        for a, b, value in incoming:
+            key = (a, b)
+            if key not in self._cache and key not in merged:
+                merged[key] = value
+                added += 1
+        for key, value in self._cache.items():
+            merged[key] = value
+        while len(merged) > self.cache_size:
+            merged.popitem(last=False)
+        self._cache = merged
+        return added
 
     # ------------------------------------------------------------- exact tier
     def exact(self, first, second) -> float:

@@ -1,0 +1,72 @@
+"""Durable-file helpers shared by the persistence layer.
+
+Every persisted artifact (tree stores, store shards and manifests, distance
+-cache sidecars) follows the same header discipline: a pickled dict whose
+``format`` marker is checked first, then an integer ``version`` against the
+versions the running build understands — so a truncated, foreign or
+future-format file fails with one clear, uniform error before any entry is
+decoded, and the check lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Sequence, Type, Union
+
+
+def atomic_pickle_dump(payload: object, path: Path) -> None:
+    """Write a pickle so a killed process never leaves a partial file.
+
+    Stores, shards and cache sidecars are written at the end of long sweeps;
+    if the process dies mid-dump, a truncated file would make every later
+    warm run fail until someone deletes it by hand.  Dump to a sibling temp
+    file and rename — ``os.replace`` is atomic on POSIX and Windows.
+    """
+    temp = path.with_name(path.name + ".tmp")
+    try:
+        with temp.open("wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(temp, path)
+    except BaseException:
+        try:
+            temp.unlink()
+        except FileNotFoundError:
+            pass
+        raise
+
+
+def load_validated_payload(
+    path: Union[str, Path],
+    expected_format: str,
+    supported_versions: Sequence[int],
+    kind: str,
+    error_cls: Type[Exception],
+) -> dict:
+    """Read a persisted payload and validate its format/version header.
+
+    Unpickling failures (truncated/corrupt/foreign bytes), a wrong or
+    missing ``format`` marker, and an unsupported ``version`` all raise
+    ``error_cls`` with a message naming ``kind`` and the path.  A missing
+    file raises :class:`FileNotFoundError` untouched — callers with a more
+    helpful story for that case (e.g. an incomplete shard set) wrap it
+    themselves.  Returns the validated payload dict, ``version`` included.
+    """
+    with Path(path).open("rb") as handle:
+        try:
+            payload = pickle.load(handle)
+        except (pickle.UnpicklingError, EOFError, AttributeError, ImportError) as error:
+            raise error_cls(
+                f"{path} is not a {kind} file ({type(error).__name__}: {error})"
+            ) from error
+    if not isinstance(payload, dict) or payload.get("format") != expected_format:
+        raise error_cls(f"{path} is not a {kind} file")
+    version = payload.get("version")
+    if version not in supported_versions:
+        supported = ", ".join(str(v) for v in supported_versions)
+        raise error_cls(
+            f"unsupported {kind} format version {version!r} in {path}: this build "
+            f"reads versions {supported}; re-create the file or upgrade"
+        )
+    return payload

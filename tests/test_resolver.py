@@ -149,6 +149,43 @@ class TestCountersArithmetic:
         assert delta.signature_hits == 0
         assert snapshot.exact_evaluations == 2
 
+    def test_future_tier_counters_survive_merge_and_since(self):
+        """Parity guard: merge/since/copy/as_dict are field-driven, so a
+        future tier's counter (a new dataclass field) flows through them
+        without any hand-written enumeration being updated."""
+        from dataclasses import dataclass, fields
+
+        from repro.engine.stats import EngineStats
+
+        @dataclass
+        class FutureStats(EngineStats):
+            decided_by_histogram: int = 0  # a hypothetical new tier
+
+        counters = FutureStats(exact_evaluations=1, decided_by_histogram=5)
+        snapshot = counters.copy()
+        counters.merge(FutureStats(decided_by_histogram=2, pairs_considered=3))
+        delta = counters.since(snapshot)
+        assert delta.decided_by_histogram == 2
+        assert delta.pairs_considered == 3
+        assert delta.exact_evaluations == 0
+        # as_dict covers every field, current and future, plus aggregates.
+        as_dict = counters.as_dict()
+        assert {spec.name for spec in fields(counters)} <= set(as_dict)
+        assert as_dict["decided_by_histogram"] == 7
+
+    def test_merge_refuses_to_drop_unknown_counters(self):
+        from dataclasses import dataclass
+
+        @dataclass
+        class ExtendedCounters(ResolutionCounters):
+            decided_by_histogram: int = 0
+
+        base = ResolutionCounters()
+        with pytest.raises(TypeError, match="decided_by_histogram"):
+            base.merge(ExtendedCounters(decided_by_histogram=1))
+        with pytest.raises(TypeError, match="differ"):
+            ExtendedCounters().since(ResolutionCounters())
+
 
 class TestResolverOnGridWorkload:
     def test_full_cascade_cheaper_than_level_size_only(self):
