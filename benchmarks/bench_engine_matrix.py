@@ -1,7 +1,7 @@
-"""Engine distance matrices — serial vs process vs bound-pruned builds.
+"""Engine distance matrices and query serving — all through `NedSession`.
 
-Times :func:`repro.engine.pairwise_distance_matrix` over the same tree store
-in several configurations (serial exact, a reference build with the
+Times the all-pairs matrix workload over the same tree store in several
+session configurations (serial exact, a reference session with the
 pure-Python Hungarian backend and the distance cache off, process-parallel
 exact, bound-pruned with level-size bounds only, bound-pruned with the full
 signature → level-size → degree-multiset cascade), verifies they produce
@@ -11,22 +11,29 @@ so the pruning and caching wins are visible straight from the CI smoke
 output.
 
 A second, repeated-probe workload runs kNN for every graph node through one
-:class:`repro.engine.NedSearchEngine` twice — once with the signature-keyed
-distance cache on, once off — verifies the results are identical, and
-reports the cache hit rate.
+session twice — once with the signature-keyed distance cache on, once off —
+verifies the results are identical, and reports the cache hit rate.
 
-A third, persistence workload exercises the durable layer: a cold pass
+A third, persistence workload exercises the durable layer: a cold session
 shards the store to disk (:func:`repro.engine.shards.save_sharded`) and
-writes the exact-distance cache sidecar, a warm pass re-attaches both and
-must answer the same matrix and kNN queries with *zero* exact TED*
+writes the exact-distance cache sidecar on close, a warm session re-attaches
+both and must answer the same matrix and kNN queries with *zero* exact TED*
 evaluations.  With ``--store-dir`` (and optionally ``--cache-file`` /
 ``--shards``) the cold and warm passes run in separate process invocations,
 which is how the CI persistence job uses it.
 
-Both workloads are recorded machine-readably in ``BENCH_kernel.json``
-(pairs/sec, cache hit rate, per-configuration timings, and the speedup of
-the default exact build over the reference configuration), so the kernel's
-perf trajectory is tracked from PR 3 onward.
+A fourth, *serving* workload (``--serving`` runs it alone) answers the same
+≥32 kNN queries three ways — per-query (a fresh session per query, the
+pre-session wiring), batched (one warm session,
+:meth:`~repro.engine.NedSession.execute_batch`), and async (the
+:class:`~repro.engine.SessionServer` request queue) — asserts all three are
+bit-identical with the batched path paying for strictly fewer exact TED*
+evaluations, and records the throughput gap in ``BENCH_kernel.json``'s
+``serving`` section.
+
+All workloads are recorded machine-readably in ``BENCH_kernel.json``
+(pairs/sec, queries/sec, cache hit rate, per-configuration timings), so the
+engine's perf trajectory is tracked from PR 3 onward.
 
 Runs two ways:
 
@@ -42,6 +49,7 @@ Runs two ways:
 from __future__ import annotations
 
 import argparse
+import asyncio
 import hashlib
 import json
 import sys
@@ -49,8 +57,7 @@ import tempfile
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
-from repro.engine.matrix import pairwise_distance_matrix
-from repro.engine.search import NedSearchEngine
+from repro.engine.session import KnnPlan, NedSession
 from repro.engine.shards import ShardedTreeStore, save_sharded, sharded_store_exists
 from repro.engine.tree_store import TreeStore
 from repro.experiments.reporting import ExperimentTable
@@ -65,14 +72,14 @@ from repro.utils.timer import Timer
 # solvers may legitimately pick different optimal matchings on tie pairs.
 REFERENCE = "reference[hungarian,no-cache]"
 
-CONFIGURATIONS: Tuple[Tuple[str, Dict[str, object]], ...] = (
-    ("serial", dict(mode="exact", executor="serial")),
-    (REFERENCE,
-     dict(mode="exact", executor="serial", backend="hungarian", cache_size=0)),
-    ("process", dict(mode="exact", executor="process")),
+# (name, session options, matrix-plan options) per configuration.
+CONFIGURATIONS: Tuple[Tuple[str, Dict[str, object], Dict[str, object]], ...] = (
+    ("serial", dict(), dict(mode="exact")),
+    (REFERENCE, dict(backend="hungarian", cache_size=0), dict(mode="exact")),
+    ("process", dict(executor="process"), dict(mode="exact")),
     ("bound-prune[level-size]",
-     dict(mode="bound-prune", executor="serial", tiers=("signature", "level-size"))),
-    ("bound-prune", dict(mode="bound-prune", executor="serial")),
+     dict(tiers=("signature", "level-size")), dict(mode="bound-prune")),
+    ("bound-prune", dict(), dict(mode="bound-prune")),
 )
 
 
@@ -90,7 +97,7 @@ def _tier_columns(stats) -> Dict[str, int]:
 def build_matrices(
     nodes: int = 120, k: int = 3, seed: int = 5, record: Optional[dict] = None
 ) -> ExperimentTable:
-    """Build the all-pairs matrix under every configuration and tabulate.
+    """Build the all-pairs matrix under every session configuration.
 
     When ``record`` is given, per-configuration measurements (build time,
     pairs/sec, cache hit rate) are appended to it for the JSON trail.
@@ -112,9 +119,10 @@ def build_matrices(
     )
     timings: Dict[str, float] = {}
     reference = None
-    for name, options in CONFIGURATIONS:
-        with Timer() as timer:
-            result = pairwise_distance_matrix(store, **options)
+    for name, session_options, plan_options in CONFIGURATIONS:
+        with NedSession(store, **session_options) as session:
+            with Timer() as timer:
+                result = session.pairwise_matrix(**plan_options)
         if name == REFERENCE:
             pass  # timed only; solver tie-breaks may differ legitimately
         elif reference is None:
@@ -153,8 +161,9 @@ def build_matrices(
         value for i, row in enumerate(reference.values) for value in row[i + 1:]
     )
     threshold = finite[len(finite) // 4] if finite else 0.0
-    with Timer() as timer:
-        thresholded = pairwise_distance_matrix(store, mode="bound-prune", threshold=threshold)
+    with NedSession(store) as session:
+        with Timer() as timer:
+            thresholded = session.pairwise_matrix(mode="bound-prune", threshold=threshold)
     for i, row in enumerate(thresholded.values):
         for j, value in enumerate(row):
             if value != float("inf") and value != reference.values[i][j]:
@@ -187,29 +196,30 @@ def repeated_probe_workload(
     )
     results = {}
     for cache_size in (DEFAULT_CACHE_SIZE, 0):
-        engine = NedSearchEngine(store, mode="bound-prune", cache_size=cache_size)
-        with Timer() as timer:
-            answers = [
-                engine.knn(engine.probe(graph, node), 5) for node in graph.nodes()
-            ]
+        with NedSession(store, cache_size=cache_size) as session:
+            engine = session.search_engine(mode="bound-prune")
+            with Timer() as timer:
+                answers = [
+                    engine.knn(session.probe(graph, node), 5) for node in graph.nodes()
+                ]
         results[cache_size] = answers
         label = "on" if cache_size else "off"
         table.add_row(
             cache=label,
             sweep_time=timer.elapsed,
-            exact_evaluations=engine.stats.exact_evaluations,
-            cache_hits=engine.stats.cache_hits,
-            cache_misses=engine.stats.cache_misses,
-            cache_hit_rate=engine.stats.cache_hit_rate,
+            exact_evaluations=session.stats.exact_evaluations,
+            cache_hits=session.stats.cache_hits,
+            cache_misses=session.stats.cache_misses,
+            cache_hit_rate=session.stats.cache_hit_rate,
         )
         if record is not None:
             record.setdefault("sweeps", []).append(dict(
                 cache=label,
                 sweep_time=timer.elapsed,
-                exact_evaluations=engine.stats.exact_evaluations,
-                cache_hits=engine.stats.cache_hits,
-                cache_misses=engine.stats.cache_misses,
-                cache_hit_rate=engine.stats.cache_hit_rate,
+                exact_evaluations=session.stats.exact_evaluations,
+                cache_hits=session.stats.cache_hits,
+                cache_misses=session.stats.cache_misses,
+                cache_hit_rate=session.stats.cache_hit_rate,
             ))
     if results[DEFAULT_CACHE_SIZE] != results[0]:
         raise AssertionError("cache-on kNN sweep disagrees with cache-off")
@@ -239,13 +249,14 @@ def _persistence_phase(
     """Run one cold or warm pass of the persistence workload.
 
     Cold (no prior state on disk): extract the store, shard it to
-    ``store_dir``, build the bound-pruned matrix with the cache sidecar
-    saved on completion, and answer a small kNN sweep.  Warm (a previous
-    process left shards + sidecar): attach both lazily and run the same
-    workload — every exact distance comes from the sidecar, so the phase
-    performs zero exact TED* evaluations.  The phase timer covers the whole
-    pass (extraction/attachment included), which is the cost a sweep
-    process actually pays.
+    ``store_dir``, open a session with the cache sidecar, build the
+    bound-pruned matrix and answer a small kNN sweep; closing the session
+    writes the sidecar.  Warm (a previous process left shards + sidecar):
+    attach both lazily and run the same workload — every exact distance
+    comes from the sidecar, so the phase performs zero exact TED*
+    evaluations.  The phase timer covers the whole pass
+    (extraction/attachment included), which is the cost a sweep process
+    actually pays.
     """
     graph = barabasi_albert_graph(nodes, 2, seed=seed)
     warm = sharded_store_exists(store_dir) and cache_file.exists()
@@ -255,16 +266,20 @@ def _persistence_phase(
         else:
             save_sharded(TreeStore.from_graph(graph, k), store_dir, shards=shards)
             store = ShardedTreeStore.load(store_dir)
-        matrix = pairwise_distance_matrix(store, mode="bound-prune", cache_file=cache_file)
-        engine = NedSearchEngine(store, mode="bound-prune", cache_file=cache_file)
-        answers = [engine.knn(engine.probe(graph, node), 5) for node in graph.nodes()[:8]]
-        engine.save_cache()
+        with NedSession(store, cache_file=cache_file) as session:
+            matrix = session.pairwise_matrix(mode="bound-prune")
+            plans = [
+                KnnPlan(session.probe(graph, node), 5)
+                for node in graph.nodes()[:8]
+            ]
+            answers = session.execute_batch(plans)
+            exact = session.stats.exact_evaluations
+            hits = session.stats.cache_hits
     return dict(
         phase="warm" if warm else "cold",
         elapsed=timer.elapsed,
-        exact_evaluations=matrix.stats.exact_evaluations
-        + engine.stats.exact_evaluations,
-        cache_hits=matrix.stats.cache_hits + engine.stats.cache_hits,
+        exact_evaluations=exact,
+        cache_hits=hits,
         matrix_digest=_values_digest(matrix.values),
         knn_digest=_knn_digest(answers),
         shard_count=store.shard_count,
@@ -284,10 +299,10 @@ def persistence_workload(
     """Cold-vs-warm persistence round trip (shards + distance-cache sidecar).
 
     Without explicit paths, a temporary directory hosts both phases in one
-    process: a cold pass writes the store shards and cache sidecar, a warm
-    pass re-attaches them through fresh objects — the acceptance check that
-    a warm run performs 0 exact TED* evaluations, returns identical
-    matrix/search results, and is measurably faster.
+    process: a cold session writes the store shards and cache sidecar, a
+    warm session re-attaches them through fresh objects — the acceptance
+    check that a warm run performs 0 exact TED* evaluations, returns
+    identical matrix/search results, and is measurably faster.
 
     With ``state_dir``/``cache_file`` pointing at persistent paths, a single
     phase runs per invocation (cold when the state is absent, warm when a
@@ -348,6 +363,141 @@ def persistence_workload(
     return table
 
 
+def serving_workload(
+    nodes: int = 40,
+    k: int = 3,
+    seed: int = 5,
+    neighbors: int = 5,
+    min_queries: int = 32,
+    record: Optional[dict] = None,
+) -> ExperimentTable:
+    """Batched/async query serving vs the per-query path.
+
+    Answers one kNN query per graph node (at least ``min_queries``; the node
+    list is cycled if the graph is smaller) three ways:
+
+    * *per-query* — a fresh :class:`NedSession` per query, the wiring every
+      surface did for itself before the session layer existed: each query
+      pays for its own cold resolver;
+    * *batched* — one warm session, every plan through
+      :meth:`~repro.engine.NedSession.execute_batch`: equal-signature plans
+      are answered once and fanned out, and recurring probe pairs across
+      different queries come from the shared cache;
+    * *async* — the same plans submitted concurrently through
+      :class:`~repro.engine.SessionServer` batch ticks.
+
+    Asserts all three produce bit-identical answers and that the batched
+    path pays for strictly fewer exact TED* evaluations than the per-query
+    path; records queries/sec for each in the ``serving`` section of
+    ``BENCH_kernel.json``.
+    """
+    graph = barabasi_albert_graph(nodes, 2, seed=seed)
+    store = TreeStore.from_graph(graph, k)
+    graph_nodes = graph.nodes()
+    query_nodes = [
+        graph_nodes[i % len(graph_nodes)]
+        for i in range(max(min_queries, len(graph_nodes)))
+    ]
+    with NedSession(store) as probe_session:
+        probes = [probe_session.probe(graph, node) for node in query_nodes]
+    plans = [KnnPlan(probe, neighbors) for probe in probes]
+
+    # --- per-query path: every query wires its own session (cold resolver).
+    per_query_answers = []
+    per_query_exact = 0
+    with Timer() as per_query_timer:
+        for plan in plans:
+            with NedSession(store) as single:
+                per_query_answers.append(single.execute(plan))
+                per_query_exact += single.stats.exact_evaluations
+
+    # --- batched path: one warm session, one execute_batch call.
+    with NedSession(store) as batch_session:
+        with Timer() as batch_timer:
+            batch_answers = batch_session.execute_batch(plans)
+        batch_exact = batch_session.stats.exact_evaluations
+        deduplicated = batch_session.deduplicated_plans
+
+    # --- async path: the same plans through the SessionServer facade.
+    async def serve_all():
+        with NedSession(store) as serving_session:
+            async with serving_session.serve() as server:
+                answers = await server.map(plans)
+            return (answers, server.ticks,
+                    serving_session.stats.exact_evaluations,
+                    serving_session.deduplicated_plans)
+
+    with Timer() as async_timer:
+        async_answers, async_ticks, async_exact, async_dedup = asyncio.run(
+            serve_all()
+        )
+
+    if batch_answers != per_query_answers:
+        raise AssertionError("batched kNN answers differ from the per-query path")
+    if async_answers != per_query_answers:
+        raise AssertionError("async kNN answers differ from the per-query path")
+    if batch_exact >= per_query_exact:
+        raise AssertionError(
+            f"batched execution paid {batch_exact} exact TED* evaluations, "
+            f"expected fewer than the per-query path's {per_query_exact}"
+        )
+
+    queries = len(plans)
+    rows = [
+        ("per-query", per_query_timer.elapsed, per_query_exact, 0, queries),
+        ("batched", batch_timer.elapsed, batch_exact, deduplicated, 1),
+        ("async", async_timer.elapsed, async_exact, async_dedup, async_ticks),
+    ]
+    table = ExperimentTable(
+        title=f"Serving {queries} kNN queries: per-query vs batched vs async",
+        columns=["path", "elapsed", "queries_per_sec", "exact_evaluations",
+                 "deduplicated_plans", "ticks"],
+        notes=["identical answers on every path; batched must pay for "
+               "strictly fewer exact TED* evaluations"],
+    )
+    for path_name, elapsed, exact, dedup, ticks in rows:
+        table.add_row(
+            path=path_name,
+            elapsed=elapsed,
+            queries_per_sec=queries / elapsed if elapsed else None,
+            exact_evaluations=exact,
+            deduplicated_plans=dedup,
+            ticks=ticks,
+        )
+    if record is not None:
+        record["workload"] = dict(
+            nodes=nodes, k=k, seed=seed, queries=queries, neighbors=neighbors
+        )
+        record["identical_answers"] = True
+        record["per_query"] = dict(
+            elapsed=per_query_timer.elapsed,
+            queries_per_sec=queries / per_query_timer.elapsed
+            if per_query_timer.elapsed else None,
+            exact_evaluations=per_query_exact,
+        )
+        record["batched"] = dict(
+            elapsed=batch_timer.elapsed,
+            queries_per_sec=queries / batch_timer.elapsed
+            if batch_timer.elapsed else None,
+            exact_evaluations=batch_exact,
+            deduplicated_plans=deduplicated,
+        )
+        record["async"] = dict(
+            elapsed=async_timer.elapsed,
+            queries_per_sec=queries / async_timer.elapsed
+            if async_timer.elapsed else None,
+            exact_evaluations=async_exact,
+            deduplicated_plans=async_dedup,
+            ticks=async_ticks,
+        )
+        if batch_timer.elapsed:
+            record["speedup_batched_vs_per_query"] = (
+                per_query_timer.elapsed / batch_timer.elapsed
+            )
+        record["exact_evaluations_saved"] = per_query_exact - batch_exact
+    return table
+
+
 def test_persistence_round_trip(benchmark):
     """Warm run: 0 exact evaluations, identical results, recorded speedup."""
     from _bench_utils import emit_table
@@ -401,6 +551,23 @@ def test_repeated_probe_cache(benchmark):
     assert record["identical_cache_on_off"]
 
 
+def test_serving_batched_vs_per_query(benchmark):
+    """Batched/async serving: identical answers, fewer exact evaluations."""
+    from _bench_utils import emit_table
+
+    record: dict = {}
+    table = benchmark.pedantic(
+        serving_workload, kwargs=dict(nodes=25, record=record),
+        rounds=1, iterations=1,
+    )
+    emit_table(table)
+    assert record["identical_answers"]
+    assert (
+        record["batched"]["exact_evaluations"]
+        < record["per_query"]["exact_evaluations"]
+    )
+
+
 def main(argv=None) -> int:
     from _bench_utils import BENCH_JSON_FILE, emit_bench_json
 
@@ -410,6 +577,10 @@ def main(argv=None) -> int:
     parser.add_argument("--nodes", type=int, default=None,
                         help="graph size (default: 40 with --smoke, 120 otherwise)")
     parser.add_argument("--k", type=int, default=3, help="tree levels (default 3)")
+    parser.add_argument("--serving", action="store_true",
+                        help="run only the batched/async serving workload (the "
+                        "CI serving job) and record the 'serving' section of "
+                        "BENCH_kernel.json")
     parser.add_argument("--store-dir", metavar="DIR", default=None,
                         help="persistent state directory for the cross-process "
                         "persistence workload: the first invocation writes the "
@@ -423,6 +594,17 @@ def main(argv=None) -> int:
                         help="shard count for the persisted store (default 4)")
     args = parser.parse_args(argv)
     nodes = args.nodes if args.nodes is not None else (40 if args.smoke else 120)
+
+    if args.serving:
+        serving_record: dict = {}
+        print(serving_workload(nodes=nodes, k=args.k, record=serving_record))
+        emit_bench_json("serving", serving_record)
+        speedup = serving_record.get("speedup_batched_vs_per_query")
+        if speedup:
+            print(f"batched-vs-per-query speedup: {speedup:.2f}x "
+                  f"({serving_record['exact_evaluations_saved']} exact TED* "
+                  f"evaluations saved; recorded in BENCH_kernel.json)")
+        return 0
 
     if args.store_dir is not None:
         # Cross-process persistence mode (the CI persistence job): run only
@@ -464,9 +646,12 @@ def main(argv=None) -> int:
     print(persistence_workload(
         nodes=nodes, k=args.k, shards=args.shards, record=persist_record
     ))
+    serving_record = {}
+    print(serving_workload(nodes=nodes, k=args.k, record=serving_record))
     emit_bench_json("engine_matrix", matrix_record)
     emit_bench_json("repeated_probe", probe_record)
     emit_bench_json("persistence", persist_record)
+    emit_bench_json("serving", serving_record)
     speedup = matrix_record.get("speedup_exact_vs_reference")
     if speedup:
         print(f"exact-mode speedup vs {REFERENCE}: {speedup:.2f}x "
@@ -475,6 +660,10 @@ def main(argv=None) -> int:
     if warm_speedup:
         print(f"persistence warm-vs-cold speedup: {warm_speedup:.2f}x "
               "(0 exact TED* evaluations when warm; recorded in BENCH_kernel.json)")
+    serving_speedup = serving_record.get("speedup_batched_vs_per_query")
+    if serving_speedup:
+        print(f"serving batched-vs-per-query speedup: {serving_speedup:.2f}x "
+              "(recorded in BENCH_kernel.json)")
     return 0
 
 

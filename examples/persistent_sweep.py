@@ -1,26 +1,31 @@
 #!/usr/bin/env python
-"""Persistent NED sweeps: store shards + a distance-cache sidecar (paper §6-7).
+"""Persistent NED sweeps as session lifecycles (paper §6-7).
 
 The paper's design splits the work into *precompute once* (extract every
 node's k-adjacent tree and its O(k) summaries) and *query many* (answer NED
 similarity queries from the summaries, paying for exact TED* only when
-forced).  This example extends that split across process boundaries with the
-two durable artifacts of the persistence layer:
+forced).  With :class:`repro.engine.NedSession` that split is a lifecycle —
+**open → warm → batch queries → close** — and it extends across process
+boundaries with two durable artifacts:
 
 1. **Store shards** — ``save_sharded(store, directory, shards=N)`` writes
    the extraction as a manifest plus N shard files;
    ``ShardedTreeStore.load(directory)`` attaches them lazily, keeping at
    most ``max_resident`` shards decoded in memory at a time.
-2. **Cache sidecar** — every exact TED* distance a run pays for is keyed by
-   the pair of AHU canonical signatures (TED* is a pure function of the two
-   isomorphism classes), so it can be saved (``cache_file=`` /
-   ``save_cache()``) and reattached by the next process.
+2. **Cache sidecar** — every exact TED* distance a session pays for is
+   keyed by the pair of AHU canonical signatures (TED* is a pure function
+   of the two isomorphism classes).  Opening a session with ``cache_file=``
+   warms it from the sidecar when one exists; closing the session (the
+   context manager does) writes the sidecar back — including per-entry hit
+   counts, so a later overflowing load keeps the *hottest* entries.
 
-A *cold* process pays for extraction and every needed exact TED*.  A *warm*
-process — here simulated by fresh objects re-attaching the same files —
-re-runs the identical workload with **zero** exact TED* evaluations: the
+A *cold* session pays for extraction and every needed exact TED*.  A *warm*
+session — here simulated by a fresh session re-attaching the same files —
+runs the identical workload with **zero** exact TED* evaluations: the
 shards answer "what are the trees and summaries", the sidecar answers
-"what were the exact distances".
+"what were the exact distances".  Queries are submitted as one batch of
+:class:`~repro.engine.KnnPlan`\\ s, so equal-signature probes are answered
+once and fanned out.
 
 Run with::
 
@@ -34,10 +39,10 @@ import time
 from pathlib import Path
 
 from repro.engine import (
-    NedSearchEngine,
+    KnnPlan,
+    NedSession,
     ShardedTreeStore,
     TreeStore,
-    pairwise_distance_matrix,
     save_sharded,
 )
 from repro.graph.generators import barabasi_albert_graph
@@ -50,16 +55,17 @@ QUERIES = 10
 
 
 def run_sweep(store, graph, cache_file: Path):
-    """One sweep process: all-pairs matrix + a kNN pass, cache persisted."""
-    matrix = pairwise_distance_matrix(store, mode="bound-prune", cache_file=cache_file)
-    engine = NedSearchEngine(store, mode="bound-prune", cache_file=cache_file)
-    answers = [
-        engine.knn(engine.probe(graph, node), NEIGHBORS)
-        for node in graph.nodes()[:QUERIES]
-    ]
-    engine.save_cache()
-    exact = matrix.stats.exact_evaluations + engine.stats.exact_evaluations
-    hits = matrix.stats.cache_hits + engine.stats.cache_hits
+    """One sweep process: open session -> warm -> batch queries -> close."""
+    with NedSession(store, cache_file=cache_file) as session:  # open (+ warm)
+        matrix = session.pairwise_matrix(mode="bound-prune")
+        plans = [
+            KnnPlan(session.probe(graph, node), NEIGHBORS)
+            for node in graph.nodes()[:QUERIES]
+        ]
+        answers = session.execute_batch(plans)  # batched queries
+        exact = session.stats.exact_evaluations
+        hits = session.stats.cache_hits
+    # close: the sidecar now holds everything this sweep resolved.
     return matrix, answers, exact, hits
 
 
@@ -98,7 +104,7 @@ def main() -> None:
 
         assert warm_matrix.values == cold_matrix.values, "matrices must be identical"
         assert warm_answers == cold_answers, "kNN answers must be identical"
-        assert warm_exact == 0, "a warm run pays for no exact TED*"
+        assert warm_exact == 0, "a warm session pays for no exact TED*"
         speedup = cold_seconds / warm_seconds if warm_seconds else float("inf")
         print(f"identical results, {speedup:.1f}x faster warm "
               "(see BENCH_kernel.json's 'persistence' section for the CI trail)")

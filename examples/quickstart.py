@@ -13,9 +13,9 @@ Run with::
 from __future__ import annotations
 
 from repro import (
+    KnnPlan,
     NedComputer,
-    NedSearchEngine,
-    TreeStore,
+    NedSession,
     grid_road_graph,
     k_adjacent_tree,
     ned,
@@ -64,20 +64,26 @@ def main() -> None:
         value = computer.distance(graph_a, node_a, graph_b, node_b)
         print(f"  k={level_count}: {value}")
 
-    # 5. Many queries against one graph?  Use the batch engine: precompute
-    #    every candidate tree once (TreeStore — persistable with save/load),
-    #    then answer kNN queries with bound-based pruning that skips most
-    #    exact TED* evaluations while returning exact results.
-    store = TreeStore.from_graph(graph_b, k)
-    engine = NedSearchEngine(store, mode="bound-prune")
-    neighbors = engine.knn(engine.probe(graph_a, node_a), 3)
-    stats = engine.last_query_stats.counters
-    print(f"\nengine: 3 nearest neighbors of node {node_a} among all "
-          f"{len(store)} nodes of graph B: "
-          f"{[(node, round(d, 1)) for node, d in neighbors]}")
-    print(f"  exact TED* evaluations: {stats.exact_evaluations} of "
-          f"{stats.pairs_considered} candidates "
-          f"({stats.pruning_ratio:.0%} pruned via O(k) bounds)")
+    # 5. Many queries against one graph?  Open a session: it precomputes
+    #    every candidate tree once and keeps one warm resolver (bound tiers
+    #    + exact-distance cache) behind every query — single calls and whole
+    #    batches alike, all returning exact results.
+    with NedSession.from_graph(graph_b, k) as session:
+        neighbors = session.knn(session.probe(graph_a, node_a), 3)
+        stats = session.stats
+        print(f"\nsession: 3 nearest neighbors of node {node_a} among all "
+              f"{len(session.store)} nodes of graph B: "
+              f"{[(node, round(d, 1)) for node, d in neighbors]}")
+        print(f"  exact TED* evaluations: {stats.exact_evaluations} of "
+              f"{stats.pairs_considered} candidates "
+              f"({stats.pruning_ratio:.0%} pruned via O(k) bounds)")
+
+        # Batches of queries dedup probes with equal canonical signatures
+        # and share the warm cache across queries.
+        plans = [KnnPlan(session.probe(graph_a, node), 3) for node in (node_a, node_b)]
+        batch = session.execute_batch(plans)
+        print(f"  batched: {len(plans)} kNN plans in one call -> "
+              f"{[answer[0][0] for answer in batch]} as the respective 1-NNs")
 
 
 if __name__ == "__main__":

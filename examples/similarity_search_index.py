@@ -41,7 +41,7 @@ import time
 from pathlib import Path
 
 from repro.datasets.registry import load_dataset_pair
-from repro.engine import NedSearchEngine, TreeStore
+from repro.engine import NedSession, TreeStore
 from repro.trees.adjacent import k_adjacent_tree
 
 K = 3
@@ -69,11 +69,24 @@ def main() -> None:
 
     # Four engines over the SAME store: exact scan (the reference), the
     # VP-tree (the paper's index), summary-bound pruning (no index), and the
-    # hybrid VP-tree that composes triangle and summary pruning.
-    scan_engine = NedSearchEngine(store, mode="exact", index="linear")
-    vptree_engine = NedSearchEngine(store, mode="exact", index="vptree", leaf_size=8)
-    pruned_engine = NedSearchEngine(store, mode="bound-prune")
-    hybrid_engine = NedSearchEngine(store, mode="hybrid", index="vptree", leaf_size=8)
+    # hybrid VP-tree that composes triangle and summary pruning.  Each
+    # pruning regime gets its own session with the distance cache off, so
+    # the counters below compare touched pairs per regime (a production
+    # session would keep the default cache on and share one session).
+    regimes = {
+        "scan": dict(mode="exact", index="linear"),
+        "vptree": dict(mode="exact", index="vptree", leaf_size=8),
+        "bound-prune": dict(mode="bound-prune"),
+        "hybrid": dict(mode="hybrid", index="vptree", leaf_size=8),
+    }
+    engines = {
+        name: NedSession(store, cache_size=0).search_engine(**options)
+        for name, options in regimes.items()
+    }
+    scan_engine = engines["scan"]
+    vptree_engine = engines["vptree"]
+    pruned_engine = engines["bound-prune"]
+    hybrid_engine = engines["hybrid"]
 
     totals = {"scan": 0, "vptree": 0, "bound-prune": 0, "hybrid": 0}
     for query_node in graph_q.nodes()[:QUERIES]:

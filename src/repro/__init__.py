@@ -17,9 +17,10 @@ engine for the paper's many-query workloads.  Map of the subpackages:
   :class:`NedComputer`.
 * :mod:`repro.index` — metric indexes (VP-tree, BK-tree, linear scan).
 * :mod:`repro.engine` — the batch NED engine: :class:`TreeStore` bulk tree
-  extraction with persistence, chunked serial/process distance matrices,
-  and :class:`NedSearchEngine` (kNN / range / top-l with bound-based
-  pruning and per-query statistics).
+  extraction with persistence, and :class:`NedSession` — the warm
+  query-execution layer behind the distance matrices, the search engine
+  (kNN / range / top-l with bound-based pruning and per-query statistics),
+  the batched executor and the asyncio serving facade.
 * :mod:`repro.baselines` — HITS-based and feature-based
   (ReFeX/NetSimile/OddBall) similarities, graphlets, SimRank.
 * :mod:`repro.anonymize` — anonymization schemes and the de-anonymization
@@ -36,17 +37,26 @@ Quickstart
 >>> distance >= 0.0
 True
 
-Many queries against the same graph go through the engine instead:
+Many queries against the same graph go through a session instead:
 
->>> from repro import NedSearchEngine
->>> engine = NedSearchEngine.from_graph(g2, k=3, mode="bound-prune")
->>> [node for node, _ in engine.knn(engine.probe(g1, 0), 3)] != []
+>>> from repro import NedSession
+>>> with NedSession.from_graph(g2, k=3) as session:
+...     neighbors = session.knn(session.probe(g1, 0), 3)
+>>> neighbors != []
 True
 """
 
 from repro.core.ned import NedComputer, directed_ned, ned, ned_from_trees, weighted_ned
 from repro.engine.matrix import cross_distance_matrix, pairwise_distance_matrix
 from repro.engine.search import NedSearchEngine
+from repro.engine.session import (
+    CrossMatrixPlan,
+    KnnPlan,
+    NedSession,
+    PairwiseMatrixPlan,
+    RangePlan,
+    TopLPlan,
+)
 from repro.engine.tree_store import TreeStore
 from repro.ted.resolver import BoundedNedDistance
 from repro.graph.graph import DiGraph, Graph
@@ -81,6 +91,12 @@ __all__ = [
     "NedComputer",
     # Batch engine
     "TreeStore",
+    "NedSession",
+    "PairwiseMatrixPlan",
+    "CrossMatrixPlan",
+    "KnnPlan",
+    "RangePlan",
+    "TopLPlan",
     "NedSearchEngine",
     "pairwise_distance_matrix",
     "cross_distance_matrix",

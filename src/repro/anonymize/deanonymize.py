@@ -187,7 +187,11 @@ def deanonymization_precision_with_engine(
     — identical candidate lists (same distances, same ``(distance,
     repr(node))`` tie order), far fewer exact TED* evaluations when ``mode``
     is ``"bound-prune"``.  Returns the usual report plus the engine's
-    accumulated counters.
+    accumulated counters.  The engine's session keeps the signature-keyed
+    distance cache on (the session default), so ``exact_evaluations`` in
+    the returned stats counts the *distinct* signature pairs the sweep
+    forced — ``cache_hits`` reports the repeats answered from memory, and
+    both count toward ``exact_evaluations_avoided``/``pruning_ratio``.
 
     ``training_store`` lets a caller reuse a store built earlier (or loaded
     from disk via :meth:`TreeStore.load`) across many sweeps; it must have

@@ -1,94 +1,95 @@
-"""Batch NED similarity engine: precompute once, query many.
+"""Batch NED similarity engine: open a session once, query it many ways.
 
 The pair-at-a-time API in :mod:`repro.core` re-extracts trees and re-runs
-TED* for every call; the engine splits the work the way a data system would:
+TED* for every call; the engine splits the work the way a data system would,
+and — since the :class:`NedSession` layer — serves every query shape off one
+warm piece of state:
 
 * :mod:`repro.engine.tree_store` — :class:`TreeStore` bulk-extracts,
   canonizes and summarises the k-adjacent trees of all nodes of a graph in
-  one pass, with ``save()``/``load()`` persistence so the extraction outlives
-  the process.
+  one pass, with ``save()``/``load()`` persistence.
 * :mod:`repro.engine.shards` — :class:`ShardedTreeStore`: the same store
   persisted as a manifest plus N shard files, loaded lazily with a bounded
-  LRU of resident shards, for graphs whose trees do not all fit in memory
-  at once.  Same surface as :class:`TreeStore`, so matrices and search
-  consume either.
-* :mod:`repro.engine.matrix` — chunked pairwise/cross distance matrices with
-  pluggable executors (``serial``, ``process``) and a ``bound-prune`` mode
-  that resolves pairs from O(k) summaries whenever possible.
-* :mod:`repro.engine.search` — :class:`NedSearchEngine`, the query façade:
-  ``knn`` / ``range_search`` / ``top_l_candidates`` over any
-  :mod:`repro.index` backend (plain or hybrid bound+triangle) or via
-  bound-based pruning, with per-query distance-call and per-tier pruning
-  statistics.
+  LRU of resident shards.  Same surface as :class:`TreeStore`, so every
+  consumer takes either.
+* :mod:`repro.engine.session` — :class:`NedSession`, **the** query-execution
+  layer: one store, one warm :class:`repro.ted.resolver.BoundedNedDistance`
+  resolver (bound tiers + the signature-keyed exact-distance cache,
+  on by default), the cache-sidecar lifecycle (warm-if-exists at open,
+  save-on-close), a pluggable matrix executor, the batched executor, and the
+  asyncio serving facade.  Matrices, search engines and the metric indexes
+  are all thin consumers of a session.
+* :mod:`repro.engine.matrix` — chunked pairwise/cross distance matrices
+  (``serial`` / ``process`` / custom executors, ``bound-prune`` mode); the
+  module-level functions open an ephemeral session per build.
+* :mod:`repro.engine.search` — :class:`NedSearchEngine`: ``knn`` /
+  ``range_search`` / ``top_l_candidates`` over any :mod:`repro.index`
+  backend (plain or hybrid bound+triangle) or via bound-pruned scans, with
+  per-query per-tier statistics.  Session-backed: engines built from one
+  session share its warm cache.
 * :mod:`repro.engine.stats` — the shared telemetry counters.
 
-Persistence workflow (precompute once, query from any process)
---------------------------------------------------------------
+The session workflow (open → warm → batch queries → close)
+----------------------------------------------------------
 The paper's Sections 6–7 split — extract trees and summaries once, answer
-many queries from them — extends across process boundaries with two durable
-artifacts:
+many queries from them — is a session lifecycle::
 
-1. the *store shards*: ``save_sharded(store, directory, shards=N)`` writes
-   the extraction; ``ShardedTreeStore.load(directory)`` attaches it lazily
-   from any later process, and
-2. the *distance-cache sidecar*: every exact TED* a run pays for can be
-   persisted (``cache_file=`` on the matrix builders and
-   :class:`NedSearchEngine`, or ``save_cache()``/``warm_from()`` directly on
-   :class:`repro.ted.resolver.BoundedNedDistance`), so the next process
-   answers the repeated signature pairs from memory — a warm re-run of the
-   same workload performs zero exact evaluations.
+    from repro.engine import KnnPlan, NedSession
 
-See ``examples/persistent_sweep.py`` for the full save → reload → warm-sweep
-walkthrough, and the ``persistence`` section of ``BENCH_kernel.json`` for
-the measured cold-vs-warm gap.
+    with NedSession(store, cache_file="distances.ned") as session:   # open
+        # warm: the sidecar (if present) pre-resolves known pairs;
+        # every query below further warms the shared cache.
+        matrix = session.pairwise_matrix(mode="bound-prune")
+        plans = [KnnPlan(session.probe(graph, node), 5) for node in nodes]
+        answers = session.execute_batch(plans)       # batched: dedup + share
+    # close: the sidecar is saved back — the next process starts warm.
 
-Distance resolution itself — the signature → level-size → degree-multiset →
-(cache) → exact TED* cascade every component drives — lives in
-:class:`repro.ted.resolver.BoundedNedDistance` (re-exported here).
+``execute_batch`` dedups plans whose probes share a canonical signature,
+orders work so the cache and bound tiers are shared, and returns
+bit-identical results to the per-query path with fewer-or-equal exact TED*
+evaluations.  ``session.serve()`` wraps the same executor in an ``asyncio``
+request queue draining into batch ticks, for callers that arrive one
+``await`` at a time.  For durable precompute, ``save_sharded(store, dir)``
+persists the extraction and ``ShardedTreeStore.load(dir)`` re-attaches it
+lazily from any later process; a warm re-run of the same workload performs
+zero exact evaluations (see ``examples/persistent_sweep.py`` and the
+``persistence``/``serving`` sections of ``BENCH_kernel.json``).
 
-Performance knobs
------------------
-Every engine entry point exposes the three levers that decide how fast the
-exact path runs; the defaults are the fast ones except where counters are
-the point (see each knob).
-
+Performance knobs (all on the session)
+--------------------------------------
 * ``backend`` — the bipartite matching solver inside TED*.  ``"auto"``
-  (default everywhere) picks SciPy's C ``linear_sum_assignment`` on a numpy
-  cost matrix when SciPy is importable and the dependency-free pure-Python
-  Hungarian solver otherwise; ``"hungarian"``/``"scipy"`` force a choice.
-  On ~100-node trees the SciPy path is an order of magnitude faster (see
-  ``BENCH_kernel.json``).  Note that tie pairs may admit several optimal
-  matchings, so the two solvers are each self-consistent but may disagree
-  with each other on rare pairs — compare like with like.
+  (default) picks SciPy's C ``linear_sum_assignment`` when importable and
+  the dependency-free pure-Python Hungarian solver otherwise.  Tie pairs may
+  admit several optimal matchings, so the two solvers are each
+  self-consistent but may disagree on rare pairs — compare like with like.
 * ``cache_size`` — the signature-keyed LRU distance cache between the bound
-  tiers and exact TED*.  TED* canonicalizes its inputs, so the distance is
-  a pure function of the two isomorphism classes and a cache hit is exact.
-  Matrices default it on (:data:`repro.ted.resolver.DEFAULT_CACHE_SIZE`):
-  duplicate tree shapes within a build are computed once and fanned out,
-  and passing your own ``resolver=`` to the matrix builders shares the warm
-  cache across repeated builds.
-  :class:`NedSearchEngine` defaults it *off* (0) because its per-query
-  ``exact_evaluations`` counters are the Figure 9b measure; pass a capacity
-  to answer repeated probes (kNN for every node, the Figure 11 permutation
-  sweeps) from memory.  ``stats.cache_hits`` / ``cache_misses`` /
+  tiers and exact TED*, **on by default**
+  (:data:`repro.ted.resolver.DEFAULT_CACHE_SIZE`) for every surface the
+  session backs; this one knob replaced the divergent per-surface defaults.
+  Pass ``0`` when raw touched-pair counters are the measurement (the tier
+  ablations do).  ``stats.cache_hits`` / ``cache_misses`` /
   ``cache_hit_rate`` report the effect.
 * ``executor`` — where matrix chunks run.  ``"serial"`` stays in-process;
   ``"process"`` ships the packed stores *once per worker* (process-pool
-  initializer) and streams chunks of bare ``(i, j)`` index pairs, so the
-  per-chunk serialization cost is a few integers.  If the pool cannot be
-  created or breaks mid-run, the build finishes serially — re-running only
-  the chunks that had not yielded — and records the downgrade in
-  ``executor_used``.
+  initializer) and streams chunks of bare ``(i, j)`` index pairs.  If the
+  pool cannot be created or breaks mid-run, the build finishes serially —
+  re-running only the chunks that had not yielded — and records the
+  downgrade in ``executor_used``.
+* ``cache_file`` — the durable sidecar.  Since format v2 it persists
+  per-entry *hit counts*, so an overflowing load keeps the hottest entries
+  (not the newest), and :func:`repro.ted.resolver.merge_sidecars` (CLI:
+  ``ned-experiments merge-cache``) compacts the sidecars of parallel sweep
+  workers into one warm file, summing hit counts.
 
 Quickstart
 ----------
->>> from repro.engine import NedSearchEngine
+>>> from repro.engine import NedSession
 >>> from repro.graph.generators import grid_road_graph
 >>> graph = grid_road_graph(6, 6, seed=1)
->>> engine = NedSearchEngine.from_graph(graph, k=3, mode="bound-prune")
->>> neighbors = engine.knn(engine.probe(graph, 0), 3)
->>> neighbors[0][0], engine.last_query_stats.counters.exact_evaluations >= 0
-(0, True)
+>>> with NedSession.from_graph(graph, k=3) as session:
+...     neighbors = session.knn(session.probe(graph, 0), 3)
+>>> neighbors[0][0]
+0
 """
 
 from repro.engine.matrix import (
@@ -99,6 +100,15 @@ from repro.engine.matrix import (
     pairwise_distance_matrix,
 )
 from repro.engine.search import INDEX_BACKENDS, SEARCH_MODES, NedSearchEngine
+from repro.engine.session import (
+    CrossMatrixPlan,
+    KnnPlan,
+    NedSession,
+    PairwiseMatrixPlan,
+    RangePlan,
+    SessionServer,
+    TopLPlan,
+)
 from repro.engine.shards import ShardedTreeStore, save_sharded, sharded_store_exists
 from repro.engine.stats import EngineStats, QueryStats
 from repro.engine.tree_store import StoredTree, TreeStore, summarize_tree
@@ -107,6 +117,7 @@ from repro.ted.resolver import (
     TIER_CASCADE,
     BoundedNedDistance,
     ResolutionInterval,
+    merge_sidecars,
 )
 
 __all__ = [
@@ -116,6 +127,13 @@ __all__ = [
     "ShardedTreeStore",
     "save_sharded",
     "sharded_store_exists",
+    "NedSession",
+    "SessionServer",
+    "PairwiseMatrixPlan",
+    "CrossMatrixPlan",
+    "KnnPlan",
+    "RangePlan",
+    "TopLPlan",
     "NedSearchEngine",
     "pairwise_distance_matrix",
     "cross_distance_matrix",
@@ -124,6 +142,7 @@ __all__ = [
     "QueryStats",
     "BoundedNedDistance",
     "ResolutionInterval",
+    "merge_sidecars",
     "BOUND_TIERS",
     "TIER_CASCADE",
     "MODES",

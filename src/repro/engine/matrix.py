@@ -25,13 +25,23 @@ with three orthogonal knobs:
   it — the data-skipping move: answer from the summary, touch the expensive
   evaluation only when forced.  ``tiers`` restricts the cascade for
   ablations (e.g. level-size only).
-* ``cache_size`` — capacity of the signature-keyed distance cache
-  (:data:`repro.ted.resolver.DEFAULT_CACHE_SIZE` by default; 0 disables
-  every signature-based shortcut, including within-build dedup).  TED*
-  depends only on the isomorphism classes of the two trees, so duplicate
-  signature pairs within one build are computed once and fanned out, and —
-  when builds share a resolver via the ``resolver`` parameter — pairs an
-  earlier build already resolved are answered from memory.
+* ``cache_size`` — capacity of the signature-keyed distance cache (the
+  session default, :data:`repro.ted.resolver.DEFAULT_CACHE_SIZE`, unless
+  overridden; 0 disables every signature-based shortcut, including
+  within-build dedup).  TED* depends only on the isomorphism classes of the
+  two trees, so duplicate signature pairs within one build are computed once
+  and fanned out.
+
+All distance resolution runs through a :class:`repro.engine.session.NedSession`:
+the module-level functions open an ephemeral session per build, and
+long-lived callers open one session themselves and run
+:class:`~repro.engine.session.PairwiseMatrixPlan` /
+:class:`~repro.engine.session.CrossMatrixPlan` through it, sharing the warm
+resolver (and its sidecar lifecycle) across builds and search queries alike.
+The ``backend`` / ``tiers`` / ``cache_size`` / ``cache_file`` parameters
+here configure the ephemeral session and are deprecated in favour of
+session-level configuration; ``resolver=`` shares an externally owned
+resolver directly (its configuration wins).
 
 All modes and executors return identical values for every finite entry;
 they only differ in how many exact TED* computations are paid for (reported
@@ -50,7 +60,7 @@ from repro.exceptions import DistanceError
 from repro.engine.shards import ShardedTreeStore
 from repro.engine.stats import EngineStats
 from repro.engine.tree_store import TreeStore
-from repro.ted.resolver import DEFAULT_CACHE_SIZE, BoundedNedDistance
+from repro.ted.resolver import BoundedNedDistance
 from repro.ted.ted_star import ted_star
 from repro.trees.tree import Tree
 
@@ -159,19 +169,22 @@ def pairwise_distance_matrix(
     max_workers: Optional[int] = None,
     threshold: Optional[float] = None,
     tiers: Optional[Sequence[str]] = None,
-    cache_size: int = DEFAULT_CACHE_SIZE,
+    cache_size: Optional[int] = None,
     resolver: Optional[BoundedNedDistance] = None,
     cache_file: Optional[PathLike] = None,
 ) -> MatrixResult:
     """Return the symmetric all-pairs NED matrix of one store.
 
     Only the upper triangle is evaluated (NED is symmetric); the diagonal is
-    0 by the identity property, both for free.  Pass an externally owned
-    ``resolver`` (its ``k`` must match the store's) to share its distance
-    cache across builds — repeated sweeps over overlapping stores then pay
-    for each distinct signature pair once; ``backend``/``tiers``/
-    ``cache_size`` are ignored in that case in favour of the resolver's own
-    configuration.  ``store`` may be a dense :class:`TreeStore` or a
+    0 by the identity property, both for free.  Without a ``resolver`` the
+    build opens an ephemeral :class:`repro.engine.session.NedSession`
+    configured by ``backend``/``tiers``/``cache_size``/``cache_file`` (all
+    deprecated here — open a session yourself to share warm state across
+    builds); ``cache_size=None`` means the session default (cache on).  Pass
+    an externally owned ``resolver`` (its ``k`` must match the store's) to
+    share its distance cache across builds — repeated sweeps over
+    overlapping stores then pay for each distinct signature pair once.
+    ``store`` may be a dense :class:`TreeStore` or a
     :class:`repro.engine.shards.ShardedTreeStore`.
 
     ``cache_file`` persists the exact-distance cache across *processes*: if
@@ -179,7 +192,7 @@ def pairwise_distance_matrix(
     previous run already computed cost nothing), and the cache is saved back
     on completion.
     """
-    return _build_matrix(
+    return _matrix_entry(
         store, store, symmetric=True, mode=mode, executor=executor, backend=backend,
         chunk_size=chunk_size, max_workers=max_workers, threshold=threshold,
         tiers=tiers, cache_size=cache_size, resolver=resolver, cache_file=cache_file,
@@ -196,7 +209,7 @@ def cross_distance_matrix(
     max_workers: Optional[int] = None,
     threshold: Optional[float] = None,
     tiers: Optional[Sequence[str]] = None,
-    cache_size: int = DEFAULT_CACHE_SIZE,
+    cache_size: Optional[int] = None,
     resolver: Optional[BoundedNedDistance] = None,
     cache_file: Optional[PathLike] = None,
 ) -> MatrixResult:
@@ -216,7 +229,7 @@ def cross_distance_matrix(
             f"stores disagree on k ({row_store.k} vs {col_store.k}); "
             "NED values would not be comparable"
         )
-    return _build_matrix(
+    return _matrix_entry(
         row_store, col_store, symmetric=False, mode=mode, executor=executor,
         backend=backend, chunk_size=chunk_size, max_workers=max_workers,
         threshold=threshold, tiers=tiers, cache_size=cache_size, resolver=resolver,
@@ -224,7 +237,7 @@ def cross_distance_matrix(
     )
 
 
-def _build_matrix(
+def _matrix_entry(
     row_store: StoreLike,
     col_store: StoreLike,
     symmetric: bool,
@@ -235,48 +248,97 @@ def _build_matrix(
     max_workers: Optional[int],
     threshold: Optional[float],
     tiers: Optional[Sequence[str]],
-    cache_size: int,
+    cache_size: Optional[int],
     resolver: Optional[BoundedNedDistance],
-    cache_file: Optional[PathLike] = None,
+    cache_file: Optional[PathLike],
 ) -> MatrixResult:
+    """Route one module-level build through a session or a shared resolver."""
+    if resolver is not None:
+        # Shared-resolver path: the caller owns the warm state (and its
+        # configuration), so the session cannot manage the sidecar for it.
+        # The inline lifecycle here is deliberately narrower than the
+        # session's: warm_from (merge into possibly non-empty cache, hits
+        # arrive cold) instead of load_cache (adopt), and save only on
+        # successful completion — a caller-owned resolver's partial state is
+        # the caller's to persist.  Callers who want the session lifecycle
+        # open a NedSession and share it instead of a bare resolver.
+        if resolver.k != row_store.k:
+            raise DistanceError(
+                f"shared resolver was built with k={resolver.k}, "
+                f"expected k={row_store.k}"
+            )
+        if cache_file is not None and resolver.cache_size == 0:
+            raise DistanceError(
+                "cache_file needs the distance cache: pass a cache_size > 0 "
+                "(or a resolver whose cache is enabled)"
+            )
+        if cache_file is not None and Path(cache_file).exists():
+            resolver.warm_from(cache_file)
+        result = build_matrix_with_resolver(
+            row_store, col_store, symmetric=symmetric, mode=mode,
+            executor=executor, chunk_size=chunk_size, max_workers=max_workers,
+            threshold=threshold, resolver=resolver,
+        )
+        if cache_file is not None:
+            resolver.save_cache(cache_file)
+        return result
+
+    from repro.engine.session import CrossMatrixPlan, NedSession, PairwiseMatrixPlan
+
+    # cache_file + cache_size=0 is rejected by the session constructor (the
+    # resolver branch above enforces the analogous rule for externally owned
+    # resolvers, whose cache configuration the session never sees).
+    session = NedSession(
+        row_store, backend=backend, tiers=tiers, cache_size=cache_size,
+        cache_file=cache_file, executor=executor, max_workers=max_workers,
+    )
+    with session:
+        if symmetric:
+            plan = PairwiseMatrixPlan(
+                mode=mode, threshold=threshold, chunk_size=chunk_size
+            )
+        else:
+            plan = CrossMatrixPlan(
+                col_store=col_store, mode=mode, threshold=threshold,
+                chunk_size=chunk_size,
+            )
+        return session.execute(plan)
+
+
+def build_matrix_with_resolver(
+    row_store: StoreLike,
+    col_store: StoreLike,
+    symmetric: bool,
+    mode: str,
+    executor: "str | ExecutorFn",
+    chunk_size: int,
+    max_workers: Optional[int],
+    threshold: Optional[float],
+    resolver: BoundedNedDistance,
+) -> MatrixResult:
+    """Build one matrix against an already-constructed (warm) resolver.
+
+    This is the execution core behind
+    :class:`repro.engine.session.PairwiseMatrixPlan` /
+    :class:`~repro.engine.session.CrossMatrixPlan`; the resolver supplies the
+    bound tiers, the distance cache and the matching backend, and keeps its
+    own running counters — only this build's counter deltas land in the
+    result's ``stats``.
+    """
     if mode not in MODES:
         raise DistanceError(f"unknown matrix mode {mode!r}; expected one of {MODES}")
     if chunk_size < 1:
         raise DistanceError(f"chunk_size must be >= 1, got {chunk_size}")
     if threshold is not None and threshold < 0:
         raise DistanceError(f"threshold must be non-negative, got {threshold}")
-    if cache_file is not None and (resolver.cache_size if resolver is not None else cache_size) == 0:
-        raise DistanceError(
-            "cache_file needs the distance cache: pass a cache_size > 0 "
-            "(or a resolver whose cache is enabled)"
-        )
     executor_name = _executor_name(executor)
+    backend = resolver.backend
 
     rows = row_store.entries()
     cols = col_store.entries()
     k = row_store.k
     stats = EngineStats()
-    # A private resolver writes its per-tier counters straight into the
-    # result's stats; a shared one keeps its own counters (and its warm
-    # cache) and the deltas of this build are merged into the stats at the
-    # end.  Exact evaluations are queued for the executor instead of going
-    # through resolver.exact, so they are tallied after the chunks run.
-    counter_snapshot = None
-    if resolver is None:
-        resolver = BoundedNedDistance(
-            k=k, backend=backend, tiers=tiers, counters=stats, cache_size=cache_size
-        )
-    else:
-        if resolver.k != k:
-            raise DistanceError(
-                f"shared resolver was built with k={resolver.k}, expected k={k}"
-            )
-        backend = resolver.backend
-        counter_snapshot = resolver.counters.copy()
-    if cache_file is not None and Path(cache_file).exists():
-        # Attach the sidecar a previous process (or build) left behind:
-        # every signature pair it resolved is answered from memory below.
-        resolver.warm_from(cache_file)
+    counter_snapshot = resolver.counters.copy()
     values: List[List[float]] = [[0.0] * len(cols) for _ in rows]
 
     # Resolve every pair from the summaries / the distance cache when
@@ -361,20 +423,14 @@ def _build_matrix(
                 position += 1
         resolver.counters.exact_evaluations += len(pending)
 
-    if counter_snapshot is not None:
-        # Shared resolver: fold only this build's counter deltas into the
-        # result's stats (the resolver keeps its own running totals).
-        stats.merge(resolver.counters.since(counter_snapshot))
+    # Fold only this build's counter deltas into the result's stats (the
+    # resolver keeps its own session-lifetime totals).
+    stats.merge(resolver.counters.since(counter_snapshot))
 
     if symmetric:
         for i in range(len(rows)):
             for j in range(i + 1, len(cols)):
                 values[j][i] = values[i][j]
-
-    if cache_file is not None:
-        # Save-on-completion: the sidecar now also holds every pair this
-        # build resolved, so the next process starts warm.
-        resolver.save_cache(cache_file)
 
     return MatrixResult(
         row_nodes=[entry.node for entry in rows],

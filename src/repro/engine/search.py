@@ -2,10 +2,14 @@
 
 :class:`NedSearchEngine` is the query-side façade of the engine: build it
 once over a store of candidate trees, then answer many ``knn``,
-``range_search`` and ``top_l_candidates`` queries against it.  All distance
-resolution flows through one :class:`repro.ted.resolver.BoundedNedDistance`
-cascade (signature → level-size bounds → degree-multiset bounds → exact
-TED*); the three modes differ only in *which* pruning machinery drives it:
+``range_search`` and ``top_l_candidates`` queries against it.  Every engine
+is backed by a :class:`repro.engine.session.NedSession` — either one the
+caller opened (``session=``, via :meth:`NedSession.search_engine`) or an
+ephemeral one the engine opens for itself — so all distance resolution
+flows through the session's one warm
+:class:`repro.ted.resolver.BoundedNedDistance` cascade (signature →
+level-size bounds → degree-multiset bounds → cache → exact TED*); the three
+modes differ only in *which* pruning machinery drives it:
 
 * ``mode="exact"`` routes queries through one of the :mod:`repro.index`
   metric backends (``"linear"`` scan, ``"vptree"``, ``"bktree"``), exactly as
@@ -15,12 +19,12 @@ TED*); the three modes differ only in *which* pruning machinery drives it:
   skipping: the cascade's interval resolves candidates outright when it can,
   a static threshold (the count-th smallest upper bound) discards candidates
   before any exact work, and a dynamic threshold tightens as results come in.
-* ``mode="hybrid"`` builds the metric index *with* the cascade as its
-  interval hook: triangle pruning discards whole subtrees, summary bounds
-  discard individual nodes, and exact TED* is paid only when a pair's
-  interval straddles the running kNN threshold.  kNN queries additionally
-  seed the threshold with the count-th smallest summary upper bound, so both
-  pruning families bite from the first visited node.
+* ``mode="hybrid"`` builds the metric index *with* the session's interval
+  hook: triangle pruning discards whole subtrees, summary bounds discard
+  individual nodes, and exact TED* is paid only when a pair's interval
+  straddles the running kNN threshold.  kNN queries additionally seed the
+  threshold with the session's ``tau_hint`` (the count-th smallest summary
+  upper bound), so both pruning families bite from the first visited node.
 
 All modes return identical results (the metric-index backends may order
 equal-distance candidates differently) — only the number of exact TED*
@@ -28,6 +32,13 @@ evaluations changes, which is the cost that matters when each evaluation is
 O(k·n³).  Every query records a :class:`~repro.engine.stats.QueryStats`
 snapshot in ``last_query_stats`` (with per-tier counters) and accumulates
 into the engine-wide ``stats`` total.
+
+Note the session defaults the signature-keyed distance cache **on**
+(:data:`repro.ted.resolver.DEFAULT_CACHE_SIZE`), unifying the previously
+divergent per-surface defaults: with a cache, ``exact_evaluations`` counts
+the *distinct* signature pairs a query forced (``stats.cache_hits`` reports
+the repeats answered from memory).  Pass ``cache_size=0`` — as the tier
+ablations do — to measure raw touched-pair counts instead.
 """
 
 from __future__ import annotations
@@ -35,18 +46,18 @@ from __future__ import annotations
 import bisect
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Hashable, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import DistanceError, IndexingError
 from repro.engine.shards import ShardedTreeStore
 from repro.engine.stats import EngineStats, QueryStats
-from repro.engine.tree_store import StoredTree, TreeStore, summarize_tree
+from repro.engine.tree_store import StoredTree, TreeStore
 from repro.graph.graph import Graph
 from repro.index.bktree import BKTree
 from repro.index.linear_scan import LinearScanIndex
 from repro.index.knn import MetricIndexBase
 from repro.index.vptree import VPTree
-from repro.ted.resolver import DEFAULT_CACHE_SIZE, BoundedNedDistance, ResolutionInterval
+from repro.ted.resolver import ResolutionInterval
 from repro.trees.tree import Tree
 
 Node = Hashable
@@ -55,40 +66,6 @@ StoreLike = Union[TreeStore, ShardedTreeStore]
 
 SEARCH_MODES = ("exact", "bound-prune", "hybrid")
 INDEX_BACKENDS = ("linear", "vptree", "bktree")
-
-
-class _QueryBoundsMemo:
-    """Per-query memo of resolver intervals, shared with the metric index.
-
-    Hybrid kNN computes every candidate's interval once up front (it needs
-    all the upper bounds to seed the threshold); this memo lets the index
-    hook reuse those intervals instead of re-evaluating the O(k) bounds for
-    every visited node.  Outside a memoised query (range search) it falls
-    through to the live resolver, evaluating lazily per visited node.
-    """
-
-    def __init__(self, resolver: BoundedNedDistance) -> None:
-        self._resolver = resolver
-        self._memo: Dict[int, ResolutionInterval] = {}
-
-    def begin(self, probe: StoredTree, entries: Sequence[StoredTree]) -> List[ResolutionInterval]:
-        intervals = [self._resolver.bounds(probe, entry) for entry in entries]
-        self._memo = {id(entry): interval for entry, interval in zip(entries, intervals)}
-        return intervals
-
-    def clear(self) -> None:
-        self._memo = {}
-
-    # ---- the duck-typed hook interface the metric indexes consume
-    def bounds(self, probe: StoredTree, entry: StoredTree) -> ResolutionInterval:
-        interval = self._memo.get(id(entry))
-        return interval if interval is not None else self._resolver.bounds(probe, entry)
-
-    def record_pruned(self, interval: ResolutionInterval) -> None:
-        self._resolver.record_pruned(interval)
-
-    def record_decided(self, interval: ResolutionInterval) -> None:
-        self._resolver.record_decided(interval)
 
 
 class NedSearchEngine:
@@ -103,34 +80,24 @@ class NedSearchEngine:
     index:
         Metric-index backend used by exact- and hybrid-mode queries; ignored
         by bound-prune queries, which scan with summary-based pruning.
-    backend:
-        Bipartite matching backend forwarded to TED*.
-    tiers:
-        Bound tiers the resolution cascade runs, any subset of
-        :data:`repro.ted.resolver.BOUND_TIERS`; ``None`` enables all.  The
-        tier-ablation experiments restrict this (e.g. level-size only
-        reproduces the PR-1 pruning behaviour).
-    cache_size:
-        Capacity of the signature-keyed exact-distance cache shared by every
-        query this engine answers (0, the default, disables it; pass e.g.
-        :data:`repro.ted.resolver.DEFAULT_CACHE_SIZE` to enable).  Repeated
-        probes — kNN for every node of a graph, the permutation sweeps of
-        Figure 11 — then resolve recurring signature pairs from memory;
-        ``stats.cache_hits`` / ``stats.cache_misses`` report the effect.
-        Off by default because the per-query ``exact_evaluations`` counters
-        are the measure the Figure 9b comparisons report; with a cache they
-        count distinct signature pairs instead of touched pairs.
-    cache_file:
-        Optional path of a distance-cache *sidecar* (see
-        :meth:`repro.ted.resolver.BoundedNedDistance.save_cache`).  If the
-        file exists, the engine warms its cache from it at construction, so
-        a sweep started by a previous process resumes with its exact
-        distances already resolved; call :meth:`save_cache` when the sweep
-        finishes to write the accumulated cache back.  Implies a
-        :data:`~repro.ted.resolver.DEFAULT_CACHE_SIZE` cache when
-        ``cache_size`` is 0.
+    backend, tiers, cache_size, cache_file:
+        Configuration of the ephemeral :class:`~repro.engine.session.NedSession`
+        the engine opens when no ``session`` is passed; deprecated here in
+        favour of configuring the session directly
+        (:meth:`NedSession.search_engine`).  ``cache_size=None`` means the
+        session default — the signature-keyed exact-distance cache **on**
+        (:data:`repro.ted.resolver.DEFAULT_CACHE_SIZE`); pass ``0`` for raw
+        Figure-9b-style touched-pair counters.  ``cache_file`` names a
+        distance-cache sidecar, warmed at construction when it exists;
+        :meth:`save_cache` writes it back.
     leaf_size, index_seed:
         VP-tree construction parameters (ignored by other backends).
+    session:
+        An open :class:`~repro.engine.session.NedSession` to back this
+        engine.  The engine then shares the session's store, warm resolver,
+        distance cache and sidecar lifecycle; ``backend``/``tiers``/
+        ``cache_size``/``cache_file`` must be left at their defaults (the
+        session already fixed them).
 
     ``store`` may be a dense :class:`TreeStore` or a lazily loaded
     :class:`repro.engine.shards.ShardedTreeStore`; the engine snapshots the
@@ -147,15 +114,17 @@ class NedSearchEngine:
 
     def __init__(
         self,
-        store: StoreLike,
+        store: Optional[StoreLike] = None,
         mode: str = "exact",
         index: str = "linear",
         backend: str = "auto",
         tiers: Optional[Sequence[str]] = None,
-        cache_size: int = 0,
+        cache_size: Optional[int] = None,
         cache_file: Optional[Union[str, Path]] = None,
         leaf_size: int = 8,
         index_seed: int = 0,
+        *,
+        session=None,
     ) -> None:
         if mode not in SEARCH_MODES:
             raise IndexingError(f"unknown search mode {mode!r}; expected one of {SEARCH_MODES}")
@@ -163,52 +132,73 @@ class NedSearchEngine:
             raise IndexingError(
                 f"unknown index backend {index!r}; expected one of {INDEX_BACKENDS}"
             )
+        if session is None:
+            from repro.engine.session import NedSession
+
+            if store is None:
+                raise IndexingError("NedSearchEngine needs a store (or a session)")
+            try:
+                session = NedSession(
+                    store, backend=backend, tiers=tiers, cache_size=cache_size,
+                    cache_file=cache_file,
+                )
+            except DistanceError as error:
+                raise IndexingError(str(error)) from None
+        else:
+            overridden = [
+                name for name, value, default in (
+                    ("backend", backend, "auto"),
+                    ("tiers", tiers, None),
+                    ("cache_size", cache_size, None),
+                    ("cache_file", cache_file, None),
+                ) if value != default
+            ]
+            if overridden:
+                raise IndexingError(
+                    f"{', '.join(overridden)} cannot be set on a session-backed "
+                    f"engine: the session already fixed its resolver "
+                    f"configuration — configure the NedSession instead"
+                )
+            if store is not None and store is not session.store:
+                raise IndexingError(
+                    "engine store disagrees with the session's store; pass one "
+                    "or the other"
+                )
+            store = session.store
+            if store is None:
+                raise IndexingError("cannot search with a store-less session")
         if not len(store):
             raise IndexingError("cannot search an empty TreeStore")
+        self.session = session
         self.store = store
         self.k = store.k
         self.mode = mode
         self.index_kind = index
-        self.backend = backend
-        self.cache_file = Path(cache_file) if cache_file is not None else None
-        if self.cache_file is not None and cache_size == 0:
-            cache_size = DEFAULT_CACHE_SIZE
+        self.backend = session.backend
+        self.cache_file = session.cache_file
+        self.tiers = session.tiers
         self._leaf_size = leaf_size
         self._index_seed = index_seed
         self._index: Optional[MetricIndexBase] = None
         self._entries = store.entries()
-        try:
-            self._resolver = BoundedNedDistance(
-                k=store.k, backend=backend, tiers=tiers, counters=EngineStats(),
-                cache_size=cache_size,
-            )
-            if self.cache_file is not None and self.cache_file.exists():
-                self._resolver.warm_from(self.cache_file)
-        except DistanceError as error:
-            raise IndexingError(str(error)) from None
-        self.tiers = self._resolver.tiers
-        self._bounds_memo = _QueryBoundsMemo(self._resolver)
+        self._resolver = session.resolver
+        self._bounds_memo = session.interval_hook()
         self.stats = EngineStats()
         self.last_query_stats: Optional[QueryStats] = None
 
     def save_cache(self, path: "Optional[Union[str, Path]]" = None) -> Path:
         """Write the exact-distance cache sidecar; returns the path written.
 
-        ``path`` defaults to the ``cache_file`` the engine was built with.
-        Typically called once at the end of a sweep, so the next process's
-        engine (constructed with the same ``cache_file``) starts warm.
+        Delegates to the backing session (``path`` defaults to its
+        ``cache_file``).  Typically called once at the end of a sweep, so
+        the next process's engine — constructed with the same ``cache_file``
+        — starts warm; a session-owned engine gets this for free from the
+        session's save-on-close.
         """
-        target = Path(path) if path is not None else self.cache_file
-        if target is None:
-            raise IndexingError(
-                "no cache path: pass save_cache(path) or construct the engine "
-                "with cache_file="
-            )
         try:
-            self._resolver.save_cache(target)
+            return self.session.save_cache(path)
         except DistanceError as error:
             raise IndexingError(str(error)) from None
-        return target
 
     # ---------------------------------------------------------------- factory
     @classmethod
@@ -219,21 +209,22 @@ class NedSearchEngine:
     # ----------------------------------------------------------------- probes
     def probe(self, graph: Graph, node: Node) -> StoredTree:
         """Extract and summarise the query tree of ``node`` in ``graph``."""
-        return summarize_tree(node, *self._extract(graph, node))
-
-    def _extract(self, graph: Graph, node: Node) -> Tuple[Tree, int]:
-        from repro.trees.adjacent import k_adjacent_tree
-
-        return k_adjacent_tree(graph, node, self.k), self.k
+        return self.session.probe(graph, node)
 
     def _coerce(self, query: Query) -> StoredTree:
-        if isinstance(query, StoredTree):
-            return query
-        if isinstance(query, Tree):
-            return summarize_tree("<query>", query, self.k)
-        raise IndexingError(
-            f"query must be a StoredTree probe or a Tree, got {type(query).__name__}"
-        )
+        # Queries after the session closed would mutate the resolver cache
+        # *after* the sidecar was saved — exact distances paid for and then
+        # silently discarded.  (An engine-owned ephemeral session is never
+        # closed, so standalone engines are unaffected.)
+        if self.session.closed:
+            raise IndexingError(
+                "this engine's NedSession is closed; queries after close() "
+                "would never reach the saved cache sidecar"
+            )
+        try:
+            return self.session.coerce(query)
+        except DistanceError as error:
+            raise IndexingError(str(error)) from None
 
     # ---------------------------------------------------------------- queries
     def knn(self, query: Query, count: int) -> List[Tuple[Node, float]]:
@@ -310,7 +301,7 @@ class NedSearchEngine:
     def _query_window(self):
         """Context manager yielding the resolver-counter delta of one query.
 
-        Entering snapshots the engine-wide resolver counters; leaving turns
+        Entering snapshots the session-wide resolver counters; leaving turns
         the delta into this query's :class:`EngineStats` (with
         ``pairs_considered`` set to the full candidate count — every mode
         considers each candidate, through summaries or through the index).
@@ -334,6 +325,9 @@ class NedSearchEngine:
             counters=counters,
         )
         self.stats.merge(counters)
+        # The shared resolver counters already hold the per-tier deltas; the
+        # engine-level pair count is the one thing the session would miss.
+        self.session.stats.pairs_considered += counters.pairs_considered
 
     def _get_index(self) -> MetricIndexBase:
         if self._index is None:
@@ -360,11 +354,7 @@ class NedSearchEngine:
             tau_hint = None
             if self.mode == "hybrid":
                 intervals = self._bounds_memo.begin(probe, self._entries)
-                if len(intervals) > count:
-                    # The count-th smallest upper bound is an achievable
-                    # distance, so the search threshold can start there.
-                    uppers = sorted(interval.upper for interval in intervals)
-                    tau_hint = uppers[count - 1]
+                tau_hint = self.session.tau_hint(intervals, count)
             try:
                 result = index.knn(probe, count, tau_hint=tau_hint)
             finally:

@@ -1,0 +1,851 @@
+"""`NedSession`: one warm query-execution layer behind every query surface.
+
+Before this module existed, each query surface — the distance-matrix
+builders, :class:`~repro.engine.search.NedSearchEngine`, the
+:mod:`repro.index` metric trees, and every experiment driver — independently
+constructed and wired its own store + resolver + cache-sidecar plumbing.
+The paper's workflow is precompute-once / query-many, so that duplication
+was not just noise: every surface paid for its own cold
+:class:`~repro.ted.resolver.BoundedNedDistance`, and nothing could share the
+warm exact-distance cache across surfaces.  A :class:`NedSession` is the
+single owner of that state, the way an HTAP engine keeps one warm index
+serving both batch and point workloads:
+
+* one (possibly sharded) tree store,
+* one warm resolver (the signature → level-size → degree-multiset → cache →
+  exact TED* cascade), with the cache **on by default** — ``cache_size=`` on
+  the session is the one knob, replacing the divergent per-surface defaults,
+* the cache-sidecar lifecycle: ``cache_file=`` warms the resolver at open if
+  the sidecar exists and saves it back on :meth:`~NedSession.close` (sessions
+  are context managers; closing twice is a no-op),
+* a pluggable executor for matrix chunks (``"serial"`` / ``"process"`` / a
+  callable), plus the *batched* executor (:meth:`~NedSession.execute_batch`)
+  and its asyncio serving facade (:meth:`~NedSession.serve`).
+
+Query plans
+-----------
+Work is described by small immutable plans — :class:`PairwiseMatrixPlan`,
+:class:`CrossMatrixPlan`, :class:`KnnPlan`, :class:`RangePlan`,
+:class:`TopLPlan` — and executed by the session (:meth:`~NedSession.execute`
+for one, :meth:`~NedSession.execute_batch` for many).  Separating the *what*
+from the *how* is what lets many queries share one warm resolver: the
+batched executor dedups plans whose probes have equal canonical signatures
+(TED* is a pure function of the two isomorphism classes, so such plans have
+bit-identical answers), orders the remaining work so probes with equal
+signatures run back-to-back against the shared cache and bound tiers, and
+fans results out to every requester.  Batched execution returns bit-identical
+results to the per-query path with fewer-or-equal exact TED* evaluations —
+the property the serving benchmark asserts.
+
+Serving
+-------
+:meth:`NedSession.serve` returns a :class:`SessionServer`: an ``asyncio``
+request queue draining into batch ticks.  Awaiting ``submit(plan)`` enqueues
+the plan; a drain task collects everything queued, runs it through
+:meth:`~NedSession.execute_batch` off the event loop, and resolves each
+submitter's future — requests arriving while a tick is running simply form
+the next batch.
+
+Example
+-------
+>>> from repro.engine.session import KnnPlan, NedSession
+>>> from repro.graph.generators import grid_road_graph
+>>> graph = grid_road_graph(5, 5, seed=1)
+>>> with NedSession.from_graph(graph, k=2) as session:
+...     plans = [KnnPlan(session.probe(graph, node), 3) for node in (0, 1, 0)]
+...     results = session.execute_batch(plans)
+>>> results[0] == results[2]  # equal probes -> one computation, fanned out
+True
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.exceptions import DistanceError
+from repro.engine.shards import ShardedTreeStore
+from repro.engine.stats import EngineStats
+from repro.engine.tree_store import StoredTree, TreeStore, summarize_tree
+from repro.graph.graph import Graph
+from repro.ted.resolver import (
+    DEFAULT_CACHE_SIZE,
+    BoundedNedDistance,
+    ResolutionInterval,
+)
+from repro.trees.tree import Tree
+
+Node = Hashable
+Query = Union[StoredTree, Tree]
+StoreLike = Union[TreeStore, ShardedTreeStore]
+PathLike = Union[str, Path]
+
+#: Matrix-chunk executors a session accepts (a callable also works; see
+#: :mod:`repro.engine.matrix`).
+SESSION_EXECUTORS = ("serial", "process")
+
+
+# --------------------------------------------------------------------- plans
+@dataclass(frozen=True)
+class PairwiseMatrixPlan:
+    """All-pairs NED matrix over the session's store.
+
+    ``mode`` is ``"exact"`` or ``"bound-prune"``; with a ``threshold`` the
+    bound tiers may mark pairs ``inf`` without evaluating them.  ``executor``
+    overrides the session's executor for this plan only.
+    """
+
+    mode: str = "exact"
+    threshold: Optional[float] = None
+    chunk_size: int = 64
+    executor: Optional[Union[str, Callable]] = None
+
+
+@dataclass(frozen=True)
+class CrossMatrixPlan:
+    """Rows × columns NED matrix: session store rows against ``col_store``.
+
+    This is the de-anonymization shape — the session owns the training
+    candidates (rows), the plan carries the store of anonymised probes
+    (columns).  ``col_store.k`` must match the session's.
+    """
+
+    col_store: StoreLike
+    mode: str = "exact"
+    threshold: Optional[float] = None
+    chunk_size: int = 64
+    executor: Optional[Union[str, Callable]] = None
+
+
+@dataclass(frozen=True)
+class KnnPlan:
+    """The ``count`` candidates closest to ``probe``.
+
+    ``mode``/``index`` override the session's query defaults for this plan
+    (any of :data:`repro.engine.search.SEARCH_MODES` /
+    :data:`repro.engine.search.INDEX_BACKENDS`).
+    """
+
+    probe: Query
+    count: int
+    mode: Optional[str] = None
+    index: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class RangePlan:
+    """Every candidate within ``radius`` of ``probe``."""
+
+    probe: Query
+    radius: float
+    mode: Optional[str] = None
+    index: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TopLPlan:
+    """The de-anonymization top-``top_l`` candidate list for ``probe``.
+
+    Ties break by ``repr(node)`` (the
+    :func:`repro.anonymize.deanonymize.deanonymize_node` contract), which the
+    metric indexes do not offer — so this plan never takes an ``index``.
+    """
+
+    probe: Query
+    top_l: int
+    mode: Optional[str] = None
+
+
+#: Every plan kind :meth:`NedSession.execute` accepts.
+Plan = Union[PairwiseMatrixPlan, CrossMatrixPlan, KnnPlan, RangePlan, TopLPlan]
+_POINT_PLANS = (KnnPlan, RangePlan, TopLPlan)
+_MATRIX_PLANS = (PairwiseMatrixPlan, CrossMatrixPlan)
+
+
+class SessionIntervalHook:
+    """The duck-typed interval hook the metric indexes consume.
+
+    The session hands one of these to every search engine it backs (and the
+    engine hands it to its :mod:`repro.index` backend), so the indexes get
+    their cheap ``[lower, upper]`` intervals from the session's warm resolver
+    instead of a hand-wired one.  Hybrid kNN computes every candidate's
+    interval once up front (it needs all the upper bounds to seed the
+    threshold); :meth:`begin` memoises those so the index hook reuses them
+    instead of re-evaluating the O(k) bounds per visited node.  Outside a
+    memoised query (range search) it falls through to the live resolver.
+    """
+
+    def __init__(self, resolver: BoundedNedDistance) -> None:
+        self._resolver = resolver
+        self._memo: Dict[int, ResolutionInterval] = {}
+
+    def begin(
+        self, probe: StoredTree, entries: Sequence[StoredTree]
+    ) -> List[ResolutionInterval]:
+        intervals = [self._resolver.bounds(probe, entry) for entry in entries]
+        self._memo = {id(entry): interval for entry, interval in zip(entries, intervals)}
+        return intervals
+
+    def clear(self) -> None:
+        self._memo = {}
+
+    # ---- the hook interface (mirrors BoundedNedDistance's outcome surface)
+    def bounds(self, probe: StoredTree, entry: StoredTree) -> ResolutionInterval:
+        interval = self._memo.get(id(entry))
+        return interval if interval is not None else self._resolver.bounds(probe, entry)
+
+    def record_pruned(self, interval: ResolutionInterval) -> None:
+        self._resolver.record_pruned(interval)
+
+    def record_decided(self, interval: ResolutionInterval) -> None:
+        self._resolver.record_decided(interval)
+
+
+class NedSession:
+    """One warm resolver + store + sidecar lifecycle behind every query path.
+
+    Parameters
+    ----------
+    store:
+        The candidate trees (a dense :class:`TreeStore` or a lazily loaded
+        :class:`~repro.engine.shards.ShardedTreeStore`).  ``None`` builds a
+        resolver-only session (``k`` required) for callers that resolve
+        summary pairs directly, e.g. the bound-tier ablations.
+    k:
+        Tree levels compared; defaults to ``store.k`` (required when
+        ``store`` is ``None``, rejected when it disagrees with the store).
+    backend:
+        Bipartite matching backend forwarded to exact TED*.
+    tiers:
+        Bound tiers of the resolution cascade (``None`` enables all).
+    cache_size:
+        Capacity of the signature-keyed exact-distance cache.  ``None`` (the
+        default) enables :data:`~repro.ted.resolver.DEFAULT_CACHE_SIZE` —
+        the session defaults the cache **on** for every surface it backs;
+        pass ``0`` to measure raw touched-pair counters instead (tier
+        ablations do).
+    cache_file:
+        Distance-cache sidecar path.  Warm-if-exists at construction;
+        saved back by :meth:`close` (context-manager exit), even after an
+        exception — every cached entry is exact, so a partial sidecar is
+        still a valid resume point.  Incompatible with ``cache_size=0``.
+    executor:
+        Default matrix-chunk executor (``"serial"``, ``"process"`` or a
+        callable); individual matrix plans may override it.
+    max_workers:
+        Worker count for the ``"process"`` executor.
+    mode, index:
+        Default query mode / index backend for point plans
+        (:class:`KnnPlan` etc.) that do not override them.
+    leaf_size, index_seed:
+        VP-tree construction parameters for session-backed engines.
+
+    Example
+    -------
+    >>> from repro.graph.generators import grid_road_graph
+    >>> graph = grid_road_graph(4, 4, seed=1)
+    >>> with NedSession.from_graph(graph, k=2) as session:
+    ...     session.knn(session.probe(graph, 0), 3)[0][0]
+    0
+    """
+
+    def __init__(
+        self,
+        store: Optional[StoreLike],
+        k: Optional[int] = None,
+        backend: str = "auto",
+        tiers: Optional[Sequence[str]] = None,
+        cache_size: Optional[int] = None,
+        cache_file: Optional[PathLike] = None,
+        executor: Union[str, Callable] = "serial",
+        max_workers: Optional[int] = None,
+        mode: str = "bound-prune",
+        index: str = "linear",
+        leaf_size: int = 8,
+        index_seed: int = 0,
+    ) -> None:
+        if store is None and k is None:
+            raise DistanceError("a NedSession needs a store or an explicit k")
+        if store is not None:
+            if k is not None and k != store.k:
+                raise DistanceError(
+                    f"session k={k} disagrees with the store's k={store.k}"
+                )
+            k = store.k
+        if cache_size is None:
+            cache_size = DEFAULT_CACHE_SIZE
+        if cache_file is not None and cache_size == 0:
+            raise DistanceError(
+                "cache_file needs the distance cache: a session with "
+                "cache_size=0 has nothing to persist"
+            )
+        if not callable(executor) and executor not in SESSION_EXECUTORS:
+            raise DistanceError(
+                f"unknown executor {executor!r}; expected one of "
+                f"{SESSION_EXECUTORS} or a callable"
+            )
+        self.store = store
+        self.k = k
+        self.backend = backend
+        self.cache_size = cache_size
+        self.cache_file = Path(cache_file) if cache_file is not None else None
+        self.executor = executor
+        self.max_workers = max_workers
+        self.mode = mode
+        self.index = index
+        self.leaf_size = leaf_size
+        self.index_seed = index_seed
+        #: Session-lifetime per-tier counters (the resolver writes into it).
+        self.stats = EngineStats()
+        self._resolver = BoundedNedDistance(
+            k=k, backend=backend, tiers=tiers, counters=self.stats,
+            cache_size=cache_size,
+        )
+        self.tiers = self._resolver.tiers
+        if self.cache_file is not None and self.cache_file.exists():
+            # Adopt (not merge): the cache is empty at construction, and
+            # load_cache preserves the sidecar's per-entry hit counts — so
+            # hotness accumulates across session lifecycles (open → queries
+            # → save-on-close) instead of resetting every process, and an
+            # overflowing sidecar is trimmed to the hottest entries.
+            self._resolver.load_cache(self.cache_file)
+        self._engines: Dict[Tuple, Any] = {}
+        self._closed = False
+        #: Batched-executor telemetry: ticks run, plans received, plans
+        #: answered by fan-out from an identical plan in the same batch.
+        self.batches_executed = 0
+        self.batched_plans = 0
+        self.deduplicated_plans = 0
+
+    # ---------------------------------------------------------------- factory
+    @classmethod
+    def from_graph(
+        cls,
+        graph: Graph,
+        k: int,
+        nodes: Optional[Iterable[Node]] = None,
+        **options,
+    ) -> "NedSession":
+        """Extract every (or ``nodes``') k-adjacent tree and open a session."""
+        return cls(TreeStore.from_graph(graph, k, nodes=nodes), **options)
+
+    # -------------------------------------------------------------- lifecycle
+    def __enter__(self) -> "NedSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Save the cache sidecar (when configured) and close the session.
+
+        Idempotent: closing an already-closed session does nothing, so the
+        context manager composes with an explicit ``close()`` call.  The
+        sidecar is saved even when the ``with`` body raised — cached entries
+        are exact regardless, so the partial sidecar lets the next process
+        resume instead of restarting cold.
+        """
+        if self._closed:
+            return
+        if self.cache_file is not None:
+            self._resolver.save_cache(self.cache_file)
+        self._closed = True
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise DistanceError("this NedSession is closed")
+
+    def _require_store(self, action: str) -> StoreLike:
+        if self.store is None:
+            raise DistanceError(f"cannot {action}: this session has no store")
+        return self.store
+
+    def save_cache(self, path: Optional[PathLike] = None) -> Path:
+        """Write the exact-distance cache sidecar; returns the path written.
+
+        ``path`` defaults to the session's ``cache_file`` (which
+        :meth:`close` also writes); an explicit path lets parallel sweep
+        workers write per-worker sidecars for a later
+        :func:`repro.ted.resolver.merge_sidecars`.
+        """
+        target = Path(path) if path is not None else self.cache_file
+        if target is None:
+            raise DistanceError(
+                "no cache path: pass save_cache(path) or open the session "
+                "with cache_file="
+            )
+        self._resolver.save_cache(target)
+        return target
+
+    # ------------------------------------------------------- resolver surface
+    @property
+    def resolver(self) -> BoundedNedDistance:
+        """The session's warm resolver (shared by every surface it backs)."""
+        return self._resolver
+
+    def interval_hook(self) -> SessionIntervalHook:
+        """Return a fresh interval hook bound to the warm resolver.
+
+        This is what the metric indexes consume (via the search engine) for
+        hybrid bound+triangle pruning — the hook is per-engine because it
+        memoises per-query state.
+        """
+        return SessionIntervalHook(self._resolver)
+
+    @staticmethod
+    def tau_hint(intervals: Sequence[ResolutionInterval], count: int) -> Optional[float]:
+        """Seed threshold for a ``count``-NN search from candidate intervals.
+
+        The ``count``-th smallest upper bound is an achievable distance, so
+        an index search can start its threshold there instead of at infinity.
+        Returns ``None`` when there are not enough candidates to cut.
+        """
+        if len(intervals) <= count:
+            return None
+        uppers = sorted(interval.upper for interval in intervals)
+        return uppers[count - 1]
+
+    # ----------------------------------------------------------------- probes
+    def probe(self, graph: Graph, node: Node) -> StoredTree:
+        """Extract and summarise the query tree of ``node`` in ``graph``."""
+        from repro.trees.adjacent import k_adjacent_tree
+
+        return summarize_tree(node, k_adjacent_tree(graph, node, self.k), self.k)
+
+    def coerce(self, query: Query) -> StoredTree:
+        """Turn a raw :class:`Tree` query into a summarised probe."""
+        if isinstance(query, StoredTree):
+            return query
+        if isinstance(query, Tree):
+            return summarize_tree("<query>", query, self.k)
+        raise DistanceError(
+            f"query must be a StoredTree probe or a Tree, got {type(query).__name__}"
+        )
+
+    # ---------------------------------------------------------------- engines
+    def search_engine(
+        self,
+        mode: Optional[str] = None,
+        index: Optional[str] = None,
+        leaf_size: Optional[int] = None,
+        index_seed: Optional[int] = None,
+    ):
+        """Return a search engine backed by this session's warm resolver.
+
+        Engines are cached per ``(mode, index, leaf_size, index_seed)``
+        configuration, so an index backend is built at most once per session
+        and every engine shares the session's distance cache and counters.
+        """
+        from repro.engine.search import NedSearchEngine
+
+        self._require_open()
+        self._require_store("build a search engine")
+        key = (
+            mode or self.mode,
+            index or self.index,
+            leaf_size if leaf_size is not None else self.leaf_size,
+            index_seed if index_seed is not None else self.index_seed,
+        )
+        engine = self._engines.get(key)
+        if engine is None:
+            engine = NedSearchEngine(
+                self.store,
+                mode=key[0],
+                index=key[1],
+                leaf_size=key[2],
+                index_seed=key[3],
+                session=self,
+            )
+            self._engines[key] = engine
+        return engine
+
+    # ----------------------------------------------------------- conveniences
+    def pairwise_matrix(self, **plan_options) -> Any:
+        """Execute a :class:`PairwiseMatrixPlan` built from ``plan_options``."""
+        return self.execute(PairwiseMatrixPlan(**plan_options))
+
+    def cross_matrix(self, col_store: StoreLike, **plan_options) -> Any:
+        """Execute a :class:`CrossMatrixPlan` against ``col_store``."""
+        return self.execute(CrossMatrixPlan(col_store=col_store, **plan_options))
+
+    def knn(self, query: Query, count: int, **plan_options) -> List[Tuple[Node, float]]:
+        """Execute a :class:`KnnPlan` for ``query``."""
+        return self.execute(KnnPlan(query, count, **plan_options))
+
+    def range_search(
+        self, query: Query, radius: float, **plan_options
+    ) -> List[Tuple[Node, float]]:
+        """Execute a :class:`RangePlan` for ``query``."""
+        return self.execute(RangePlan(query, radius, **plan_options))
+
+    def top_l(self, query: Query, top_l: int, **plan_options) -> List[Tuple[Node, float]]:
+        """Execute a :class:`TopLPlan` for ``query``."""
+        return self.execute(TopLPlan(query, top_l, **plan_options))
+
+    # -------------------------------------------------------------- execution
+    def execute(self, plan: Plan) -> Any:
+        """Run one plan against the warm resolver and return its result.
+
+        Matrix plans return a :class:`repro.engine.matrix.MatrixResult`;
+        point plans return the ``[(node, distance), ...]`` list of the
+        corresponding :class:`~repro.engine.search.NedSearchEngine` query.
+        """
+        self._require_open()
+        if isinstance(plan, _MATRIX_PLANS):
+            return self._execute_matrix(plan)
+        if isinstance(plan, KnnPlan):
+            engine = self.search_engine(mode=plan.mode, index=plan.index)
+            return engine.knn(plan.probe, plan.count)
+        if isinstance(plan, RangePlan):
+            engine = self.search_engine(mode=plan.mode, index=plan.index)
+            return engine.range_search(plan.probe, plan.radius)
+        if isinstance(plan, TopLPlan):
+            engine = self.search_engine(mode=plan.mode)
+            return engine.top_l_candidates(plan.probe, plan.top_l)
+        raise DistanceError(
+            f"unknown plan type {type(plan).__name__}; expected one of "
+            f"{[cls.__name__ for cls in _POINT_PLANS + _MATRIX_PLANS]}"
+        )
+
+    def _execute_matrix(self, plan: Union[PairwiseMatrixPlan, CrossMatrixPlan]):
+        from repro.engine.matrix import build_matrix_with_resolver
+
+        row_store = self._require_store("build a distance matrix")
+        if isinstance(plan, CrossMatrixPlan):
+            col_store, symmetric = plan.col_store, False
+            if col_store.k != self.k:
+                raise DistanceError(
+                    f"stores disagree on k ({self.k} vs {col_store.k}); "
+                    "NED values would not be comparable"
+                )
+        else:
+            col_store, symmetric = row_store, True
+        result = build_matrix_with_resolver(
+            row_store,
+            col_store,
+            symmetric=symmetric,
+            mode=plan.mode,
+            executor=plan.executor if plan.executor is not None else self.executor,
+            chunk_size=plan.chunk_size,
+            max_workers=self.max_workers,
+            threshold=plan.threshold,
+            resolver=self._resolver,
+        )
+        # The shared resolver counters already hold the per-tier deltas; the
+        # builder tracks pairs_considered only on the per-build stats, so
+        # fold it into the session totals here (as the engines do for point
+        # queries) — otherwise session-level pruning_ratio would divide
+        # matrix-pair numerators by a point-query-only denominator.
+        self.stats.pairs_considered += result.stats.pairs_considered
+        return result
+
+    # ------------------------------------------------------- batched executor
+    def _plan_key(self, plan: Plan) -> Optional[Tuple]:
+        """Dedup/ordering key: plans with equal keys have identical answers.
+
+        Keys lead with a rank (0 = matrix, 1 = point) so matrix plans sort
+        ahead of point plans.  Point plans then key on the probe's canonical
+        signature plus the query parameters — TED* (and hence every result
+        the engine derives from it) is a pure function of the isomorphism
+        classes, so two kNN plans whose probes share a signature return
+        bit-identical lists.  Matrix plans key on their configuration (and
+        the column store's identity).  Returns ``None`` for unkeyable plans
+        (custom callable executors) — and for *every* plan when the
+        session's cache is disabled: ``cache_size=0`` means "measure the
+        raw work", so signature-based dedup and reordering are off, exactly
+        like the matrix builder's within-build dedup.
+        """
+        if self.cache_size == 0:
+            return None
+        if isinstance(plan, KnnPlan):
+            return (1, "knn", plan.mode or self.mode, plan.index or self.index,
+                    plan.probe.signature, plan.count)
+        if isinstance(plan, RangePlan):
+            return (1, "range", plan.mode or self.mode, plan.index or self.index,
+                    plan.probe.signature, plan.radius)
+        if isinstance(plan, TopLPlan):
+            return (1, "topl", plan.mode or self.mode, "", plan.probe.signature,
+                    plan.top_l)
+        executor = plan.executor if plan.executor is not None else self.executor
+        if callable(executor):
+            return None
+        # threshold is normalised so the key tuples stay totally ordered
+        # (None never meets a float in a comparison).
+        threshold = -1.0 if plan.threshold is None else float(plan.threshold)
+        if isinstance(plan, PairwiseMatrixPlan):
+            return (0, "matrix-pairwise", plan.mode, executor,
+                    f"{id(self.store)}:{threshold}:{plan.chunk_size}", 0)
+        if isinstance(plan, CrossMatrixPlan):
+            return (0, "matrix-cross", plan.mode, executor,
+                    f"{id(plan.col_store)}:{threshold}:{plan.chunk_size}", 0)
+        return None
+
+    def execute_batch(
+        self, plans: Sequence[Plan], return_exceptions: bool = False
+    ) -> List[Any]:
+        """Execute many plans as one batch; results align with ``plans``.
+
+        The batched executor is where serving many queries beats serving
+        them one at a time, without changing a single answer:
+
+        1. *Dedup* — plans with equal keys (same query parameters, probes
+           with equal canonical signatures) are computed once and fanned out.
+        2. *Ordering* — matrix plans run first (they warm the cache
+           broadest), then point plans grouped by probe signature, so
+           consecutive queries hit the same cache/bound-tier working set.
+        3. *Sharing* — everything runs through the session's one warm
+           resolver, so probe pairs recurring across *different* queries are
+           answered from the signature-keyed cache instead of re-evaluated.
+
+        Results are bit-identical to executing each plan individually (the
+        cache returns exact values; ordering cannot change a pure function),
+        with fewer-or-equal exact TED* evaluations.  Each requester gets an
+        independent result (fan-out copies point-plan lists and matrix
+        values), so callers may mutate what they receive.
+
+        With the cache disabled (``cache_size=0``) all three moves are off
+        and plans run one by one in submission order: a cache-off session
+        means "measure the raw work", so the batch must not skip any of it
+        — the tier ablations rely on per-query counters staying per-query.
+
+        ``return_exceptions=True`` captures each plan's failure in its
+        result slot (:func:`asyncio.gather`-style) instead of raising, so
+        one bad plan neither aborts nor re-runs its batch neighbours — the
+        serving facade relies on this for per-future error delivery.
+        """
+        self._require_open()
+        prepared: List[Tuple[Optional[Plan], Optional[Tuple]]] = []
+        failures: Dict[int, Exception] = {}
+        for position, plan in enumerate(plans):
+            try:
+                if isinstance(plan, _POINT_PLANS):
+                    plan = replace(plan, probe=self.coerce(plan.probe))
+                elif not isinstance(plan, _MATRIX_PLANS):
+                    raise DistanceError(
+                        f"unknown plan type {type(plan).__name__} in batch"
+                    )
+            except Exception as error:
+                if not return_exceptions:
+                    raise
+                failures[position] = error
+                prepared.append((None, None))
+                continue
+            prepared.append((plan, self._plan_key(plan)))
+
+        # First occurrence of each key owns the computation; followers map to
+        # the owner's slot in ``distinct``.
+        owners: Dict[Tuple, int] = {}
+        distinct: List[Tuple[Plan, Optional[Tuple]]] = []
+        assignment: List[Optional[int]] = []
+        for plan, key in prepared:
+            if plan is None:
+                assignment.append(None)
+                continue
+            if key is not None and key in owners:
+                assignment.append(owners[key])
+                continue
+            slot = len(distinct)
+            distinct.append((plan, key))
+            assignment.append(slot)
+            if key is not None:
+                owners[key] = slot
+
+        # Matrix plans first (rank 0 — they warm the cache broadest), then
+        # point plans (rank 1) grouped by probe signature; unkeyed plans use
+        # a rank-0 sentinel, and equal keys keep submission order via the
+        # slot index.  With the cache disabled every key is None, so the
+        # batch runs in pure submission order.
+        order = sorted(
+            range(len(distinct)),
+            key=lambda slot: (distinct[slot][1] or (0, "", "", "", "", 0), slot),
+        )
+        results: Dict[int, Any] = {}
+        for slot in order:
+            try:
+                results[slot] = self.execute(distinct[slot][0])
+            except Exception as error:
+                if not return_exceptions:
+                    raise
+                results[slot] = error
+
+        out: List[Any] = []
+        fanned: set = set()
+        for position, slot in enumerate(assignment):
+            if slot is None:
+                out.append(failures[position])
+                continue
+            result = results[slot]
+            if slot in fanned:
+                result = self._copy_result(result)
+            else:
+                fanned.add(slot)
+            out.append(result)
+        self.batches_executed += 1
+        self.batched_plans += len(plans)
+        self.deduplicated_plans += len(prepared) - len(distinct) - len(failures)
+        return out
+
+    @staticmethod
+    def _copy_result(result: Any) -> Any:
+        """Independent copy of a fanned-out result (followers must not alias
+        the owner's lists/matrix — the owner may mutate what it received)."""
+        if isinstance(result, list):
+            return list(result)
+        from repro.engine.matrix import MatrixResult
+
+        if isinstance(result, MatrixResult):
+            return MatrixResult(
+                row_nodes=list(result.row_nodes),
+                col_nodes=list(result.col_nodes),
+                values=[list(row) for row in result.values],
+                mode=result.mode,
+                executor=result.executor,
+                executor_used=result.executor_used,
+                stats=result.stats.copy(),
+            )
+        return result
+
+    # ---------------------------------------------------------------- serving
+    def serve(self, max_batch: Optional[int] = None) -> "SessionServer":
+        """Return an asyncio serving facade over this session.
+
+        Use as ``async with session.serve() as server:`` and await
+        ``server.submit(plan)`` from any number of tasks; queued plans are
+        drained into :meth:`execute_batch` ticks.
+        """
+        self._require_open()
+        return SessionServer(self, max_batch=max_batch)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        size = len(self.store) if self.store is not None else 0
+        return (
+            f"NedSession(k={self.k}, nodes={size}, cache_size={self.cache_size}, "
+            f"executor={self.executor!r}, closed={self._closed})"
+        )
+
+
+_STOP = object()
+
+
+class SessionServer:
+    """Async request queue draining into :meth:`NedSession.execute_batch` ticks.
+
+    Each tick grabs everything currently queued (bounded by ``max_batch``),
+    runs it through the batched executor in a worker thread (so the event
+    loop keeps accepting submissions — those form the *next* tick), and
+    resolves each submitter's future with its own result.  ``ticks`` /
+    ``served`` expose how much batching actually happened.
+    """
+
+    def __init__(self, session: NedSession, max_batch: Optional[int] = None) -> None:
+        if max_batch is not None and max_batch < 1:
+            raise DistanceError(f"max_batch must be >= 1, got {max_batch}")
+        self._session = session
+        self._max_batch = max_batch
+        self._queue: Optional[asyncio.Queue] = None
+        self._drain_task: Optional[asyncio.Task] = None
+        self._closing = False
+        #: Batch ticks executed and total plans answered.
+        self.ticks = 0
+        self.served = 0
+
+    async def __aenter__(self) -> "SessionServer":
+        self._queue = asyncio.Queue()
+        self._closing = False
+        self._drain_task = asyncio.create_task(self._drain())
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        """Drain every pending request, then stop the serving task."""
+        if self._queue is None or self._drain_task is None:
+            return
+        if not self._closing:
+            self._closing = True
+            await self._queue.put(_STOP)
+        await self._drain_task
+        self._drain_task = None
+
+    async def submit(self, plan: Plan) -> Any:
+        """Enqueue ``plan`` and await its result from a future batch tick."""
+        if self._queue is None or self._closing:
+            raise DistanceError("this SessionServer is not serving")
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Any]" = loop.create_future()
+        await self._queue.put((plan, future))
+        return await future
+
+    async def map(self, plans: Sequence[Plan]) -> List[Any]:
+        """Submit many plans concurrently and gather their results in order."""
+        return list(await asyncio.gather(*(self.submit(plan) for plan in plans)))
+
+    async def _drain(self) -> None:
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        stopping = False
+        while not stopping:
+            item = await self._queue.get()
+            if item is _STOP:
+                break
+            batch = [item]
+            while (self._max_batch is None or len(batch) < self._max_batch) and (
+                not self._queue.empty()
+            ):
+                extra = self._queue.get_nowait()
+                if extra is _STOP:
+                    stopping = True
+                    break
+                batch.append(extra)
+            plans = [plan for plan, _ in batch]
+            try:
+                # Gather-style: each plan's failure lands in its own result
+                # slot, so one bad plan neither aborts nor re-runs its batch
+                # neighbours (every plan executes exactly once).
+                results = await loop.run_in_executor(
+                    None,
+                    lambda: self._session.execute_batch(
+                        plans, return_exceptions=True
+                    ),
+                )
+            except asyncio.CancelledError:
+                # Cancellation must stop the drain loop, not be converted
+                # into per-future errors — swallowing it would leave the
+                # task looping and block event-loop shutdown forever.
+                for _, future in batch:
+                    future.cancel()
+                raise
+            except Exception as error:  # batch-level failure (e.g. closed)
+                for _, future in batch:
+                    if not future.done():
+                        future.set_exception(error)
+                self.ticks += 1
+                self.served += len(batch)
+                continue
+            for (_, future), result in zip(batch, results):
+                if future.done():
+                    continue
+                if isinstance(result, BaseException):
+                    future.set_exception(result)
+                else:
+                    future.set_result(result)
+            self.ticks += 1
+            self.served += len(batch)

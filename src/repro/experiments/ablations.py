@@ -93,19 +93,25 @@ def ablation_bound_tiers(
     violations (a lower bound above the exact distance), both of which must
     be zero.
     """
+    from repro.engine.session import NedSession
     from repro.engine.tree_store import summarize_tree
     from repro.ted.bounds import (
         ted_star_degree_multiset_bounds,
         ted_star_level_size_bounds,
     )
-    from repro.ted.resolver import BoundedNedDistance, BOUND_TIERS
+    from repro.ted.resolver import BOUND_TIERS
 
     graph_a, graph_b = load_dataset_pair("CAR", "PGP", scale=scale, seed=seed)
     pairs = sample_node_pairs(graph_a, graph_b, pair_count, seed=seed)
     computer = NedComputer(k=k, backend=default_backend())
 
-    level_resolver = BoundedNedDistance(k=k, tiers=("signature", "level-size"))
-    degree_resolver = BoundedNedDistance(k=k, tiers=BOUND_TIERS)
+    # Resolver-only sessions (no store): the ablation resolves summary pairs
+    # directly.  The cache stays off so *_exact_evals measures what each tier
+    # configuration failed to resolve, not distinct signature pairs.
+    level_resolver = NedSession(
+        None, k=k, tiers=("signature", "level-size"), cache_size=0
+    ).resolver
+    degree_resolver = NedSession(None, k=k, tiers=BOUND_TIERS, cache_size=0).resolver
     dominance_violations = 0
     sandwich_violations = 0
     level_lowers, degree_lowers, exact_values = [], [], []

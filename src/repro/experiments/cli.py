@@ -5,7 +5,14 @@ Usage::
     ned-experiments                 # run the quick version of every experiment
     ned-experiments --full          # full-size workloads
     ned-experiments --only figure7b_ned_vs_k table2
+    ned-experiments merge-cache merged.ned worker-0.ned worker-1.ned
     python -m repro.experiments.cli --list
+
+Every engine-backed experiment runs through a
+:class:`repro.engine.NedSession`; ``--cache-file``/``--store-dir`` persist
+the sessions' warm state across invocations, and the ``merge-cache``
+subcommand compacts the per-worker sidecars of a parallel sweep into one
+warm file (header-validated, hit counts summed, written atomically).
 """
 
 from __future__ import annotations
@@ -48,9 +55,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cache-file",
         metavar="PATH",
-        help="persist the engine's exact-distance cache as a sidecar at PATH: "
-        "loaded when it exists, written back after each engine-backed sweep, "
-        "so repeated runs skip the exact TED* work already paid for",
+        help="persist the sessions' exact-distance cache as a sidecar at PATH: "
+        "loaded when it exists, written back when each engine-backed sweep's "
+        "session closes, so repeated runs skip the exact TED* work already "
+        "paid for",
     )
     parser.add_argument(
         "--store-dir",
@@ -68,8 +76,43 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_merge_cache_parser() -> argparse.ArgumentParser:
+    """Build the parser of the ``merge-cache`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="ned-experiments merge-cache",
+        description="Compact/merge distance-cache sidecars written by parallel "
+        "sweep workers into one warm sidecar (inputs must agree on k and "
+        "matching backend; per-entry hit counts are summed; the output is "
+        "written atomically).",
+    )
+    parser.add_argument("output", metavar="OUTPUT", help="merged sidecar to write")
+    parser.add_argument(
+        "inputs", nargs="+", metavar="SIDECAR", help="sidecar files to merge"
+    )
+    return parser
+
+
+def merge_cache_main(argv: List[str]) -> int:
+    """Entry point of ``ned-experiments merge-cache``."""
+    from repro.exceptions import DistanceError
+    from repro.ted.resolver import merge_sidecars
+
+    args = build_merge_cache_parser().parse_args(argv)
+    try:
+        count = merge_sidecars(args.inputs, args.output)
+    except (DistanceError, FileNotFoundError) as error:
+        print(f"merge-cache failed: {error}", file=sys.stderr)
+        return 2
+    print(f"merged {len(args.inputs)} sidecar(s) into {args.output} ({count} entries)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI main; returns a process exit code."""
+    if argv is None:  # pragma: no cover - exercised via the console script
+        argv = sys.argv[1:]
+    if argv and argv[0] == "merge-cache":
+        return merge_cache_main(argv[1:])
     args = build_parser().parse_args(argv)
     persistence = {}
     if getattr(args, "cache_file", None):
@@ -89,6 +132,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"unknown experiment names: {missing}", file=sys.stderr)
             print(f"available: {sorted(results)}", file=sys.stderr)
             return 2
+
         selected = {name: results[name] for name in args.only}
     csv_dir = None
     if args.csv_dir:

@@ -27,12 +27,11 @@ from repro.baselines.feature_distance import euclidean_distance
 from repro.baselines.refex import refex_feature_matrix
 from repro.core.ned import NedComputer
 from repro.datasets.registry import load_dataset
-from repro.engine.search import NedSearchEngine
+from repro.engine.session import NedSession, TopLPlan
 from repro.engine.shards import ShardedTreeStore, save_sharded, sharded_store_exists
 from repro.engine.tree_store import TreeStore
 from repro.experiments.common import default_backend
 from repro.experiments.reporting import ExperimentTable
-from repro.ted.resolver import DEFAULT_CACHE_SIZE
 from repro.graph.graph import Graph
 from repro.utils.rng import RngLike, ensure_rng, sample_distinct
 
@@ -106,12 +105,16 @@ def deanonymization_experiment(
     the quadratic NED evaluation laptop-sized while preserving the relative
     precision of the two methods, which is the figure's claim.
 
-    ``engine_mode`` routes the NED attacker through
-    :class:`repro.engine.NedSearchEngine` (``"exact"``, ``"bound-prune"`` or
-    ``"hybrid"``) instead of the pairwise callable: identical candidate
-    lists, but the training trees are extracted once per scheme and — with
-    pruning enabled — most exact TED* evaluations are skipped, which the
-    extra ``exact_ted_star_evals``/``pruned_pairs`` columns report.
+    ``engine_mode`` routes the NED attacker through a
+    :class:`repro.engine.NedSession` (query mode ``"exact"``,
+    ``"bound-prune"`` or ``"hybrid"``) instead of the pairwise callable: the
+    per-target top-l queries run as one *batch* of
+    :class:`~repro.engine.session.TopLPlan`\\ s through the session's batched
+    executor — identical candidate lists, but the training trees are
+    extracted once per scheme, probes with equal canonical signatures are
+    answered once and fanned out, and — with pruning enabled — most exact
+    TED* evaluations are skipped, which the extra
+    ``exact_ted_star_evals``/``pruned_pairs`` columns report.
     ``engine_tiers`` restricts the engine's resolution cascade (any subset of
     :data:`repro.ted.resolver.BOUND_TIERS`) for tier ablations, e.g.
     ``("signature", "level-size")`` reproduces the PR-1 pruning behaviour.
@@ -229,36 +232,40 @@ def _engine_ned_row(
     else:
         store = TreeStore.from_graph(graph, k, nodes=candidates)
     # The per-target probes of a sweep keep hitting the same candidate tree
-    # shapes, so the signature-keyed distance cache answers the repeats from
-    # memory (the Figure 11 sweeps funnel through here too).  Tier ablations
-    # keep it off: their exact_ted_star_evals column measures what the
-    # restricted bound cascade failed to resolve, and a cache would absorb
-    # repeats regardless of which tiers are enabled.  A cache_file overrides
-    # that default (the engine enables the cache for it).
-    cache_size = 0 if engine_tiers is not None else DEFAULT_CACHE_SIZE
-    engine = NedSearchEngine(
-        store, mode=engine_mode, backend=backend, tiers=engine_tiers,
-        cache_size=cache_size, cache_file=cache_file,
-    )
-    hits = 0
-    for anon_node in targets:
-        truth = anonymized.true_identity[anon_node]
-        probe = engine.probe(anonymized.graph, anon_node)
-        top = engine.top_l_candidates(probe, top_l)
-        if any(candidate == truth for candidate, _ in top):
-            hits += 1
-    if cache_file is not None:
-        # Save-on-completion: later schemes/sweep points (and later
-        # processes) start from everything this sweep resolved.
-        engine.save_cache()
+    # shapes, so the session's signature-keyed distance cache answers the
+    # repeats from memory (the Figure 11 sweeps funnel through here too).
+    # Tier ablations keep it off: their exact_ted_star_evals column measures
+    # what the restricted bound cascade failed to resolve, and a cache would
+    # absorb repeats regardless of which tiers are enabled.  A cache_file
+    # overrides that default (a persisted cache needs the cache on).
+    cache_size = 0 if engine_tiers is not None and cache_file is None else None
+    with NedSession(
+        store, backend=backend, tiers=engine_tiers, cache_size=cache_size,
+        cache_file=cache_file,
+    ) as session:
+        # One batch of top-l plans: equal-signature probes are answered once
+        # and fanned out; save-on-close persists the sidecar so later
+        # schemes/sweep points (and later processes) start warm.
+        plans = [
+            TopLPlan(session.probe(anonymized.graph, anon_node), top_l,
+                     mode=engine_mode)
+            for anon_node in targets
+        ]
+        answers = session.execute_batch(plans)
+        hits = sum(
+            1 for anon_node, top in zip(targets, answers)
+            if any(candidate == anonymized.true_identity[anon_node]
+                   for candidate, _ in top)
+        )
+        stats = session.stats
     precision = hits / len(targets) if targets else 0.0
     return dict(
         method="NED",
         precision=precision,
         evaluated=len(targets),
         hits=hits,
-        exact_ted_star_evals=engine.stats.exact_evaluations,
-        pruned_pairs=engine.stats.pruned_by_lower_bound,
+        exact_ted_star_evals=stats.exact_evaluations,
+        pruned_pairs=stats.pruned_by_lower_bound,
     )
 
 

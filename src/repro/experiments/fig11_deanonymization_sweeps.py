@@ -35,11 +35,13 @@ def figure11a_precision_vs_permutation_ratio(
     """Precision of NED and Feature as the perturbation ratio grows.
 
     ``engine_mode`` (``"exact"``/``"bound-prune"``/``"hybrid"``) routes the
-    NED attacker through the batch engine and ``engine_tiers`` restricts its
-    resolution cascade for tier ablations; ``cache_file``/``store_dir``/
-    ``shards`` persist the engine's distance cache and sharded training
-    stores across the sweep points (and across processes) — every point
-    after the first reuses the pairs already resolved; see
+    NED attacker through a :class:`repro.engine.NedSession` (the per-target
+    top-l queries run as one batch through the session's batched executor)
+    and ``engine_tiers`` restricts its resolution cascade for tier
+    ablations; ``cache_file``/``store_dir``/``shards`` persist the session's
+    distance cache and sharded training stores across the sweep points (and
+    across processes) — every point after the first reuses the pairs already
+    resolved; see
     :func:`repro.experiments.fig10_deanonymization.deanonymization_experiment`.
     """
     table = ExperimentTable(
@@ -87,11 +89,13 @@ def figure11b_precision_vs_top_l(
     """Precision of NED and Feature as the examined top-l grows.
 
     ``engine_mode`` (``"exact"``/``"bound-prune"``/``"hybrid"``) routes the
-    NED attacker through the batch engine and ``engine_tiers`` restricts its
-    resolution cascade for tier ablations; ``cache_file``/``store_dir``/
-    ``shards`` persist the engine's distance cache and sharded training
-    stores across the sweep points (and across processes) — every point
-    after the first reuses the pairs already resolved; see
+    NED attacker through a :class:`repro.engine.NedSession` (the per-target
+    top-l queries run as one batch through the session's batched executor)
+    and ``engine_tiers`` restricts its resolution cascade for tier
+    ablations; ``cache_file``/``store_dir``/``shards`` persist the session's
+    distance cache and sharded training stores across the sweep points (and
+    across processes) — every point after the first reuses the pairs already
+    resolved; see
     :func:`repro.experiments.fig10_deanonymization.deanonymization_experiment`.
     """
     table = ExperimentTable(

@@ -14,6 +14,7 @@ table also reports the number of distance evaluations.
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
@@ -128,21 +129,21 @@ def figure9b_nearest_neighbor_query_time(
     orders-of-magnitude query-time gap.
 
     When ``engine_mode`` is set (default ``"bound-prune"``), the same queries
-    additionally run through a :class:`repro.engine.NedSearchEngine` built
-    over the distinct candidate nodes, reporting how many *exact* TED*
-    evaluations the level-size bounds leave standing — pruning that needs no
-    triangle-inequality index at all.  Pass ``None`` to skip.
+    additionally run through a :class:`repro.engine.NedSession`-backed search
+    engine built over the distinct candidate nodes, reporting how many
+    *exact* TED* evaluations the bound cascade leaves standing — pruning
+    that needs no triangle-inequality index at all.  Pass ``None`` to skip.
+    The session keeps its signature-keyed distance cache on (the session
+    default), so ``ned_engine_exact_evaluations`` counts the *distinct*
+    signature pairs each query forced and ``ned_engine_cache_hits`` the
+    repeats answered from the warm cache.
 
-    ``cache_file`` persists the engine's exact-distance cache across runs:
-    each dataset gets its own sidecar (``<stem>-<dataset><suffix>`` next to
-    the given path — datasets use different ``k``, so their distances are
-    not comparable) that is attached when it exists and written back after
-    the dataset's queries.  Beware the measurement change: with a sidecar
-    the engine's ``exact_evaluations`` counts only the pairs the cache has
-    *never* seen (zero on a warm re-run), no longer the per-query touched
-    pairs the paper's Figure 9b comparison is about — the
-    ``ned_engine_cache_hits`` column reports how many answers came from the
-    cache so warm rows are distinguishable from genuinely pruned ones.
+    ``cache_file`` additionally persists that cache across runs: each
+    dataset gets its own sidecar (``<stem>-<dataset><suffix>`` next to the
+    given path — datasets use different ``k``, so their distances are not
+    comparable) that warms the session when it exists and is written back
+    when the session closes after the dataset's queries (zero exact
+    evaluations on a warm re-run).
     """
     backend = default_backend()
     table = ExperimentTable(
@@ -163,7 +164,7 @@ def figure9b_nearest_neighbor_query_time(
         notes=[f"queries={query_count}, neighbors={neighbors}, backend={backend}, "
                f"engine_mode={engine_mode}"],
     )
-    from repro.engine.search import NedSearchEngine
+    from repro.engine.session import NedSession
     from repro.engine.tree_store import TreeStore, summarize_tree
     from repro.index.linear_scan import LinearScanIndex
     from repro.trees.adjacent import k_adjacent_tree
@@ -182,6 +183,11 @@ def figure9b_nearest_neighbor_query_time(
         metric = lambda a, b: ted_star(a, b, k=k, backend=backend)  # noqa: E731
         index = VPTree(candidate_trees, metric, leaf_size=8, seed=0)
         scan = LinearScanIndex(candidate_trees, metric)
+        # The dataset's session (when the engine comparison is on) enters
+        # this stack, so its close — which writes the cache sidecar — runs
+        # even when a query below raises: the exact distances already
+        # resolved stay available for the re-run.
+        stack = ExitStack()
         engine = None
         if engine_mode is not None:
             # Reuse the trees extracted above instead of a second BFS pass.
@@ -193,9 +199,10 @@ def figure9b_nearest_neighbor_query_time(
             if cache_file is not None:
                 base = Path(cache_file)
                 dataset_cache = base.with_name(f"{base.stem}-{dataset}{base.suffix}")
-            engine = NedSearchEngine(
-                store, mode=engine_mode, backend=backend, cache_file=dataset_cache
+            session = stack.enter_context(
+                NedSession(store, backend=backend, cache_file=dataset_cache)
             )
+            engine = session.search_engine(mode=engine_mode)
 
         ned_times: List[float] = []
         ned_calls: List[float] = []
@@ -203,23 +210,24 @@ def figure9b_nearest_neighbor_query_time(
         engine_times: List[float] = []
         engine_calls: List[float] = []
         engine_hits: List[float] = []
-        for query in queries:
-            query_tree = k_adjacent_tree(graph_q, query, k)
-            with Timer() as timer:
-                index.knn(query_tree, neighbors)
-            ned_times.append(timer.elapsed)
-            ned_calls.append(float(index.last_query_distance_calls))
-            with Timer() as timer:
-                scan.knn(query_tree, neighbors)
-            ned_scan_times.append(timer.elapsed)
-            if engine is not None:
+        with stack:  # closing writes the dataset's sidecar when one was named
+            for query in queries:
+                query_tree = k_adjacent_tree(graph_q, query, k)
                 with Timer() as timer:
-                    engine.knn(query_tree, neighbors)
-                engine_times.append(timer.elapsed)
-                engine_calls.append(float(engine.last_query_distance_calls))
-                engine_hits.append(float(engine.last_query_stats.counters.cache_hits))
-        if engine is not None and engine.cache_file is not None:
-            engine.save_cache()
+                    index.knn(query_tree, neighbors)
+                ned_times.append(timer.elapsed)
+                ned_calls.append(float(index.last_query_distance_calls))
+                with Timer() as timer:
+                    scan.knn(query_tree, neighbors)
+                ned_scan_times.append(timer.elapsed)
+                if engine is not None:
+                    with Timer() as timer:
+                        engine.knn(query_tree, neighbors)
+                    engine_times.append(timer.elapsed)
+                    engine_calls.append(float(engine.last_query_distance_calls))
+                    engine_hits.append(
+                        float(engine.last_query_stats.counters.cache_hits)
+                    )
 
         feature_table_c = refex_feature_matrix(graph_c, recursions=max(1, k - 1))
         feature_table_q = refex_feature_matrix(graph_q, recursions=max(1, k - 1))
@@ -269,10 +277,13 @@ def figure9b_tier_ablation(
     scans with level-size bounds only (the PR-1 behaviour) and with the full
     degree-multiset cascade, and the hybrid bound+triangle VP-/BK-trees —
     and reports, per regime, the mean exact TED* evaluations per query plus
-    the per-tier counters showing *which* tier skipped the rest.  All regimes
-    return identical nearest-neighbor distances; the run asserts it.
+    the per-tier counters showing *which* tier skipped the rest.  Each regime
+    runs in its own :class:`repro.engine.NedSession` with the distance cache
+    off, so the counters measure touched pairs per pruning regime, not
+    distinct signature pairs.  All regimes return identical nearest-neighbor
+    distances; the run asserts it.
     """
-    from repro.engine.search import NedSearchEngine
+    from repro.engine.session import NedSession
     from repro.engine.tree_store import TreeStore, summarize_tree
     from repro.trees.adjacent import k_adjacent_tree
 
@@ -287,17 +298,21 @@ def figure9b_tier_ablation(
     ])
 
     configurations = (
-        ("vptree triangle-only", dict(mode="exact", index="vptree")),
-        ("scan level-size", dict(mode="bound-prune", tiers=("signature", "level-size"))),
-        ("scan degree-multiset", dict(mode="bound-prune")),
-        ("hybrid vptree", dict(mode="hybrid", index="vptree")),
-        ("hybrid bktree", dict(mode="hybrid", index="bktree")),
+        ("vptree triangle-only", dict(mode="exact", index="vptree"), None),
+        ("scan level-size", dict(mode="bound-prune"), ("signature", "level-size")),
+        ("scan degree-multiset", dict(mode="bound-prune"), None),
+        ("hybrid vptree", dict(mode="hybrid", index="vptree"), None),
+        ("hybrid bktree", dict(mode="hybrid", index="bktree"), None),
     )
     engines = {
-        name: NedSearchEngine(store, backend=backend, **options)
-        for name, options in configurations
+        name: NedSession(
+            store, backend=backend, tiers=tiers, cache_size=0
+        ).search_engine(**options)
+        for name, options, tiers in configurations
     }
-    reference = NedSearchEngine(store, mode="exact", index="linear", backend=backend)
+    reference = NedSession(store, backend=backend, cache_size=0).search_engine(
+        mode="exact", index="linear"
+    )
 
     table = ExperimentTable(
         title=f"Figure 9b tier ablation on {dataset}: exact TED* evaluations per pruning regime",

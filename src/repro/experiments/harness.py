@@ -49,10 +49,12 @@ def run_all_experiments(
     each driver's default parameters (slower, smoother curves).
 
     ``cache_file``/``store_dir``/``shards`` thread the persistence layer
-    through the engine-backed drivers (Figures 9b, 10 and 11): exact
-    distances resolved by one run are written to the sidecar and reused by
-    the next, and the Figure 10/11 training stores are sharded into
-    ``store_dir`` and reloaded lazily instead of re-extracted.
+    through the engine-backed drivers (Figures 9b, 10 and 11), whose query
+    work runs through :class:`repro.engine.NedSession`: exact distances
+    resolved by one run are written to the sidecar when each driver's
+    session closes and reused by the next, and the Figure 10/11 training
+    stores are sharded into ``store_dir`` and reloaded lazily instead of
+    re-extracted.
     """
     persistence = dict(cache_file=cache_file, store_dir=store_dir, shards=shards)
     results: Dict[str, ExperimentTable] = {}

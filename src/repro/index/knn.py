@@ -24,7 +24,13 @@ class MetricIndexBase(ABC):
     ``resolver`` is an optional interval hook (duck-typed after
     :class:`repro.ted.resolver.BoundedNedDistance`: ``bounds(query, item)``
     returning an object with ``lower``/``upper``/``exact``/``tier``, plus
-    ``record_pruned`` / ``record_decided``).  When present, implementations
+    ``record_pruned`` / ``record_decided``).  In the engine this hook is a
+    :class:`repro.engine.session.SessionIntervalHook` handed down from the
+    owning :class:`~repro.engine.session.NedSession` — the indexes never
+    wire a resolver themselves, so every index consults the same warm
+    cascade (and its counters) as the session's other query surfaces; the
+    session also supplies the ``tau_hint`` seed for :meth:`knn`.  When
+    present, implementations
     consult the cheap interval before paying for an exact distance: an item
     whose *lower bound* already exceeds the decision boundary (current kNN
     threshold or range radius) is discarded outright, an interval that pins a

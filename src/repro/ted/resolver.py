@@ -30,6 +30,15 @@ Inputs are summary records (duck-typed: ``.tree``, ``.signature``,
 graph.  Every tier evaluation and every outcome (hit / decided / pruned /
 cached / exact) is recorded in per-tier counters, which is how the
 benchmarks prove *where* exact evaluations were skipped.
+
+In the engine, resolvers are owned by :class:`repro.engine.session.NedSession`
+— one warm resolver behind every query surface; construct one directly only
+when working below the session layer.  The exact-distance cache persists as
+a versioned *sidecar* (:meth:`BoundedNedDistance.save_cache` /
+:meth:`~BoundedNedDistance.load_cache` / :meth:`~BoundedNedDistance.warm_from`),
+since format v2 with per-entry hit counts so overflowing loads keep the
+hottest entries; :func:`merge_sidecars` compacts the sidecars of parallel
+sweep workers into one warm file.
 """
 
 from __future__ import annotations
@@ -38,7 +47,7 @@ import math
 from collections import OrderedDict
 from dataclasses import dataclass, fields
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import DistanceError
 from repro.ted.bounds import (
@@ -67,10 +76,16 @@ DEFAULT_CACHE_SIZE = 32768
 
 # On-disk format of the exact-distance cache sidecar (mirrors the TreeStore
 # header discipline: a format marker plus an integer version, validated
-# before any entry is decoded).
+# before any entry is decoded).  Version 2 added per-entry hit counts, so an
+# overflowing load keeps the *hottest* entries instead of the newest;
+# version-1 sidecars still load (their entries carry zero hits, which makes
+# the hotness tie-break fall back to recency — the v1 behaviour).
 _CACHE_FORMAT = "repro-ned-cache"
-_CACHE_VERSION = 1
-_CACHE_SUPPORTED_VERSIONS = (1,)
+_CACHE_VERSION = 2
+_CACHE_SUPPORTED_VERSIONS = (1, 2)
+
+#: One sidecar entry: (signature_a, signature_b, distance, hit_count).
+CacheEntry = Tuple[str, str, float, int]
 
 
 @dataclass
@@ -226,6 +241,9 @@ class BoundedNedDistance:
         self.counters = counters if counters is not None else ResolutionCounters()
         self.cache_size = cache_size
         self._cache: "OrderedDict[Tuple[str, str], float]" = OrderedDict()
+        # Lifetime lookup hits per resident entry; persisted in the sidecar
+        # (format v2) so a later overflowing load keeps the hottest entries.
+        self._cache_uses: Dict[Tuple[str, str], int] = {}
 
     # ------------------------------------------------------------ bound tiers
     def bounds(self, first, second) -> ResolutionInterval:
@@ -284,14 +302,17 @@ class BoundedNedDistance:
             return None
         self._cache.move_to_end(key)
         self.counters.cache_hits += 1
+        self._cache_uses[key] = self._cache_uses.get(key, 0) + 1
         return value
 
     def cache_put(self, key: Tuple[str, str], value: float) -> None:
         """Store an exact distance, evicting least-recently-used entries."""
         self._cache[key] = value
         self._cache.move_to_end(key)
+        self._cache_uses.setdefault(key, 0)
         while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
+            evicted, _ = self._cache.popitem(last=False)
+            self._cache_uses.pop(evicted, None)
 
     def cache_len(self) -> int:
         """Return the number of cached distances."""
@@ -300,6 +321,7 @@ class BoundedNedDistance:
     def cache_clear(self) -> None:
         """Drop every cached distance (counters are left untouched)."""
         self._cache.clear()
+        self._cache_uses.clear()
 
     # ------------------------------------------------------ cache persistence
     def save_cache(self, path: Union[str, Path]) -> int:
@@ -309,12 +331,16 @@ class BoundedNedDistance:
         comparable at equal ``k``) and ``backend`` (tie pairs may admit
         several optimal matchings, so values are only guaranteed reproducible
         under the backend that produced them) next to the signature-keyed
-        entries, in LRU order (oldest first).  Returns the number of entries
-        written.  A sweep writes the sidecar once at the end of a run; the
-        next process attaches it with :meth:`load_cache` or
-        :meth:`warm_from` and answers the repeated pairs from memory.
+        entries, in LRU order (oldest first), each with its lifetime hit
+        count (format v2).  Returns the number of entries written.  A sweep
+        writes the sidecar once at the end of a run; the next process
+        attaches it with :meth:`load_cache` or :meth:`warm_from` and answers
+        the repeated pairs from memory.
         """
-        entries = [(a, b, value) for (a, b), value in self._cache.items()]
+        entries = [
+            (a, b, value, self._cache_uses.get((a, b), 0))
+            for (a, b), value in self._cache.items()
+        ]
         payload = {
             "format": _CACHE_FORMAT,
             "version": _CACHE_VERSION,
@@ -325,37 +351,23 @@ class BoundedNedDistance:
         atomic_pickle_dump(payload, Path(path))
         return len(entries)
 
-    def _read_sidecar(self, path: Union[str, Path]) -> List[Tuple[str, str, float]]:
+    def _read_sidecar(self, path: Union[str, Path]) -> List[CacheEntry]:
         """Read, validate and return the entries of a cache sidecar."""
-        payload = load_validated_payload(
-            path, _CACHE_FORMAT, _CACHE_SUPPORTED_VERSIONS, "NED distance-cache",
-            DistanceError,
-        )
-        if payload.get("k") != self.k:
+        k, backend, entries = _read_sidecar_payload(path)
+        if k != self.k:
             raise DistanceError(
-                f"distance-cache sidecar {path} was written with k={payload.get('k')!r}, "
+                f"distance-cache sidecar {path} was written with k={k!r}, "
                 f"but this resolver compares k={self.k} levels; the cached distances "
                 f"are not comparable"
             )
-        sidecar_backend = payload.get("backend")
-        if sidecar_backend != self.backend:
+        if backend != self.backend:
             raise DistanceError(
                 f"distance-cache sidecar {path} was written with backend="
-                f"{sidecar_backend!r}, but this resolver uses backend={self.backend!r}; "
+                f"{backend!r}, but this resolver uses backend={self.backend!r}; "
                 f"tie pairs may admit several optimal matchings, so cached values are "
                 f"only reproducible under the backend that produced them"
             )
-        entries = payload.get("entries")
-        try:
-            return [
-                (str(a), str(b), float(value))
-                for a, b, value in entries
-            ]
-        except (TypeError, ValueError) as error:
-            raise DistanceError(
-                f"{path} is not a valid NED distance-cache file "
-                f"({type(error).__name__}: {error})"
-            ) from error
+        return entries
 
     def _require_cache_enabled(self, action: str) -> None:
         if not self.cache_size:
@@ -367,15 +379,23 @@ class BoundedNedDistance:
     def load_cache(self, path: Union[str, Path]) -> int:
         """Replace the cache with a sidecar's entries; returns how many stay.
 
-        When the sidecar holds more entries than ``cache_size``, the newest
-        (most recently used at save time) are kept.  Counters are untouched:
-        loading is not a lookup.
+        When the sidecar holds more entries than ``cache_size``, the
+        *hottest* entries (largest persisted hit counts, recency breaking
+        ties) are kept — a sweep's most-requeried pairs survive the trim.
+        Version-1 sidecars carry no hit counts, so the tie-break keeps the
+        newest, the pre-v2 behaviour.  Counters are untouched: loading is
+        not a lookup.
         """
         self._require_cache_enabled(f"load a distance-cache sidecar from {path}")
         entries = self._read_sidecar(path)
-        self._cache = OrderedDict(
-            ((a, b), value) for a, b, value in entries[-self.cache_size:]
-        )
+        if len(entries) > self.cache_size:
+            ranked = sorted(
+                enumerate(entries), key=lambda pair: (pair[1][3], pair[0])
+            )[-self.cache_size:]
+            # Preserve the sidecar's LRU order among the survivors.
+            entries = [entry for _, entry in sorted(ranked, key=lambda pair: pair[0])]
+        self._cache = OrderedDict(((a, b), value) for a, b, value, _ in entries)
+        self._cache_uses = {(a, b): hits for a, b, _, hits in entries}
         return len(self._cache)
 
     def warm_from(self, source: "Union[str, Path, BoundedNedDistance]") -> int:
@@ -383,9 +403,13 @@ class BoundedNedDistance:
 
         ``source`` is a sidecar path (written by :meth:`save_cache`, e.g. by
         a previous process of a sweep) or a live resolver.  Entries already
-        present keep their value and their recency; merged entries are
-        inserted as the coldest, so they are the first evicted if the merge
-        overflows ``cache_size``.
+        present keep their value, their recency and their hit counts; merged
+        entries are inserted as the coldest *and with zero hits* — every
+        lookup is counted exactly once, by the resolver that serves it, so
+        N workers warming from one shared base sidecar do not each re-export
+        the base's hit counts (which :func:`merge_sidecars` would then sum N
+        times, letting a stale base entry outrank a genuinely hotter one).
+        Use :meth:`load_cache` to *adopt* a sidecar, hit counts included.
         """
         self._require_cache_enabled("warm its distance cache")
         if isinstance(source, BoundedNedDistance):
@@ -399,20 +423,25 @@ class BoundedNedDistance:
                     f"cannot warm from a resolver with backend={source.backend!r}; "
                     f"this resolver uses backend={self.backend!r}"
                 )
-            incoming = [(a, b, value) for (a, b), value in source._cache.items()]
+            incoming = [
+                (a, b, value, source._cache_uses.get((a, b), 0))
+                for (a, b), value in source._cache.items()
+            ]
         else:
             incoming = self._read_sidecar(source)
         merged: "OrderedDict[Tuple[str, str], float]" = OrderedDict()
         added = 0
-        for a, b, value in incoming:
+        for a, b, value, _hits in incoming:
             key = (a, b)
             if key not in self._cache and key not in merged:
                 merged[key] = value
                 added += 1
+                self._cache_uses.setdefault(key, 0)
         for key, value in self._cache.items():
             merged[key] = value
         while len(merged) > self.cache_size:
-            merged.popitem(last=False)
+            evicted, _ = merged.popitem(last=False)
+            self._cache_uses.pop(evicted, None)
         self._cache = merged
         return added
 
@@ -483,3 +512,90 @@ class BoundedNedDistance:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"BoundedNedDistance(k={self.k}, tiers={self.tiers})"
+
+
+def _read_sidecar_payload(path: Union[str, Path]) -> Tuple[int, str, List[CacheEntry]]:
+    """Read one sidecar and return ``(k, backend, entries)`` after validation.
+
+    Entries are normalised to the v2 shape ``(sig_a, sig_b, value, hits)``;
+    version-1 records carry no hit counts and load with ``hits=0``.
+    """
+    payload = load_validated_payload(
+        path, _CACHE_FORMAT, _CACHE_SUPPORTED_VERSIONS, "NED distance-cache",
+        DistanceError,
+    )
+    try:
+        if payload["version"] >= 2:
+            entries = [
+                (str(a), str(b), float(value), int(hits))
+                for a, b, value, hits in payload.get("entries")
+            ]
+        else:
+            entries = [
+                (str(a), str(b), float(value), 0)
+                for a, b, value in payload.get("entries")
+            ]
+    except (TypeError, ValueError) as error:
+        raise DistanceError(
+            f"{path} is not a valid NED distance-cache file "
+            f"({type(error).__name__}: {error})"
+        ) from error
+    return payload.get("k"), payload.get("backend"), entries
+
+
+def merge_sidecars(
+    paths: Sequence[Union[str, Path]], output: Union[str, Path]
+) -> int:
+    """Compact many cache sidecars into one; returns the merged entry count.
+
+    This is the reduce step of a parallel sweep: each worker writes its own
+    sidecar (:meth:`BoundedNedDistance.save_cache`), and the merge produces
+    one warm file for the next run.  Every input is header-validated and
+    must agree on ``k`` and ``backend`` (distances are not comparable
+    otherwise).  The first occurrence of a signature pair keeps its value
+    (TED* is pure, so duplicates agree up to backend tie-breaks) and the
+    hit counts of all occurrences are *summed*, preserving hotness across
+    workers for eviction-aware loading.  The output is written atomically
+    and keeps first-seen order (so earlier inputs are the coldest on load).
+
+    Hit counts are eviction *hints*, not a correctness surface — any trim
+    outcome only changes what is recomputed, never a value.  When every
+    worker starts cold (or warms via :meth:`~BoundedNedDistance.warm_from`,
+    which imports entries with zero hits), the sum counts each lookup
+    exactly once.  Workers that *adopt* one shared base sidecar (a session's
+    ``cache_file=``, which loads hit counts) each re-export the base's
+    counts, so the merged base entries carry roughly worker-count times
+    their true hotness — include such a base once and treat its entries as
+    deliberately favoured, or give sweep workers per-worker cache files.
+    """
+    if not paths:
+        raise DistanceError("merge_sidecars needs at least one sidecar path")
+    reference: Optional[Tuple[int, str]] = None
+    merged: "OrderedDict[Tuple[str, str], List[float]]" = OrderedDict()
+    for path in paths:
+        k, backend, entries = _read_sidecar_payload(path)
+        if reference is None:
+            reference = (k, backend)
+        elif reference != (k, backend):
+            raise DistanceError(
+                f"cannot merge distance-cache sidecar {path}: it was written "
+                f"with k={k!r}/backend={backend!r}, but the first sidecar uses "
+                f"k={reference[0]!r}/backend={reference[1]!r}"
+            )
+        for a, b, value, hits in entries:
+            record = merged.get((a, b))
+            if record is None:
+                merged[(a, b)] = [value, hits]
+            else:
+                record[1] += hits
+    payload = {
+        "format": _CACHE_FORMAT,
+        "version": _CACHE_VERSION,
+        "k": reference[0],
+        "backend": reference[1],
+        "entries": [
+            (a, b, value, int(hits)) for (a, b), (value, hits) in merged.items()
+        ],
+    }
+    atomic_pickle_dump(payload, Path(output))
+    return len(merged)

@@ -181,7 +181,7 @@ class TestSearchEngineCache:
         cached_engine = NedSearchEngine(
             store, mode="bound-prune", cache_size=DEFAULT_CACHE_SIZE
         )
-        plain_engine = NedSearchEngine(store, mode="bound-prune")
+        plain_engine = NedSearchEngine(store, mode="bound-prune", cache_size=0)
         for node in list(graph.nodes())[:6]:
             probe = cached_engine.probe(graph, node)
             assert cached_engine.knn(probe, 4) == plain_engine.knn(probe, 4)

@@ -54,3 +54,41 @@ class TestMain:
     def test_unknown_name_errors(self, stub_results, capsys):
         assert cli.main(["--only", "nope"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestMergeCache:
+    def _sidecar(self, tmp_path, name, k=3):
+        from repro.engine import TreeStore
+        from repro.graph.generators import grid_road_graph
+        from repro.ted.resolver import DEFAULT_CACHE_SIZE, BoundedNedDistance
+
+        store = TreeStore.from_graph(grid_road_graph(4, 4, seed=1), k=k)
+        resolver = BoundedNedDistance(k=k, cache_size=DEFAULT_CACHE_SIZE)
+        entries = store.entries()
+        resolver.exact(entries[0], entries[5])
+        path = tmp_path / name
+        resolver.save_cache(path)
+        return path
+
+    def test_merge_cache_subcommand(self, tmp_path, capsys):
+        first = self._sidecar(tmp_path, "w0.ned")
+        second = self._sidecar(tmp_path, "w1.ned")
+        output = tmp_path / "merged.ned"
+        assert cli.main(["merge-cache", str(output), str(first), str(second)]) == 0
+        assert output.exists()
+        out = capsys.readouterr().out
+        assert "merged 2 sidecar(s)" in out
+
+    def test_merge_cache_mismatch_fails_cleanly(self, tmp_path, capsys):
+        first = self._sidecar(tmp_path, "w0.ned", k=3)
+        second = self._sidecar(tmp_path, "w1.ned", k=2)
+        output = tmp_path / "merged.ned"
+        assert cli.main(["merge-cache", str(output), str(first), str(second)]) == 2
+        assert "merge-cache failed" in capsys.readouterr().err
+        assert not output.exists()
+
+    def test_merge_cache_missing_input_fails_cleanly(self, tmp_path, capsys):
+        output = tmp_path / "merged.ned"
+        missing = tmp_path / "nope.ned"
+        assert cli.main(["merge-cache", str(output), str(missing)]) == 2
+        assert "merge-cache failed" in capsys.readouterr().err

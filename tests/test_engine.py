@@ -442,13 +442,14 @@ class TestHybridEngine:
     def test_hybrid_beats_triangle_only_and_level_size_scan(self, workload):
         """The headline claim: hybrid pruning needs strictly fewer exact
         TED* evaluations than both the triangle-only VP-tree and the PR-1
-        level-size bound-prune scan."""
+        level-size bound-prune scan.  The cache stays off: this measures
+        touched pairs per pruning regime, not distinct signature pairs."""
         store, queries = workload
-        triangle = NedSearchEngine(store, mode="exact", index="vptree")
+        triangle = NedSearchEngine(store, mode="exact", index="vptree", cache_size=0)
         level_size_scan = NedSearchEngine(
-            store, mode="bound-prune", tiers=("signature", "level-size")
+            store, mode="bound-prune", tiers=("signature", "level-size"), cache_size=0
         )
-        hybrid = NedSearchEngine(store, mode="hybrid", index="vptree")
+        hybrid = NedSearchEngine(store, mode="hybrid", index="vptree", cache_size=0)
         totals = {"triangle": 0, "level-size-scan": 0, "hybrid": 0}
         for query_node in list(queries.nodes())[:8]:
             probe = triangle.probe(queries, query_node)

@@ -440,3 +440,188 @@ class TestCacheSidecar:
         engine = NedSearchEngine(dense, mode="bound-prune", cache_size=DEFAULT_CACHE_SIZE)
         with pytest.raises(IndexingError, match="cache path"):
             engine.save_cache()
+
+
+class TestEvictionAwareSidecar:
+    """Format-v2 sidecars persist per-entry hit counts (PR 5)."""
+
+    def _distinct_pairs(self, dense, count):
+        """Pairs with pairwise distinct cache keys against entry 0."""
+        entries = dense.entries()
+        probe = entries[0]
+        pairs, seen = [], {probe.signature}
+        for entry in entries[1:]:
+            if entry.signature not in seen:
+                pairs.append((probe, entry))
+                seen.add(entry.signature)
+            if len(pairs) == count:
+                break
+        assert len(pairs) == count
+        return pairs
+
+    def test_overflowing_load_keeps_the_hottest_entries(self, dense, tmp_path):
+        resolver = BoundedNedDistance(k=dense.k, cache_size=DEFAULT_CACHE_SIZE)
+        pairs = self._distinct_pairs(dense, 4)
+        for first, second in pairs:
+            resolver.exact(first, second)
+        # Make the two *oldest* entries the hottest: recency-based trimming
+        # would drop exactly the pairs hotness-based trimming keeps.
+        hot = pairs[:2]
+        for first, second in hot * 3:
+            resolver.exact(first, second)
+        path = tmp_path / "cache.ned"
+        resolver.save_cache(path)
+
+        small = BoundedNedDistance(k=dense.k, cache_size=2)
+        assert small.load_cache(path) == 2
+        for first, second in hot:
+            small.exact(first, second)
+        assert small.counters.exact_evaluations == 0  # hottest survived
+        cold_first, cold_second = pairs[-1]
+        small.exact(cold_first, cold_second)
+        assert small.counters.exact_evaluations == 1  # coldest was trimmed
+
+    def test_hit_counts_survive_the_round_trip(self, dense, tmp_path):
+        resolver = BoundedNedDistance(k=dense.k, cache_size=DEFAULT_CACHE_SIZE)
+        (first, second), = self._distinct_pairs(dense, 1)
+        resolver.exact(first, second)
+        resolver.exact(first, second)  # 1 hit
+        path = tmp_path / "cache.ned"
+        resolver.save_cache(path)
+        payload = pickle.loads(path.read_bytes())
+        assert payload["version"] == 2
+        assert [hits for *_, hits in payload["entries"]] == [1]
+
+        warm = BoundedNedDistance(k=dense.k, cache_size=DEFAULT_CACHE_SIZE)
+        warm.load_cache(path)
+        warm.exact(first, second)  # +1 hit on the loaded entry
+        warm.save_cache(path)
+        payload = pickle.loads(path.read_bytes())
+        assert [hits for *_, hits in payload["entries"]] == [2]
+
+    def test_v1_sidecar_loads_compatibly(self, dense, tmp_path):
+        resolver = BoundedNedDistance(k=dense.k, cache_size=DEFAULT_CACHE_SIZE)
+        pairs = self._distinct_pairs(dense, 3)
+        values = [resolver.exact(first, second) for first, second in pairs]
+        path = tmp_path / "cache-v1.ned"
+        resolver.save_cache(path)
+        payload = pickle.loads(path.read_bytes())
+        payload["version"] = 1
+        payload["entries"] = [(a, b, value) for a, b, value, _ in payload["entries"]]
+        path.write_bytes(pickle.dumps(payload))
+
+        warm = BoundedNedDistance(k=dense.k, cache_size=DEFAULT_CACHE_SIZE)
+        assert warm.load_cache(path) == 3
+        for (first, second), value in zip(pairs, values):
+            assert warm.exact(first, second) == value
+        assert warm.counters.exact_evaluations == 0
+        # With no hit counts every entry ties at 0, so an overflowing load
+        # falls back to keeping the newest — the v1 behaviour.
+        newest = BoundedNedDistance(k=dense.k, cache_size=1)
+        assert newest.load_cache(path) == 1
+        last_first, last_second = pairs[-1]
+        newest.exact(last_first, last_second)
+        assert newest.counters.exact_evaluations == 0
+
+
+class TestMergeSidecars:
+    def _worker_sidecar(self, dense, tmp_path, name, pair_indices, repeats=0):
+        from repro.ted.resolver import merge_sidecars  # noqa: F401 (import check)
+
+        resolver = BoundedNedDistance(k=dense.k, cache_size=DEFAULT_CACHE_SIZE)
+        entries = dense.entries()
+        for i, j in pair_indices:
+            resolver.exact(entries[i], entries[j])
+        for _ in range(repeats):
+            for i, j in pair_indices:
+                resolver.exact(entries[i], entries[j])
+        path = tmp_path / name
+        resolver.save_cache(path)
+        return path
+
+    def test_merge_unions_entries_and_sums_hits(self, dense, tmp_path):
+        from repro.ted.resolver import merge_sidecars
+
+        first = self._worker_sidecar(dense, tmp_path, "w0.ned", [(0, 9)], repeats=2)
+        second = self._worker_sidecar(
+            dense, tmp_path, "w1.ned", [(0, 9), (1, 8)], repeats=1
+        )
+        output = tmp_path / "merged.ned"
+        count = merge_sidecars([first, second], output)
+        payload = pickle.loads(output.read_bytes())
+        assert payload["version"] == 2
+        by_key = {(a, b): hits for a, b, _, hits in payload["entries"]}
+        assert count == len(by_key)
+        entries = dense.entries()
+        shared = BoundedNedDistance(k=dense.k, cache_size=4).cache_key(
+            entries[0], entries[9]
+        )
+        assert by_key[shared] == 3  # 2 hits from w0 + 1 from w1
+        assert not output.with_name(output.name + ".tmp").exists()
+
+        warm = BoundedNedDistance(k=dense.k, cache_size=DEFAULT_CACHE_SIZE)
+        warm.load_cache(output)
+        warm.exact(entries[0], entries[9])
+        warm.exact(entries[1], entries[8])
+        assert warm.counters.exact_evaluations == 0
+
+    def test_merge_rejects_mismatched_headers(self, dense, tmp_path):
+        from repro.ted.resolver import merge_sidecars
+
+        path = self._worker_sidecar(dense, tmp_path, "ok.ned", [(0, 9)])
+        other = BoundedNedDistance(
+            k=dense.k + 1, cache_size=DEFAULT_CACHE_SIZE
+        )
+        other_path = tmp_path / "other-k.ned"
+        other.save_cache(other_path)
+        with pytest.raises(DistanceError, match="k="):
+            merge_sidecars([path, other_path], tmp_path / "out.ned")
+
+        hungarian = BoundedNedDistance(
+            k=dense.k, backend="hungarian", cache_size=DEFAULT_CACHE_SIZE
+        )
+        hungarian_path = tmp_path / "other-backend.ned"
+        hungarian.save_cache(hungarian_path)
+        with pytest.raises(DistanceError, match="backend"):
+            merge_sidecars([path, hungarian_path], tmp_path / "out.ned")
+
+    def test_merge_rejects_empty_input_and_foreign_files(self, dense, tmp_path):
+        from repro.ted.resolver import merge_sidecars
+
+        with pytest.raises(DistanceError, match="at least one"):
+            merge_sidecars([], tmp_path / "out.ned")
+        foreign = tmp_path / "foreign.ned"
+        foreign.write_bytes(pickle.dumps({"format": "something-else"}))
+        with pytest.raises(DistanceError, match="not a NED distance-cache"):
+            merge_sidecars([foreign], tmp_path / "out.ned")
+
+
+class TestWarmFromHitSemantics:
+    def test_shared_base_hits_are_not_multiplied_across_workers(self, dense, tmp_path):
+        """N workers warming from one base must not each re-export its hits."""
+        from repro.ted.resolver import merge_sidecars
+
+        entries = dense.entries()
+        base = BoundedNedDistance(k=dense.k, cache_size=DEFAULT_CACHE_SIZE)
+        base.exact(entries[0], entries[9])
+        base.exact(entries[0], entries[9])  # base entry: 1 hit
+        base_path = tmp_path / "base.ned"
+        base.save_cache(base_path)
+        base_key = base.cache_key(entries[0], entries[9])
+
+        worker_paths = []
+        for worker in range(3):
+            resolver = BoundedNedDistance(k=dense.k, cache_size=DEFAULT_CACHE_SIZE)
+            resolver.warm_from(base_path)  # merged entries arrive cold
+            resolver.exact(entries[1], entries[8])  # each worker's own pair
+            path = tmp_path / f"worker-{worker}.ned"
+            resolver.save_cache(path)
+            worker_paths.append(path)
+
+        merged = tmp_path / "merged.ned"
+        merge_sidecars([base_path] + worker_paths, merged)
+        payload = pickle.loads(merged.read_bytes())
+        by_key = {(a, b): hits for a, b, _, hits in payload["entries"]}
+        # The base entry's single hit is counted once (from the base sidecar
+        # itself), not once per warmed worker.
+        assert by_key[base_key] == 1
