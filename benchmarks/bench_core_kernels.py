@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from repro.core.ned import NedComputer
 from repro.datasets.registry import load_dataset
@@ -28,6 +27,7 @@ from repro.matching.scipy_backend import scipy_available
 from repro.ted.ted_star import ted_star
 from repro.trees.adjacent import k_adjacent_tree
 from repro.trees.canonize import canonical_string
+from repro.utils.timer import Timer
 from repro.trees.random_trees import random_tree_with_depth
 
 
@@ -113,13 +113,12 @@ def kernel_backend_timings(
         # One untimed evaluation first: the scipy path pays a first-call
         # import cost that would otherwise be billed to the kernel.
         ted_star(batch[0][0], batch[0][1], k=k, backend=backend)
-        start = time.perf_counter()
-        for left, right in batch:
-            ted_star(left, right, k=k, backend=backend)
-        elapsed = time.perf_counter() - start
+        with Timer() as timer:
+            for left, right in batch:
+                ted_star(left, right, k=k, backend=backend)
         record["backends"][backend] = dict(
-            elapsed=elapsed,
-            pairs_per_sec=pairs / elapsed if elapsed else None,
+            elapsed=timer.elapsed,
+            pairs_per_sec=pairs / timer.elapsed if timer.elapsed else None,
         )
     return record
 

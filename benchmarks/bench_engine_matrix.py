@@ -31,6 +31,17 @@ bit-identical with the batched path paying for strictly fewer exact TED*
 evaluations, and records the throughput gap in ``BENCH_kernel.json``'s
 ``serving`` section.
 
+A fifth, *observability* workload (``--observability`` runs it alone, the CI
+observability job's entry point) runs one full engine pass — sharded store
+with a tight residency budget (forcing evictions), cache sidecar save +
+warm reload, bound-pruned matrix, batched and async kNN — once untraced and
+once with :mod:`repro.obs` spans on, asserts the digests are bit-identical,
+that the traced pass costs at most ``--max-overhead-pct`` extra wall time
+(min-of-N rounds), and that the metrics snapshot carries the promised
+per-tier latency histograms (with p50/p99), shard-load and sidecar timings
+and serving batch/tick stats; the traced snapshot lands in
+``BENCH_kernel.json``'s ``observability`` section (and ``--metrics-out``).
+
 All workloads are recorded machine-readably in ``BENCH_kernel.json``
 (pairs/sec, queries/sec, cache hit rate, per-configuration timings), so the
 engine's perf trajectory is tracked from PR 3 onward.
@@ -62,6 +73,7 @@ from repro.engine.shards import ShardedTreeStore, save_sharded, sharded_store_ex
 from repro.engine.tree_store import TreeStore
 from repro.experiments.reporting import ExperimentTable
 from repro.graph.generators import barabasi_albert_graph
+from repro.obs import MetricsRegistry, Tracer, render_metrics_summary
 from repro.ted.resolver import DEFAULT_CACHE_SIZE
 from repro.ted.ted_star import ted_star
 from repro.utils.timer import Timer
@@ -498,6 +510,205 @@ def serving_workload(
     return table
 
 
+#: Histograms the observability pass must produce, per the PR's acceptance
+#: criteria: per-tier resolver latencies, sidecar and shard-load timings,
+#: executor chunk timings, and the serving batch/tick distributions.
+REQUIRED_HISTOGRAMS = (
+    "resolver.level_size_seconds",
+    "resolver.degree_seconds",
+    "resolver.cache_lookup_seconds",
+    "resolver.exact_seconds",
+    "sidecar.load_seconds",
+    "sidecar.save_seconds",
+    "shards.load_seconds",
+    "executor.chunk_seconds",
+    "search.query_seconds",
+    "session.execute_batch_seconds",
+    "serving.batch_size",
+    "serving.tick_seconds",
+)
+
+
+def _observability_pass(
+    base: Path,
+    label: str,
+    trace,
+    nodes: int,
+    k: int,
+    seed: int,
+    neighbors: int,
+) -> dict:
+    """One full engine pass (cold session + warm reopen), traced or not.
+
+    Uses a sharded store with ``max_resident=2`` so the LRU must evict, a
+    cache sidecar written on the cold close and loaded by the warm reopen,
+    a bound-pruned matrix, a deduplicating ``execute_batch`` and an async
+    serving round — every instrumented layer fires.  The timer covers the
+    session work only (store build is identical setup on both variants).
+    """
+    graph = barabasi_albert_graph(nodes, 2, seed=seed)
+    store_dir = base / label
+    save_sharded(TreeStore.from_graph(graph, k), store_dir, shards=6)
+    cache_file = base / f"{label}.ned"
+    registry = MetricsRegistry()
+
+    store = ShardedTreeStore.load(store_dir, max_resident=2)
+    with Timer() as timer:
+        with NedSession(store, cache_file=cache_file, metrics=registry,
+                        trace=trace) as session:
+            probes = [session.probe(graph, node) for node in graph.nodes()]
+            # Cycle a 16-probe pool over 32 plans so the batch has
+            # guaranteed duplicates for the dedup counters.  The batch runs
+            # *before* the matrix so its exact-path pairs go through the
+            # resolver (resolver.exact_seconds) rather than being answered
+            # from a matrix-warmed cache.
+            pool = probes[:16]
+            plans = [KnnPlan(pool[i % len(pool)], neighbors) for i in range(32)]
+            answers = session.execute_batch(plans)
+            matrix = session.pairwise_matrix(mode="bound-prune")
+
+            async def serve_all():
+                async with session.serve(max_batch=8) as server:
+                    return await server.map(plans)
+
+            async_answers = asyncio.run(serve_all())
+        warm_store = ShardedTreeStore.load(store_dir, max_resident=2)
+        with NedSession(warm_store, cache_file=cache_file, metrics=registry,
+                        trace=trace) as warm:
+            warm_answers = warm.execute_batch(plans)
+            snapshot = warm.metrics_snapshot()
+    return dict(
+        elapsed=timer.elapsed,
+        matrix_digest=_values_digest(matrix.values),
+        knn_digest=_knn_digest(answers),
+        async_digest=_knn_digest(async_answers),
+        warm_digest=_knn_digest(warm_answers),
+        snapshot=snapshot,
+        spans=len(trace.spans) if isinstance(trace, Tracer) else 0,
+    )
+
+
+def observability_workload(
+    nodes: int = 40,
+    k: int = 3,
+    seed: int = 5,
+    neighbors: int = 5,
+    rounds: int = 2,
+    max_overhead_pct: Optional[float] = None,
+    trace_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
+    record: Optional[dict] = None,
+) -> ExperimentTable:
+    """Traced-vs-untraced engine pass: identical bits, bounded overhead.
+
+    Runs :func:`_observability_pass` ``rounds`` times untraced and
+    ``rounds`` times with spans enabled, asserts every digest (matrix,
+    batched kNN, async kNN, warm-reopen kNN) is identical across all
+    passes, takes the min-of-rounds wall time per variant and — when
+    ``max_overhead_pct`` is given — asserts tracing costs at most that much
+    extra.  Also asserts the traced metrics snapshot carries every
+    histogram in :data:`REQUIRED_HISTOGRAMS` with usable p50/p99, nonzero
+    shard loads *and* evictions, sidecar entry counts and serving stats.
+    """
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    passes: Dict[str, list] = {"untraced": [], "traced": []}
+    tracer = None
+    with tempfile.TemporaryDirectory() as tmp:
+        base = Path(tmp)
+        for round_index in range(rounds):
+            passes["untraced"].append(_observability_pass(
+                base, f"untraced-{round_index}", False, nodes, k, seed, neighbors,
+            ))
+        for round_index in range(rounds):
+            # Only the last traced round streams to the JSONL sink, so the
+            # file holds one pass's spans rather than `rounds` interleaved.
+            sink = trace_out if round_index == rounds - 1 else None
+            tracer = Tracer(enabled=True, sink=sink)
+            with tracer:
+                passes["traced"].append(_observability_pass(
+                    base, f"traced-{round_index}", tracer, nodes, k, seed,
+                    neighbors,
+                ))
+
+    reference = passes["untraced"][0]
+    digest_keys = ("matrix_digest", "knn_digest", "async_digest", "warm_digest")
+    for variant, runs in passes.items():
+        for run in runs:
+            for key in digest_keys:
+                if run[key] != reference[key]:
+                    raise AssertionError(
+                        f"{variant} pass {key} differs from the untraced "
+                        f"reference: tracing must not change a single bit"
+                    )
+
+    untraced_time = min(run["elapsed"] for run in passes["untraced"])
+    traced_time = min(run["elapsed"] for run in passes["traced"])
+    overhead_pct = (
+        (traced_time - untraced_time) / untraced_time * 100.0
+        if untraced_time else 0.0
+    )
+    if max_overhead_pct is not None and overhead_pct > max_overhead_pct:
+        raise AssertionError(
+            f"tracing overhead {overhead_pct:.2f}% exceeds the "
+            f"{max_overhead_pct:g}% budget "
+            f"(untraced {untraced_time:.3f}s, traced {traced_time:.3f}s)"
+        )
+
+    snapshot = passes["traced"][-1]["snapshot"]
+    histograms = snapshot["histograms"]
+    missing = [name for name in REQUIRED_HISTOGRAMS if name not in histograms]
+    if missing:
+        raise AssertionError(f"metrics snapshot is missing histograms: {missing}")
+    for name in REQUIRED_HISTOGRAMS:
+        entry = histograms[name]
+        if not entry["count"] or entry["p50"] is None or entry["p99"] is None:
+            raise AssertionError(f"histogram {name} has no usable quantiles")
+    shards_section = snapshot["shards"]
+    if not shards_section["loads"] or not shards_section["evictions"]:
+        raise AssertionError(
+            f"sharded-store traffic not observed: {shards_section}"
+        )
+    counters = snapshot["counters"]
+    for counter in ("sidecar.loaded_entries", "sidecar.saved_entries",
+                    "batch.deduplicated_plans", "shards.evictions"):
+        if not counters.get(counter):
+            raise AssertionError(f"counter {counter} was never incremented")
+    if "serving.queue_depth" not in snapshot["gauges"]:
+        raise AssertionError("serving.queue_depth gauge was never set")
+
+    table = ExperimentTable(
+        title=f"Observability: traced vs untraced engine pass ({nodes} nodes, k={k})",
+        columns=["variant", "best_time", "spans", "overhead_pct"],
+        notes=[
+            "identical matrix/kNN digests on every pass",
+            f"min of {rounds} round(s) per variant",
+        ],
+    )
+    table.add_row(variant="untraced", best_time=untraced_time, spans=0,
+                  overhead_pct=0.0)
+    table.add_row(variant="traced", best_time=traced_time,
+                  spans=passes["traced"][-1]["spans"],
+                  overhead_pct=overhead_pct)
+
+    if metrics_out:
+        out_path = Path(metrics_out)
+        if out_path.parent != Path(""):
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(snapshot, indent=2) + "\n")
+    if record is not None:
+        record["workload"] = dict(
+            nodes=nodes, k=k, seed=seed, neighbors=neighbors, rounds=rounds
+        )
+        record["identical_traced_untraced"] = True
+        record["untraced_time"] = untraced_time
+        record["traced_time"] = traced_time
+        record["overhead_pct"] = overhead_pct
+        record["spans"] = passes["traced"][-1]["spans"]
+        record["metrics"] = snapshot
+    return table
+
+
 def test_persistence_round_trip(benchmark):
     """Warm run: 0 exact evaluations, identical results, recorded speedup."""
     from _bench_utils import emit_table
@@ -568,6 +779,21 @@ def test_serving_batched_vs_per_query(benchmark):
     )
 
 
+def test_observability_traced_vs_untraced(benchmark):
+    """Traced pass is bit-identical and the snapshot carries every histogram."""
+    from _bench_utils import emit_table
+
+    record: dict = {}
+    table = benchmark.pedantic(
+        observability_workload, kwargs=dict(nodes=25, rounds=1, record=record),
+        rounds=1, iterations=1,
+    )
+    emit_table(table)
+    assert record["identical_traced_untraced"]
+    assert record["spans"] > 0
+    assert record["metrics"]["histograms"]["resolver.exact_seconds"]["count"] > 0
+
+
 def main(argv=None) -> int:
     from _bench_utils import BENCH_JSON_FILE, emit_bench_json
 
@@ -592,8 +818,39 @@ def main(argv=None) -> int:
                         "persistence workload (default: DIR/cache.ned)")
     parser.add_argument("--shards", type=int, default=4, metavar="N",
                         help="shard count for the persisted store (default 4)")
+    parser.add_argument("--observability", action="store_true",
+                        help="run only the traced-vs-untraced observability "
+                        "workload (the CI observability job) and record the "
+                        "'observability' section of BENCH_kernel.json")
+    parser.add_argument("--max-overhead-pct", type=float, default=None,
+                        metavar="PCT",
+                        help="fail the observability workload when tracing "
+                        "costs more than PCT%% extra wall time (min-of-rounds)")
+    parser.add_argument("--rounds", type=int, default=2, metavar="N",
+                        help="timing rounds per observability variant "
+                        "(default 2; the best round is compared)")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="stream the final traced round's spans to PATH "
+                        "as JSONL")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the traced metrics snapshot to PATH as JSON")
     args = parser.parse_args(argv)
     nodes = args.nodes if args.nodes is not None else (40 if args.smoke else 120)
+
+    if args.observability:
+        obs_record: dict = {}
+        print(observability_workload(
+            nodes=nodes, k=args.k, rounds=args.rounds,
+            max_overhead_pct=args.max_overhead_pct, trace_out=args.trace_out,
+            metrics_out=args.metrics_out, record=obs_record,
+        ))
+        print()
+        print(render_metrics_summary(obs_record["metrics"]))
+        emit_bench_json("observability", obs_record)
+        print(f"\ntracing overhead: {obs_record['overhead_pct']:.2f}% "
+              f"({obs_record['spans']} spans; identical digests; recorded in "
+              f"BENCH_kernel.json)")
+        return 0
 
     if args.serving:
         serving_record: dict = {}
@@ -648,10 +905,19 @@ def main(argv=None) -> int:
     ))
     serving_record = {}
     print(serving_workload(nodes=nodes, k=args.k, record=serving_record))
+    # No overhead gate on the shared smoke path (the dedicated
+    # --observability invocation enforces --max-overhead-pct); one round is
+    # enough to refresh the snapshot and assert digest identity.
+    obs_record = {}
+    print(observability_workload(
+        nodes=nodes, k=args.k, rounds=1, metrics_out=args.metrics_out,
+        trace_out=args.trace_out, record=obs_record,
+    ))
     emit_bench_json("engine_matrix", matrix_record)
     emit_bench_json("repeated_probe", probe_record)
     emit_bench_json("persistence", persist_record)
     emit_bench_json("serving", serving_record)
+    emit_bench_json("observability", obs_record)
     speedup = matrix_record.get("speedup_exact_vs_reference")
     if speedup:
         print(f"exact-mode speedup vs {REFERENCE}: {speedup:.2f}x "

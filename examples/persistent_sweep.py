@@ -35,7 +35,6 @@ Run with::
 from __future__ import annotations
 
 import tempfile
-import time
 from pathlib import Path
 
 from repro.engine import (
@@ -46,6 +45,7 @@ from repro.engine import (
     save_sharded,
 )
 from repro.graph.generators import barabasi_albert_graph
+from repro.utils.timer import Timer
 
 K = 3
 NODES = 60
@@ -78,12 +78,14 @@ def main() -> None:
         cache_file = Path(tmp) / "distances.ned"
 
         # ---- cold process: extract, shard, sweep, persist the cache.
-        start = time.perf_counter()
-        dense = TreeStore.from_graph(graph, K)
-        save_sharded(dense, store_dir, shards=SHARDS)
-        store = ShardedTreeStore.load(store_dir)
-        cold_matrix, cold_answers, cold_exact, _ = run_sweep(store, graph, cache_file)
-        cold_seconds = time.perf_counter() - start
+        with Timer() as cold_timer:
+            dense = TreeStore.from_graph(graph, K)
+            save_sharded(dense, store_dir, shards=SHARDS)
+            store = ShardedTreeStore.load(store_dir)
+            cold_matrix, cold_answers, cold_exact, _ = run_sweep(
+                store, graph, cache_file
+            )
+        cold_seconds = cold_timer.elapsed
         shard_files = sorted(p.name for p in store_dir.iterdir())
         print(f"cold: extracted {len(dense)} trees, sharded into {SHARDS} files "
               f"({', '.join(shard_files[:3])}, ...)")
@@ -91,12 +93,12 @@ def main() -> None:
               f"sidecar written to {cache_file.name}")
 
         # ---- warm process: attach shards + sidecar, same sweep, no exact work.
-        start = time.perf_counter()
-        warm_store = ShardedTreeStore.load(store_dir, max_resident=2)
-        warm_matrix, warm_answers, warm_exact, warm_hits = run_sweep(
-            warm_store, graph, cache_file
-        )
-        warm_seconds = time.perf_counter() - start
+        with Timer() as warm_timer:
+            warm_store = ShardedTreeStore.load(store_dir, max_resident=2)
+            warm_matrix, warm_answers, warm_exact, warm_hits = run_sweep(
+                warm_store, graph, cache_file
+            )
+        warm_seconds = warm_timer.elapsed
         print(f"warm: {warm_exact} exact TED* evaluations "
               f"({warm_hits} sidecar hits), {warm_seconds:.2f}s; "
               f"at most {warm_store.max_resident} of "

@@ -37,12 +37,12 @@ Run with::
 from __future__ import annotations
 
 import tempfile
-import time
 from pathlib import Path
 
 from repro.datasets.registry import load_dataset_pair
 from repro.engine import NedSession, TreeStore
 from repro.trees.adjacent import k_adjacent_tree
+from repro.utils.timer import Timer
 
 K = 3
 CANDIDATES = 150
@@ -57,9 +57,9 @@ def main() -> None:
     print(f"precomputing {len(candidate_nodes)} candidate trees from the second graph (k={K})")
 
     # One extraction pass; the store persists, so later processes skip it.
-    start = time.perf_counter()
-    store = TreeStore.from_graph(graph_c, K, nodes=candidate_nodes)
-    extraction_seconds = time.perf_counter() - start
+    with Timer() as extraction_timer:
+        store = TreeStore.from_graph(graph_c, K, nodes=candidate_nodes)
+    extraction_seconds = extraction_timer.elapsed
     with tempfile.TemporaryDirectory() as tmp:
         store_path = Path(tmp) / "pgp_candidates.treestore"
         store.save(store_path)

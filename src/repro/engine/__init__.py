@@ -29,6 +29,13 @@ warm piece of state:
   session share its warm cache.
 * :mod:`repro.engine.stats` — the shared telemetry counters.
 
+Every layer is also instrumented through :mod:`repro.obs`: sessions always
+own a :class:`repro.obs.MetricsRegistry` (per-tier resolver latency
+histograms, sidecar/shard timings, serving gauges — read them with
+:meth:`NedSession.metrics_snapshot`), and passing ``trace=`` (or setting
+``REPRO_TRACE``) adds nested wall-clock spans over warm-up, plan execution,
+matrix passes and serving ticks at zero cost when left off.
+
 The session workflow (open → warm → batch queries → close)
 ----------------------------------------------------------
 The paper's Sections 6–7 split — extract trees and summaries once, answer

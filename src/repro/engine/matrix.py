@@ -51,6 +51,7 @@ per tier in ``stats``) and where those computations run.
 from __future__ import annotations
 
 import math
+import os
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -60,9 +61,11 @@ from repro.exceptions import DistanceError
 from repro.engine.shards import ShardedTreeStore
 from repro.engine.stats import EngineStats
 from repro.engine.tree_store import TreeStore
+from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
 from repro.ted.resolver import BoundedNedDistance
 from repro.ted.ted_star import ted_star
 from repro.trees.tree import Tree
+from repro.utils.timer import clock
 
 Node = Hashable
 
@@ -158,6 +161,39 @@ def _compute_index_chunk(pairs: IndexChunk) -> List[float]:
     k: int = _WORKER_STATE["k"]  # type: ignore[assignment]
     backend: str = _WORKER_STATE["backend"]  # type: ignore[assignment]
     return [ted_star(rows[i], cols[j], k=k, backend=backend) for i, j in pairs]
+
+
+def _compute_index_chunk_obs(pairs: IndexChunk) -> Tuple[List[float], Dict[str, object]]:
+    """Like :func:`_compute_index_chunk`, plus a worker metrics export.
+
+    Runs in the worker process: times the chunk into a throwaway registry,
+    tags it with the worker's pid, and ships ``(values, snapshot)`` back —
+    the parent folds the snapshot into its own registry
+    (:meth:`MetricsRegistry.merge`), the same workers-export/parent-folds
+    protocol the distance-cache sidecars use.
+    """
+    registry = MetricsRegistry()
+    with registry.time("executor.chunk_seconds"):
+        values = _compute_index_chunk(pairs)
+    registry.inc("executor.chunks")
+    registry.inc(f"executor.worker.{os.getpid()}.chunks")
+    return values, registry.snapshot()
+
+
+def _timed_chunk(
+    metrics: Optional[MetricsRegistry],
+    tree_pairs: List[Tuple[Tree, Tree]],
+    k: int,
+    backend: str,
+) -> List[float]:
+    """Evaluate one in-process chunk, timing it when a registry is attached."""
+    if metrics is None:
+        return [ted_star(a, b, k=k, backend=backend) for a, b in tree_pairs]
+    started = clock()
+    block = [ted_star(a, b, k=k, backend=backend) for a, b in tree_pairs]
+    metrics.observe("executor.chunk_seconds", clock() - started)
+    metrics.inc("executor.chunks")
+    return block
 
 
 def pairwise_distance_matrix(
@@ -315,6 +351,8 @@ def build_matrix_with_resolver(
     max_workers: Optional[int],
     threshold: Optional[float],
     resolver: BoundedNedDistance,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> MatrixResult:
     """Build one matrix against an already-constructed (warm) resolver.
 
@@ -324,6 +362,11 @@ def build_matrix_with_resolver(
     bound tiers, the distance cache and the matching backend, and keeps its
     own running counters — only this build's counter deltas land in the
     result's ``stats``.
+
+    ``tracer`` adds ``matrix.survey`` / ``matrix.exact`` spans around the
+    two passes; ``metrics`` collects per-chunk executor timings
+    (``executor.chunk_seconds``) — the process executor's workers export
+    their own measurements and this build folds them in.
     """
     if mode not in MODES:
         raise DistanceError(f"unknown matrix mode {mode!r}; expected one of {MODES}")
@@ -333,6 +376,7 @@ def build_matrix_with_resolver(
         raise DistanceError(f"threshold must be non-negative, got {threshold}")
     executor_name = _executor_name(executor)
     backend = resolver.backend
+    tracer = NULL_TRACER if tracer is None else tracer
 
     rows = row_store.entries()
     cols = col_store.entries()
@@ -349,37 +393,39 @@ def build_matrix_with_resolver(
     pending_keys: List[Optional[Tuple[str, str]]] = []
     owners: Dict[Tuple[str, str], int] = {}
     followers: Dict[int, List[Tuple[int, int]]] = {}
-    for i, row in enumerate(rows):
-        start = i + 1 if symmetric else 0
-        for j in range(start, len(cols)):
-            col = cols[j]
-            stats.pairs_considered += 1
-            if mode == "bound-prune":
-                interval = resolver.bounds(row, col)
-                if threshold is not None and interval.excludes(threshold):
-                    resolver.record_pruned(interval)
-                    values[i][j] = math.inf
-                    continue
-                if interval.exact:
-                    resolver.record_decided(interval)
-                    values[i][j] = interval.lower
-                    continue
-            key = resolver.cache_key(row, col)
-            if key is not None:
-                owner = owners.get(key)
-                if owner is not None:
-                    # Deferred hit: the first occurrence owns the computation
-                    # and this cell is filled from it when the chunks return.
-                    resolver.counters.cache_hits += 1
-                    followers.setdefault(owner, []).append((i, j))
-                    continue
-                cached = resolver.cache_get(key)
-                if cached is not None:
-                    values[i][j] = cached
-                    continue
-                owners[key] = len(pending)
-            pending.append((i, j))
-            pending_keys.append(key)
+    with tracer.span("matrix.survey", rows=len(rows), cols=len(cols)):
+        for i, row in enumerate(rows):
+            start = i + 1 if symmetric else 0
+            for j in range(start, len(cols)):
+                col = cols[j]
+                stats.pairs_considered += 1
+                if mode == "bound-prune":
+                    interval = resolver.bounds(row, col)
+                    if threshold is not None and interval.excludes(threshold):
+                        resolver.record_pruned(interval)
+                        values[i][j] = math.inf
+                        continue
+                    if interval.exact:
+                        resolver.record_decided(interval)
+                        values[i][j] = interval.lower
+                        continue
+                key = resolver.cache_key(row, col)
+                if key is not None:
+                    owner = owners.get(key)
+                    if owner is not None:
+                        # Deferred hit: the first occurrence owns the
+                        # computation and this cell is filled from it when
+                        # the chunks return.
+                        resolver.counters.cache_hits += 1
+                        followers.setdefault(owner, []).append((i, j))
+                        continue
+                    cached = resolver.cache_get(key)
+                    if cached is not None:
+                        values[i][j] = cached
+                        continue
+                    owners[key] = len(pending)
+                pending.append((i, j))
+                pending_keys.append(key)
 
     # Evaluate the queued pairs in chunks through the executor.
     index_chunks: List[IndexChunk] = [
@@ -390,26 +436,36 @@ def build_matrix_with_resolver(
     if index_chunks:
         dispatch = _make_dispatch(
             executor, executor_name, row_store, col_store, rows, cols,
-            symmetric, k, backend, max_workers,
+            symmetric, k, backend, max_workers, metrics,
         )
         results: List[List[float]] = []
-        try:
-            for block in dispatch(index_chunks):
-                results.append(list(block))
-        except (OSError, PermissionError, NotImplementedError, BrokenExecutor) as error:
-            if executor_name == "serial":
-                raise
-            # Process pools need fork/spawn primitives some sandboxes deny —
-            # denied at pool creation (OSError/PermissionError) or after, when
-            # workers die and the pool reports itself broken (BrokenExecutor).
-            # The matrix is still computable, just not in parallel: finish
-            # only the chunks that have not yielded yet.
-            executor_used = f"serial (fallback: {type(error).__name__})"
-            for chunk in index_chunks[len(results):]:
-                results.append([
-                    ted_star(rows[i].tree, cols[j].tree, k=k, backend=backend)
-                    for i, j in chunk
-                ])
+        with tracer.span(
+            "matrix.exact", chunks=len(index_chunks), pairs=len(pending)
+        ):
+            try:
+                for block in dispatch(index_chunks):
+                    results.append(list(block))
+            except (OSError, PermissionError, NotImplementedError, BrokenExecutor) as error:
+                if executor_name == "serial":
+                    raise
+                # Process pools need fork/spawn primitives some sandboxes
+                # deny — denied at pool creation (OSError/PermissionError) or
+                # after, when workers die and the pool reports itself broken
+                # (BrokenExecutor).  The matrix is still computable, just not
+                # in parallel: finish only the chunks that have not yielded
+                # yet.
+                executor_used = f"serial (fallback: {type(error).__name__})"
+                for chunk in index_chunks[len(results):]:
+                    block = _timed_chunk(
+                        metrics,
+                        [
+                            (rows[i].tree, cols[j].tree)
+                            for i, j in chunk
+                        ],
+                        k,
+                        backend,
+                    )
+                    results.append(block)
         position = 0
         for block in results:
             for value in block:
@@ -462,6 +518,7 @@ def _make_dispatch(
     k: int,
     backend: str,
     max_workers: Optional[int],
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Callable[[List[IndexChunk]], Iterable[List[float]]]:
     """Turn an executor selection into ``index chunks -> result blocks``."""
     if callable(executor):
@@ -486,10 +543,12 @@ def _make_dispatch(
     if executor_name == "serial":
         def run_serial(index_chunks: List[IndexChunk]) -> Iterable[List[float]]:
             for chunk in index_chunks:
-                yield [
-                    ted_star(rows[i].tree, cols[j].tree, k=k, backend=backend)
-                    for i, j in chunk
-                ]
+                yield _timed_chunk(
+                    metrics,
+                    [(rows[i].tree, cols[j].tree) for i, j in chunk],
+                    k,
+                    backend,
+                )
 
         return run_serial
 
@@ -504,6 +563,15 @@ def _make_dispatch(
             initializer=_init_worker,
             initargs=(row_parents, col_parents, k, backend),
         ) as pool:
-            yield from pool.map(_compute_index_chunk, index_chunks)
+            if metrics is None:
+                yield from pool.map(_compute_index_chunk, index_chunks)
+            else:
+                # Workers export, the parent folds: each chunk comes back
+                # with the worker-side measurements attached.
+                for block, snapshot in pool.map(
+                    _compute_index_chunk_obs, index_chunks
+                ):
+                    metrics.merge(snapshot)
+                    yield block
 
     return run_process

@@ -304,12 +304,15 @@ class NedSearchEngine:
         Entering snapshots the session-wide resolver counters; leaving turns
         the delta into this query's :class:`EngineStats` (with
         ``pairs_considered`` set to the full candidate count — every mode
-        considers each candidate, through summaries or through the index).
+        considers each candidate, through summaries or through the index)
+        and records the query's wall time into the session's
+        ``search.query_seconds`` latency histogram.
         """
         before = self._resolver.counters.copy()
         counters = EngineStats()
         try:
-            yield counters
+            with self.session.metrics.time("search.query_seconds"):
+                yield counters
         finally:
             counters.merge(self._resolver.counters.since(before))
             counters.pairs_considered = len(self.store)

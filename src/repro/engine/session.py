@@ -76,11 +76,13 @@ from typing import (
     Union,
 )
 
+from repro import obs
 from repro.exceptions import DistanceError
 from repro.engine.shards import ShardedTreeStore
 from repro.engine.stats import EngineStats
 from repro.engine.tree_store import StoredTree, TreeStore, summarize_tree
 from repro.graph.graph import Graph
+from repro.obs import MetricsRegistry, Tracer
 from repro.ted.resolver import (
     DEFAULT_CACHE_SIZE,
     BoundedNedDistance,
@@ -174,6 +176,16 @@ Plan = Union[PairwiseMatrixPlan, CrossMatrixPlan, KnnPlan, RangePlan, TopLPlan]
 _POINT_PLANS = (KnnPlan, RangePlan, TopLPlan)
 _MATRIX_PLANS = (PairwiseMatrixPlan, CrossMatrixPlan)
 
+#: Span / histogram suffix per plan class (``execute.<kind>`` spans,
+#: ``session.execute_seconds.<kind>`` histograms).
+_PLAN_KINDS = {
+    PairwiseMatrixPlan: "matrix-pairwise",
+    CrossMatrixPlan: "matrix-cross",
+    KnnPlan: "knn",
+    RangePlan: "range",
+    TopLPlan: "topl",
+}
+
 
 class SessionIntervalHook:
     """The duck-typed interval hook the metric indexes consume.
@@ -252,6 +264,18 @@ class NedSession:
         (:class:`KnnPlan` etc.) that do not override them.
     leaf_size, index_seed:
         VP-tree construction parameters for session-backed engines.
+    trace:
+        Observability spans: a :class:`repro.obs.Tracer`, ``True`` (enable
+        in-memory spans), a path (enable + JSONL sink) or ``None`` — fall
+        back to the process-wide default (:func:`repro.obs.configure`), then
+        the ``REPRO_TRACE`` environment variable, then disabled.  A disabled
+        tracer is free; results are bit-identical either way.
+    metrics:
+        The :class:`repro.obs.MetricsRegistry` this session (and its
+        resolver, store and serving loop) writes into.  Defaults to the
+        process-wide registry from :func:`repro.obs.configure` when one is
+        installed, else a private registry — metrics are always on;
+        :meth:`metrics_snapshot` reads them back.
 
     Example
     -------
@@ -276,6 +300,8 @@ class NedSession:
         index: str = "linear",
         leaf_size: int = 8,
         index_seed: int = 0,
+        trace: "Union[Tracer, bool, PathLike, None]" = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if store is None and k is None:
             raise DistanceError("a NedSession needs a store or an explicit k")
@@ -308,11 +334,22 @@ class NedSession:
         self.index = index
         self.leaf_size = leaf_size
         self.index_seed = index_seed
+        #: Observability: spans are opt-in (free when disabled), metrics are
+        #: always on — every surface the session backs writes into them.
+        self.tracer = obs.resolve_tracer(trace)
+        default_metrics = obs.default_metrics()
+        self.metrics = (
+            metrics
+            if metrics is not None
+            else (default_metrics if default_metrics is not None else MetricsRegistry())
+        )
+        if store is not None and hasattr(store, "attach_metrics"):
+            store.attach_metrics(self.metrics)
         #: Session-lifetime per-tier counters (the resolver writes into it).
         self.stats = EngineStats()
         self._resolver = BoundedNedDistance(
             k=k, backend=backend, tiers=tiers, counters=self.stats,
-            cache_size=cache_size,
+            cache_size=cache_size, metrics=self.metrics,
         )
         self.tiers = self._resolver.tiers
         if self.cache_file is not None and self.cache_file.exists():
@@ -321,7 +358,10 @@ class NedSession:
             # hotness accumulates across session lifecycles (open → queries
             # → save-on-close) instead of resetting every process, and an
             # overflowing sidecar is trimmed to the hottest entries.
-            self._resolver.load_cache(self.cache_file)
+            with self.tracer.span("session.warm", cache_file=str(self.cache_file)):
+                with self.metrics.time("sidecar.load_seconds"):
+                    loaded = self._resolver.load_cache(self.cache_file)
+            self.metrics.inc("sidecar.loaded_entries", loaded)
         self._engines: Dict[Tuple, Any] = {}
         self._closed = False
         #: Batched-executor telemetry: ticks run, plans received, plans
@@ -364,8 +404,11 @@ class NedSession:
         """
         if self._closed:
             return
-        if self.cache_file is not None:
-            self._resolver.save_cache(self.cache_file)
+        with self.tracer.span("session.close"):
+            if self.cache_file is not None:
+                with self.metrics.time("sidecar.save_seconds"):
+                    saved = self._resolver.save_cache(self.cache_file)
+                self.metrics.inc("sidecar.saved_entries", saved)
         self._closed = True
 
     def _require_open(self) -> None:
@@ -393,6 +436,44 @@ class NedSession:
             )
         self._resolver.save_cache(target)
         return target
+
+    # ---------------------------------------------------------- observability
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """One plain-dict view of everything this session measured.
+
+        The registry's counters/gauges/latency histograms (per-tier resolver
+        timings, sidecar load/save, per-plan-kind execution, serving ticks)
+        plus derived sections:
+
+        * ``"resolution"`` — the per-tier :class:`EngineStats` counters,
+        * ``"batching"`` — batch ticks / plans / dedup fan-out savings,
+        * ``"cache"`` — exact-distance cache occupancy and capacity,
+        * ``"shards"`` — shard loads / evictions / residency (sharded
+          stores only).
+
+        JSON-serialisable; works on open and closed sessions alike.
+        """
+        snapshot = self.metrics.snapshot()
+        snapshot["resolution"] = self.stats.as_dict()
+        snapshot["batching"] = {
+            "batches_executed": self.batches_executed,
+            "batched_plans": self.batched_plans,
+            "deduplicated_plans": self.deduplicated_plans,
+        }
+        snapshot["cache"] = {
+            "entries": self._resolver.cache_len(),
+            "capacity": self.cache_size,
+        }
+        store = self.store
+        if isinstance(store, ShardedTreeStore):
+            snapshot["shards"] = {
+                "shard_count": store.shard_count,
+                "max_resident": store.max_resident,
+                "resident": store.resident_shard_count(),
+                "loads": store.shard_loads,
+                "evictions": store.evictions,
+            }
+        return snapshot
 
     # ------------------------------------------------------- resolver surface
     @property
@@ -506,8 +587,20 @@ class NedSession:
         Matrix plans return a :class:`repro.engine.matrix.MatrixResult`;
         point plans return the ``[(node, distance), ...]`` list of the
         corresponding :class:`~repro.engine.search.NedSearchEngine` query.
+
+        Every execution is observable: a per-plan-kind span
+        (``execute.knn``, ``execute.matrix-pairwise``, ...) when tracing is
+        on, and a ``session.execute_seconds.<kind>`` latency sample always.
         """
         self._require_open()
+        kind = _PLAN_KINDS.get(type(plan))
+        if kind is None:
+            return self._dispatch(plan)
+        with self.tracer.span(f"execute.{kind}"):
+            with self.metrics.time(f"session.execute_seconds.{kind}"):
+                return self._dispatch(plan)
+
+    def _dispatch(self, plan: Plan) -> Any:
         if isinstance(plan, _MATRIX_PLANS):
             return self._execute_matrix(plan)
         if isinstance(plan, KnnPlan):
@@ -547,6 +640,8 @@ class NedSession:
             max_workers=self.max_workers,
             threshold=plan.threshold,
             resolver=self._resolver,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         # The shared resolver counters already hold the per-tier deltas; the
         # builder tracks pairs_considered only on the per-build stats, so
@@ -631,6 +726,13 @@ class NedSession:
         serving facade relies on this for per-future error delivery.
         """
         self._require_open()
+        with self.tracer.span("execute.batch", plans=len(plans)):
+            with self.metrics.time("session.execute_batch_seconds"):
+                return self._execute_batch(plans, return_exceptions)
+
+    def _execute_batch(
+        self, plans: Sequence[Plan], return_exceptions: bool
+    ) -> List[Any]:
         prepared: List[Tuple[Optional[Plan], Optional[Tuple]]] = []
         failures: Dict[int, Exception] = {}
         for position, plan in enumerate(plans):
@@ -697,9 +799,14 @@ class NedSession:
             else:
                 fanned.add(slot)
             out.append(result)
+        deduplicated = len(prepared) - len(distinct) - len(failures)
         self.batches_executed += 1
         self.batched_plans += len(plans)
-        self.deduplicated_plans += len(prepared) - len(distinct) - len(failures)
+        self.deduplicated_plans += deduplicated
+        self.metrics.inc("batch.ticks")
+        self.metrics.inc("batch.plans", len(plans))
+        if deduplicated:
+            self.metrics.inc("batch.deduplicated_plans", deduplicated)
         return out
 
     @staticmethod
@@ -816,16 +923,21 @@ class SessionServer:
                     break
                 batch.append(extra)
             plans = [plan for plan, _ in batch]
+            metrics = self._session.metrics
+            metrics.set_gauge("serving.queue_depth", self._queue.qsize())
+            metrics.observe("serving.batch_size", float(len(batch)))
             try:
                 # Gather-style: each plan's failure lands in its own result
                 # slot, so one bad plan neither aborts nor re-runs its batch
                 # neighbours (every plan executes exactly once).
-                results = await loop.run_in_executor(
-                    None,
-                    lambda: self._session.execute_batch(
-                        plans, return_exceptions=True
-                    ),
-                )
+                with self._session.tracer.span("server.tick", batch=len(batch)):
+                    with metrics.time("serving.tick_seconds"):
+                        results = await loop.run_in_executor(
+                            None,
+                            lambda: self._session.execute_batch(
+                                plans, return_exceptions=True
+                            ),
+                        )
             except asyncio.CancelledError:
                 # Cancellation must stop the drain loop, not be converted
                 # into per-future errors — swallowing it would leave the

@@ -51,6 +51,7 @@ from repro.engine.tree_store import (
 )
 from repro.trees.tree import Tree
 from repro.utils.io import atomic_pickle_dump, load_validated_payload
+from repro.utils.timer import clock
 
 Node = Hashable
 
@@ -205,6 +206,22 @@ class ShardedTreeStore:
         #: Total shard files decoded over this store's lifetime (laziness
         #: and eviction are observable through this counter).
         self.shard_loads = 0
+        #: Resident shards dropped by the LRU over this store's lifetime.
+        self.evictions = 0
+        # Optional MetricsRegistry (duck-typed); see attach_metrics.
+        self.metrics = None
+
+    def attach_metrics(self, registry) -> None:
+        """Route this store's shard traffic into a metrics registry.
+
+        Records ``shards.load_seconds`` per decode, counts ``shards.loads``
+        and ``shards.evictions``, and keeps a ``shards.resident`` gauge in
+        step with the LRU.  A session attaches its own registry when it
+        adopts a sharded store; detach by passing ``None``.
+        """
+        self.metrics = registry
+        if registry is not None:
+            registry.set_gauge("shards.resident", len(self._resident))
 
     @classmethod
     def load(
@@ -222,6 +239,7 @@ class ShardedTreeStore:
         if resident is not None:
             self._resident.move_to_end(index)
             return resident
+        load_started = clock() if self.metrics is not None else 0.0
         path = self.directory / self._shard_files[index]
         payload = _load_headered(path, _SHARD_FORMAT, "TreeStore shard")
         if payload.get("k") != self.k:
@@ -246,8 +264,17 @@ class ShardedTreeStore:
         self._resident[index] = entries
         self._resident.move_to_end(index)
         self.shard_loads += 1
+        evicted = 0
         while len(self._resident) > self.max_resident:
             self._resident.popitem(last=False)
+            evicted += 1
+        self.evictions += evicted
+        if self.metrics is not None:
+            self.metrics.observe("shards.load_seconds", clock() - load_started)
+            self.metrics.inc("shards.loads")
+            if evicted:
+                self.metrics.inc("shards.evictions", evicted)
+            self.metrics.set_gauge("shards.resident", len(self._resident))
         return entries
 
     def resident_shard_count(self) -> int:

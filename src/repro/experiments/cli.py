@@ -5,6 +5,7 @@ Usage::
     ned-experiments                 # run the quick version of every experiment
     ned-experiments --full          # full-size workloads
     ned-experiments --only figure7b_ned_vs_k table2
+    ned-experiments --trace --metrics-out metrics.json
     ned-experiments merge-cache merged.ned worker-0.ned worker-1.ned
     python -m repro.experiments.cli --list
 
@@ -13,6 +14,12 @@ Every engine-backed experiment runs through a
 the sessions' warm state across invocations, and the ``merge-cache``
 subcommand compacts the per-worker sidecars of a parallel sweep into one
 warm file (header-validated, hit counts summed, written atomically).
+
+``--trace`` enables :mod:`repro.obs` spans process-wide (optionally with a
+JSONL sink path) and prints the span summary table after the run;
+``--metrics-out`` installs one shared metrics registry for every session the
+run opens and writes its snapshot (counters, gauges, latency histograms) as
+JSON.
 """
 
 from __future__ import annotations
@@ -73,6 +80,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="shard count for --store-dir (default 4)",
     )
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="on",
+        default=None,
+        metavar="PATH",
+        help="trace every session's spans and print the span summary after "
+        "the run; with a PATH, also stream the spans there as JSONL",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="collect every session's metrics (counters, gauges, latency "
+        "histograms) into one registry and write its snapshot to PATH as JSON",
+    )
     return parser
 
 
@@ -120,7 +142,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     if getattr(args, "store_dir", None):
         persistence["store_dir"] = args.store_dir
         persistence["shards"] = args.shards
-    results = run_all_experiments(quick=not args.full, **persistence)
+
+    # Observability is wired through process-wide defaults so every session
+    # the experiment drivers open is covered without threading parameters
+    # through each of them; the try/finally resets the defaults so main()
+    # stays reentrant (the test-suite calls it in process).
+    from repro import obs
+
+    tracer = None
+    trace_arg = getattr(args, "trace", None)
+    if trace_arg is not None:
+        tracer = obs.Tracer(
+            enabled=True, sink=None if trace_arg == "on" else trace_arg
+        )
+    metrics = obs.MetricsRegistry() if getattr(args, "metrics_out", None) else None
+    obs.configure(tracer=tracer, metrics=metrics)
+    try:
+        results = run_all_experiments(quick=not args.full, **persistence)
+    finally:
+        obs.configure()
+        if tracer is not None:
+            tracer.close()
+    if metrics is not None:
+        import json
+        from pathlib import Path
+
+        out_path = Path(args.metrics_out)
+        if out_path.parent != Path(""):
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(metrics.snapshot(), indent=2) + "\n")
+        print(f"metrics snapshot written to {out_path}", file=sys.stderr)
+    if tracer is not None:
+        print(obs.render_trace_summary(tracer), file=sys.stderr)
     if args.list:
         for name in results:
             print(name)

@@ -1,0 +1,117 @@
+"""Human-readable rendering of traces and metrics snapshots.
+
+Both renderers are dependency-free (plain column formatting, no
+:mod:`repro.experiments` import, so :mod:`repro.obs` stays a leaf package)
+and consume the plain-dict exports — :meth:`Tracer.summary` /
+:meth:`MetricsRegistry.snapshot` — so they also work on snapshots that
+crossed a process boundary or were read back from JSON.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def _format_seconds(value: Optional[float]) -> str:
+    """Render a duration at a human scale (µs/ms/s)."""
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.3f}ms"
+    return f"{value * 1e6:.1f}µs"
+
+
+def _format_cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _render_columns(title: str, header: Sequence[str], rows: List[Sequence[str]]) -> str:
+    widths = [
+        max(len(str(header[i])), *(len(str(row[i])) for row in rows)) if rows else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    lines = [title]
+    lines.append("  ".join(str(cell).ljust(width) for cell, width in zip(header, widths)).rstrip())
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(width) for cell, width in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def render_trace_summary(tracer_or_summary) -> str:
+    """Render per-span-name aggregates as an aligned text table.
+
+    Accepts a :class:`repro.obs.tracing.Tracer` or the plain dict its
+    ``summary()`` returns.  Rows are sorted by total time descending — the
+    reading order of "where did the time go".
+    """
+    summary: Dict[str, Dict[str, float]]
+    summary = tracer_or_summary.summary() if hasattr(tracer_or_summary, "summary") else tracer_or_summary
+    if not summary:
+        return "trace summary: no spans recorded"
+    rows = [
+        [
+            name,
+            int(entry["count"]),
+            _format_seconds(entry["total"]),
+            _format_seconds(entry["mean"]),
+            _format_seconds(entry["min"]),
+            _format_seconds(entry["max"]),
+        ]
+        for name, entry in sorted(
+            summary.items(), key=lambda item: item[1]["total"], reverse=True
+        )
+    ]
+    return _render_columns(
+        "trace summary (by total time)",
+        ["span", "count", "total", "mean", "min", "max"],
+        rows,
+    )
+
+
+def render_metrics_summary(snapshot: Dict[str, object]) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as text sections.
+
+    Histograms print count/mean/p50/p95/p99/max at a human scale; counters
+    and gauges print name/value pairs.  Extra top-level sections a session
+    snapshot adds (``resolution``, ``shards``, ...) render as flat
+    name/value tables.
+    """
+    parts: List[str] = []
+    histograms = snapshot.get("histograms") or {}
+    if histograms:
+        rows = [
+            [
+                name,
+                int(entry["count"]),
+                _format_seconds(entry.get("mean")),
+                _format_seconds(entry.get("p50")),
+                _format_seconds(entry.get("p95")),
+                _format_seconds(entry.get("p99")),
+                _format_seconds(entry.get("max")),
+            ]
+            for name, entry in sorted(histograms.items())
+        ]
+        parts.append(_render_columns(
+            "latency histograms",
+            ["histogram", "count", "mean", "p50", "p95", "p99", "max"],
+            rows,
+        ))
+    for section in ("counters", "gauges"):
+        values = snapshot.get(section) or {}
+        if values:
+            rows = [[name, _format_cell(value)] for name, value in sorted(values.items())]
+            parts.append(_render_columns(section, ["name", "value"], rows))
+    known = {"histograms", "counters", "gauges"}
+    for section, values in sorted(snapshot.items()):
+        if section in known or not isinstance(values, dict) or not values:
+            continue
+        rows = [[name, _format_cell(value)] for name, value in sorted(values.items())]
+        parts.append(_render_columns(section, ["name", "value"], rows))
+    return "\n\n".join(parts) if parts else "metrics: nothing recorded"

@@ -56,6 +56,7 @@ from repro.ted.bounds import (
 )
 from repro.ted.ted_star import ted_star
 from repro.utils.io import atomic_pickle_dump, load_validated_payload
+from repro.utils.timer import clock
 
 SIGNATURE_TIER = "signature"
 LEVEL_SIZE_TIER = "level-size"
@@ -208,6 +209,12 @@ class BoundedNedDistance:
         is a pure function of the two isomorphism classes, so a hit returns
         the exact distance; repeated probes — kNN for every node,
         permutation sweeps — are answered from memory.
+    metrics:
+        Optional :class:`repro.obs.metrics.MetricsRegistry` (duck-typed —
+        only ``observe`` is called).  When attached, every tier evaluation
+        additionally records its latency into ``resolver.<tier>_seconds``
+        histograms, turning the per-tier *counts* into per-tier *time*.
+        ``None`` (the default) keeps resolution free of clock reads.
 
     Example
     -------
@@ -226,6 +233,7 @@ class BoundedNedDistance:
         tiers: Optional[Sequence[str]] = None,
         counters: Optional[ResolutionCounters] = None,
         cache_size: int = 0,
+        metrics=None,
     ) -> None:
         requested = BOUND_TIERS if tiers is None else tuple(tiers)
         unknown = [tier for tier in requested if tier not in BOUND_TIERS]
@@ -240,12 +248,22 @@ class BoundedNedDistance:
         self.tiers: Tuple[str, ...] = tuple(t for t in BOUND_TIERS if t in requested)
         self.counters = counters if counters is not None else ResolutionCounters()
         self.cache_size = cache_size
+        self.metrics = metrics
         self._cache: "OrderedDict[Tuple[str, str], float]" = OrderedDict()
         # Lifetime lookup hits per resident entry; persisted in the sidecar
         # (format v2) so a later overflowing load keeps the hottest entries.
         self._cache_uses: Dict[Tuple[str, str], int] = {}
 
     # ------------------------------------------------------------ bound tiers
+    def _timed(self, name: str, func, *args, **kwargs):
+        """Call ``func`` and, when a registry is attached, record its latency."""
+        if self.metrics is None:
+            return func(*args, **kwargs)
+        started = clock()
+        result = func(*args, **kwargs)
+        self.metrics.observe(name, clock() - started)
+        return result
+
     def bounds(self, first, second) -> ResolutionInterval:
         """Run the cheap tiers only; never computes an exact TED*.
 
@@ -260,16 +278,22 @@ class BoundedNedDistance:
         tier = NO_TIER
         if LEVEL_SIZE_TIER in self.tiers:
             counters.level_size_evaluations += 1
-            size_lower, size_upper = ted_star_level_size_bounds(
-                first.level_sizes, second.level_sizes
+            size_lower, size_upper = self._timed(
+                "resolver.level_size_seconds",
+                ted_star_level_size_bounds,
+                first.level_sizes,
+                second.level_sizes,
             )
             lower, upper, tier = float(size_lower), float(size_upper), LEVEL_SIZE_TIER
             if lower == upper:
                 return ResolutionInterval(lower, upper, tier)
         if DEGREE_TIER in self.tiers:
             counters.degree_evaluations += 1
-            degree_lower, degree_upper = ted_star_degree_multiset_bounds(
-                first.degree_profiles, second.degree_profiles
+            degree_lower, degree_upper = self._timed(
+                "resolver.degree_seconds",
+                ted_star_degree_multiset_bounds,
+                first.degree_profiles,
+                second.degree_profiles,
             )
             if float(degree_lower) > lower:
                 lower, tier = float(degree_lower), DEGREE_TIER
@@ -455,11 +479,18 @@ class BoundedNedDistance:
         """Return ``(distance, tier)`` where tier is cache or exact."""
         key = self.cache_key(first, second)
         if key is not None:
-            cached = self.cache_get(key)
+            cached = self._timed("resolver.cache_lookup_seconds", self.cache_get, key)
             if cached is not None:
                 return cached, CACHE_TIER
         self.counters.exact_evaluations += 1
-        value = ted_star(first.tree, second.tree, k=self.k, backend=self.backend)
+        value = self._timed(
+            "resolver.exact_seconds",
+            ted_star,
+            first.tree,
+            second.tree,
+            k=self.k,
+            backend=self.backend,
+        )
         if key is not None:
             self.cache_put(key, value)
         return value, EXACT_TIER

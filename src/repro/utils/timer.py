@@ -1,13 +1,28 @@
-"""Lightweight wall-clock timing helpers used by the experiment harness."""
+"""Wall-clock timing helpers — the one clock every recorded number uses.
+
+``clock`` (a monotonic ``time.perf_counter``) is the single time source for
+the experiment harness, the benchmarks and the :mod:`repro.obs` spans and
+histograms; code that needs a timestamp or a duration should go through
+:class:`Timer`/:func:`time_call`/``clock`` rather than calling a ``time``
+function directly, so all recorded numbers are comparable.
+"""
 
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Tuple
+from typing import Any, Callable, Optional, Tuple
+
+#: The monotonic clock behind every Timer, span and latency histogram.
+clock = time.perf_counter
 
 
 class Timer:
     """Context manager measuring elapsed wall-clock time in seconds.
+
+    ``into`` is an optional exit hook receiving the elapsed seconds — e.g. a
+    latency histogram's ``observe`` (that is how
+    :meth:`repro.obs.metrics.MetricsRegistry.time` is built), or any other
+    sink that should see the measurement without an explicit read-back.
 
     Example
     -------
@@ -17,16 +32,19 @@ class Timer:
     True
     """
 
-    def __init__(self) -> None:
+    def __init__(self, into: Optional[Callable[[float], Any]] = None) -> None:
         self.start = 0.0
         self.elapsed = 0.0
+        self._into = into
 
     def __enter__(self) -> "Timer":
-        self.start = time.perf_counter()
+        self.start = clock()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self.elapsed = time.perf_counter() - self.start
+        self.elapsed = clock() - self.start
+        if self._into is not None:
+            self._into(self.elapsed)
 
     @property
     def elapsed_ms(self) -> float:
@@ -36,6 +54,6 @@ class Timer:
 
 def time_call(func: Callable[..., Any], *args: Any, **kwargs: Any) -> Tuple[Any, float]:
     """Call ``func`` and return ``(result, elapsed_seconds)``."""
-    start = time.perf_counter()
+    start = clock()
     result = func(*args, **kwargs)
-    return result, time.perf_counter() - start
+    return result, clock() - start
