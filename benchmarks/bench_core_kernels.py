@@ -24,6 +24,7 @@ from repro.datasets.registry import load_dataset
 from repro.index.vptree import VPTree
 from repro.matching.bipartite import resolve_backend
 from repro.matching.scipy_backend import scipy_available
+from repro.ted.batch import batch_available
 from repro.ted.ted_star import ted_star
 from repro.trees.adjacent import k_adjacent_tree
 from repro.trees.canonize import canonical_string
@@ -120,6 +121,33 @@ def kernel_backend_timings(
             elapsed=timer.elapsed,
             pairs_per_sec=pairs / timer.elapsed if timer.elapsed else None,
         )
+    if batch_available():
+        from repro.ted.batch import BatchTedKernel
+
+        kernel = BatchTedKernel()
+        # Same warmup discipline: absorb first-call costs (numpy/scipy
+        # import, first compile) outside the timed window; the per-pair
+        # rows above leave every tree canonical-cached, so all rows pay
+        # equal canonization (none).
+        kernel.ted_star_block(batch[:1], k=k)
+        with Timer() as timer:
+            values = kernel.ted_star_block(batch, k=k)
+        expected = [ted_star(left, right, k=k, backend="scipy") for left, right in batch]
+        if values != expected:
+            raise AssertionError(
+                "batch kernel diverged from the per-pair scipy path on the "
+                "benchmark workload"
+            )
+        record["backends"]["batch"] = dict(
+            elapsed=timer.elapsed,
+            pairs_per_sec=pairs / timer.elapsed if timer.elapsed else None,
+            identical_to_scipy=True,
+            batched_pairs=kernel.batched_pairs,
+            fallback_pairs=kernel.fallback_pairs,
+        )
+        scipy_row = record["backends"].get("scipy")
+        if scipy_row and timer.elapsed:
+            record["batch_speedup_vs_scipy"] = scipy_row["elapsed"] / timer.elapsed
     return record
 
 
@@ -131,6 +159,9 @@ def main(argv=None) -> int:
                         help="tiny workload for CI (seconds, not minutes)")
     parser.add_argument("--pairs", type=int, default=None,
                         help="tree pairs per backend (default: 20 with --smoke, 60 otherwise)")
+    parser.add_argument("--min-batch-speedup", type=float, default=None,
+                        help="fail unless the batch kernel beats per-pair scipy "
+                             "by at least this factor (CI gate)")
     args = parser.parse_args(argv)
     pairs = args.pairs if args.pairs is not None else (20 if args.smoke else 60)
     record = kernel_backend_timings(pairs=pairs)
@@ -141,7 +172,21 @@ def main(argv=None) -> int:
     for backend, numbers in record["backends"].items():
         print(f"  {backend:>10}: {numbers['elapsed']:.3f}s "
               f"({numbers['pairs_per_sec']:.1f} pairs/sec)")
+    speedup = record.get("batch_speedup_vs_scipy")
+    if speedup is not None:
+        print(f"  batch kernel speedup vs per-pair scipy: {speedup:.1f}x")
     print("recorded in BENCH_kernel.json")
+    if args.min_batch_speedup is not None:
+        if speedup is None:
+            print("FAIL: no batch-vs-scipy speedup was measured "
+                  "(numpy/SciPy missing?)", file=sys.stderr)
+            return 1
+        if speedup < args.min_batch_speedup:
+            print(f"FAIL: batch kernel speedup {speedup:.2f}x is below the "
+                  f"required {args.min_batch_speedup:.2f}x", file=sys.stderr)
+            return 1
+        print(f"batch speedup gate passed ({speedup:.1f}x >= "
+              f"{args.min_batch_speedup:.1f}x)")
     return 0
 
 

@@ -74,6 +74,7 @@ from repro.engine.tree_store import TreeStore
 from repro.experiments.reporting import ExperimentTable
 from repro.graph.generators import barabasi_albert_graph
 from repro.obs import MetricsRegistry, Tracer, render_metrics_summary
+from repro.ted.batch import batch_available
 from repro.ted.resolver import DEFAULT_CACHE_SIZE
 from repro.ted.ted_star import ted_star
 from repro.utils.timer import Timer
@@ -84,9 +85,20 @@ from repro.utils.timer import Timer
 # solvers may legitimately pick different optimal matchings on tie pairs.
 REFERENCE = "reference[hungarian,no-cache]"
 
-# (name, session options, matrix-plan options) per configuration.
+# Explicit cold-build comparison of the array-native batch kernel against
+# the per-pair scipy exact tier; only meaningful (and only listed) when
+# numpy/SciPy are importable — without them "serial" is already per-pair.
+PER_PAIR = "serial[per-pair]"
+
+# (name, session options, matrix-plan options) per configuration.  With the
+# batch kernel available, "serial" auto-attaches it (executor_used becomes
+# "serial[batch]") and the per-pair row pins batch=False — the value-identity
+# assertion below then re-proves batch/per-pair bit-identity on every run.
 CONFIGURATIONS: Tuple[Tuple[str, Dict[str, object], Dict[str, object]], ...] = (
     ("serial", dict(), dict(mode="exact")),
+) + ((
+    (PER_PAIR, dict(batch=False), dict(mode="exact")),
+) if batch_available() else ()) + (
     (REFERENCE, dict(backend="hungarian", cache_size=0), dict(mode="exact")),
     ("process", dict(executor="process"), dict(mode="exact")),
     ("bound-prune[level-size]",
@@ -165,6 +177,12 @@ def build_matrices(
         record["workload"] = dict(nodes=nodes, k=k, seed=seed, pairs=pair_count)
         if timings.get("serial"):
             record["speedup_exact_vs_reference"] = timings[REFERENCE] / timings["serial"]
+            if timings.get(PER_PAIR):
+                # Cold-build win of the array-native batch exact tier over
+                # the per-pair scipy path, on bit-identical matrices.
+                record["speedup_batch_vs_per_pair"] = (
+                    timings[PER_PAIR] / timings["serial"]
+                )
 
     # Range-style workloads only need entries below a radius: with a
     # threshold, the lower bound can discard pairs outright (entries become
@@ -526,6 +544,10 @@ REQUIRED_HISTOGRAMS = (
     "session.execute_batch_seconds",
     "serving.batch_size",
     "serving.tick_seconds",
+) + (
+    # The array-native exact tier's block latency — only emitted when a
+    # batch kernel is attached, i.e. when numpy/SciPy are importable.
+    ("resolver.exact_batch_seconds",) if batch_available() else ()
 )
 
 

@@ -18,7 +18,12 @@ warm piece of state:
   on by default), the cache-sidecar lifecycle (warm-if-exists at open,
   save-on-close), a pluggable matrix executor, the batched executor, and the
   asyncio serving facade.  Matrices, search engines and the metric indexes
-  are all thin consumers of a session.
+  are all thin consumers of a session.  When numpy/SciPy are available the
+  session also auto-attaches the array-native batch TED* kernel
+  (:mod:`repro.ted.batch`) — serial matrix builds, ``execute_batch`` and
+  exact-mode scans then evaluate whole pair blocks over pre-compiled
+  parent arrays, bit-identical to the per-pair scipy path (opt out with
+  ``batch=False``).
 * :mod:`repro.engine.matrix` — chunked pairwise/cross distance matrices
   (``serial`` / ``process`` / custom executors, ``bound-prune`` mode); the
   module-level functions open an ephemeral session per build.

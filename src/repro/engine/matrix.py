@@ -375,7 +375,11 @@ def build_matrix_with_resolver(
     if threshold is not None and threshold < 0:
         raise DistanceError(f"threshold must be non-negative, got {threshold}")
     executor_name = _executor_name(executor)
-    backend = resolver.backend
+    # Per-pair consumers (process workers, custom executors, the serial
+    # fallback) need a matching backend, not the resolver's exact-tier
+    # strategy: under backend="batch" this is "scipy", which the batch
+    # kernel's values realise bit for bit.
+    backend = resolver.matching_backend
     tracer = NULL_TRACER if tracer is None else tracer
 
     rows = row_store.entries()
@@ -434,10 +438,17 @@ def build_matrix_with_resolver(
     ]
     executor_used = executor_name
     if index_chunks:
-        dispatch = _make_dispatch(
-            executor, executor_name, row_store, col_store, rows, cols,
-            symmetric, k, backend, max_workers, metrics,
-        )
+        if executor_name == "serial" and resolver.batch_active:
+            # Serial builds with an attached batch kernel evaluate each
+            # chunk as one block through the array-native exact tier; the
+            # per-chunk executor telemetry is unchanged.
+            executor_used = "serial[batch]"
+            dispatch = _make_batch_dispatch(resolver, rows, cols, metrics)
+        else:
+            dispatch = _make_dispatch(
+                executor, executor_name, row_store, col_store, rows, cols,
+                symmetric, k, backend, max_workers, metrics,
+            )
         results: List[List[float]] = []
         with tracer.span(
             "matrix.exact", chunks=len(index_chunks), pairs=len(pending)
@@ -497,6 +508,35 @@ def build_matrix_with_resolver(
         executor_used=executor_used,
         stats=stats,
     )
+
+
+def _make_batch_dispatch(
+    resolver: BoundedNedDistance,
+    rows: Sequence,
+    cols: Sequence,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Callable[[List[IndexChunk]], Iterable[List[float]]]:
+    """Serial dispatch through the resolver's batch kernel, chunk by chunk.
+
+    Equivalent to the serial per-pair dispatch (same chunking, same
+    ``executor.chunk_seconds`` / ``executor.chunks`` telemetry), but each
+    chunk reaches :meth:`BoundedNedDistance.exact_many` as one block of
+    store summaries — counters and cache writes stay with the builder's
+    fill loop, exactly as on the per-pair path.
+    """
+    def run_serial_batch(index_chunks: List[IndexChunk]) -> Iterable[List[float]]:
+        for chunk in index_chunks:
+            entry_pairs = [(rows[i], cols[j]) for i, j in chunk]
+            if metrics is None:
+                yield resolver.exact_many(entry_pairs)
+                continue
+            started = clock()
+            block = resolver.exact_many(entry_pairs)
+            metrics.observe("executor.chunk_seconds", clock() - started)
+            metrics.inc("executor.chunks")
+            yield block
+
+    return run_serial_batch
 
 
 def _executor_name(executor: "str | ExecutorFn") -> str:

@@ -397,6 +397,19 @@ class NedSearchEngine:
                     for position, entry in enumerate(entries)
                 ]
 
+            # Exact mode resolves every candidate anyway (no pruning, store
+            # order), so with a batch kernel attached the whole scan goes
+            # through the resolver as one block — same cascade, same cache
+            # accounting, same values, one array-native exact call.
+            precomputed: Optional[List[float]] = None
+            if not prune and self._resolver.batch_active and len(entries) > 1:
+                precomputed = [
+                    value
+                    for value, _ in self._resolver.resolve_many(
+                        [(probe, entry) for entry in entries], bounds=False
+                    )
+                ]
+
             # Phase 2: static threshold — the count-th smallest upper bound
             # is an achievable distance, so any larger lower bound is out
             # already.
@@ -425,6 +438,8 @@ class NedSearchEngine:
                 if interval is not None and interval.exact:
                     self._resolver.record_decided(interval)
                     distance = interval.lower
+                elif precomputed is not None:
+                    distance = precomputed[position]
                 else:
                     distance = self._exact(probe, entry)
                 candidate = (distance, tie_key(position, entry.node), position, entry.node)

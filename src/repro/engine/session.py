@@ -84,6 +84,7 @@ from repro.engine.tree_store import StoredTree, TreeStore, summarize_tree
 from repro.graph.graph import Graph
 from repro.obs import MetricsRegistry, Tracer
 from repro.ted.resolver import (
+    BATCH_BACKEND,
     DEFAULT_CACHE_SIZE,
     BoundedNedDistance,
     ResolutionInterval,
@@ -276,6 +277,13 @@ class NedSession:
         process-wide registry from :func:`repro.obs.configure` when one is
         installed, else a private registry — metrics are always on;
         :meth:`metrics_snapshot` reads them back.
+    batch:
+        Array-native batch TED* kernel (:mod:`repro.ted.batch`) policy.
+        ``None`` (default) auto-attaches one when the session owns a store,
+        the backend realises scipy matching, and numpy/SciPy are available
+        — serial matrix builds, ``execute_batch`` and exact-mode scans then
+        evaluate pair *blocks* with bit-identical values.  ``True`` makes a
+        missing prerequisite an error; ``False`` opts out.
 
     Example
     -------
@@ -302,6 +310,7 @@ class NedSession:
         index_seed: int = 0,
         trace: "Union[Tracer, bool, PathLike, None]" = None,
         metrics: Optional[MetricsRegistry] = None,
+        batch: Optional[bool] = None,
     ) -> None:
         if store is None and k is None:
             raise DistanceError("a NedSession needs a store or an explicit k")
@@ -352,6 +361,8 @@ class NedSession:
             cache_size=cache_size, metrics=self.metrics,
         )
         self.tiers = self._resolver.tiers
+        self.batch = batch
+        self._configure_batch_kernel(batch)
         if self.cache_file is not None and self.cache_file.exists():
             # Adopt (not merge): the cache is empty at construction, and
             # load_cache preserves the sidecar's per-entry hit counts — so
@@ -369,6 +380,48 @@ class NedSession:
         self.batches_executed = 0
         self.batched_plans = 0
         self.deduplicated_plans = 0
+
+    def _configure_batch_kernel(self, batch: Optional[bool]) -> None:
+        """Attach the array-native batch TED* kernel when it applies.
+
+        ``batch=None`` (the default) auto-promotes: a session that owns a
+        store (the side-channel the kernel pre-compiles) and whose backend
+        realises scipy matching adopts a kernel when numpy/SciPy are
+        importable — block surfaces (matrix builds, ``resolve_many``,
+        exact-mode scans) then run array-native with bit-identical values.
+        ``batch=True`` insists (raising when the kernel cannot be value-
+        compatible or its dependencies are missing); ``batch=False`` opts
+        out entirely.
+        """
+        resolver = self._resolver
+        if batch is False:
+            if resolver.backend == BATCH_BACKEND:
+                raise DistanceError(
+                    "batch=False conflicts with backend='batch', whose exact "
+                    "tier is the batch kernel"
+                )
+            return
+        if resolver.batch_active:
+            # backend="batch" constructed its own kernel.
+            return
+        if batch is None and self.store is None:
+            return
+        from repro.ted.batch import BatchTedKernel, batch_available
+
+        if not batch_available():
+            if batch is True:
+                raise DistanceError(
+                    "batch=True needs numpy and SciPy for the array-native "
+                    "TED* kernel"
+                )
+            return
+        if not resolver.attach_batch_kernel(BatchTedKernel()):
+            if batch is True:
+                raise DistanceError(
+                    f"the batch kernel realises scipy matching, so only the "
+                    f"scipy-compatible backends can adopt it; this session "
+                    f"uses backend={resolver.backend!r}"
+                )
 
     # ---------------------------------------------------------------- factory
     @classmethod
@@ -448,6 +501,8 @@ class NedSession:
         * ``"resolution"`` — the per-tier :class:`EngineStats` counters,
         * ``"batching"`` — batch ticks / plans / dedup fan-out savings,
         * ``"cache"`` — exact-distance cache occupancy and capacity,
+        * ``"batch_kernel"`` — array-native kernel work split (blocks,
+          batched vs fallback pairs, compiled trees; only when attached),
         * ``"shards"`` — shard loads / evictions / residency (sharded
           stores only).
 
@@ -464,6 +519,14 @@ class NedSession:
             "entries": self._resolver.cache_len(),
             "capacity": self.cache_size,
         }
+        kernel = self._resolver.batch_kernel
+        if kernel is not None:
+            snapshot["batch_kernel"] = {
+                "blocks": kernel.blocks,
+                "batched_pairs": kernel.batched_pairs,
+                "fallback_pairs": kernel.fallback_pairs,
+                "compiled_trees": kernel.compiled_trees,
+            }
         store = self.store
         if isinstance(store, ShardedTreeStore):
             snapshot["shards"] = {

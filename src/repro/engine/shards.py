@@ -210,6 +210,9 @@ class ShardedTreeStore:
         self.evictions = 0
         # Optional MetricsRegistry (duck-typed); see attach_metrics.
         self.metrics = None
+        # Memoized packed parent arrays (entries are immutable on disk);
+        # built by streaming decodes that never touch the resident LRU.
+        self._packed: Optional[List[List[int]]] = None
 
     def attach_metrics(self, registry) -> None:
         """Route this store's shard traffic into a metrics registry.
@@ -233,13 +236,14 @@ class ShardedTreeStore:
         return cls(directory, max_resident=max_resident)
 
     # -------------------------------------------------------------- shard I/O
-    def _shard(self, index: int) -> List[StoredTree]:
-        """Return one shard's entries, decoding it on first touch (LRU)."""
-        resident = self._resident.get(index)
-        if resident is not None:
-            self._resident.move_to_end(index)
-            return resident
-        load_started = clock() if self.metrics is not None else 0.0
+    def _decode_shard(self, index: int) -> List[StoredTree]:
+        """Decode and validate one shard file — no LRU, counters or metrics.
+
+        This is the pure read used both by :meth:`_shard` (which adds the
+        residency bookkeeping) and by streaming consumers like
+        :meth:`packed_parent_arrays` that must not disturb the hot working
+        set.
+        """
         path = self.directory / self._shard_files[index]
         payload = _load_headered(path, _SHARD_FORMAT, "TreeStore shard")
         if payload.get("k") != self.k:
@@ -261,6 +265,16 @@ class ShardedTreeStore:
                 f"shard {path} does not match the manifest's node layout "
                 f"(truncated or stale shard file?)"
             )
+        return entries
+
+    def _shard(self, index: int) -> List[StoredTree]:
+        """Return one shard's entries, decoding it on first touch (LRU)."""
+        resident = self._resident.get(index)
+        if resident is not None:
+            self._resident.move_to_end(index)
+            return resident
+        load_started = clock() if self.metrics is not None else 0.0
+        entries = self._decode_shard(index)
         self._resident[index] = entries
         self._resident.move_to_end(index)
         self.shard_loads += 1
@@ -323,9 +337,30 @@ class ShardedTreeStore:
         """Return every entry's parent array, in build order.
 
         Same wire format as :meth:`TreeStore.packed_parent_arrays` — the
-        process-pool matrix executor ships this once per worker.
+        process-pool matrix executor ships this once per worker, and the
+        batch TED* kernel pre-compiles from the same layout.
+
+        Unlike :meth:`entries`, this *streams*: resident shards are read
+        without touching their recency, and non-resident shards are decoded
+        transiently (``shards.stream_decodes`` in the metrics) without
+        entering the LRU — packing the whole store no longer evicts the hot
+        working set or bumps ``shard_loads``/``evictions``.  The packing is
+        memoized; the outer list is a fresh copy per call and the inner
+        arrays are shared, read-only by contract.
         """
-        return [entry.tree.parent_array() for entry in self.entries()]
+        if self._packed is None:
+            packed: List[List[int]] = []
+            for index in range(self.shard_count):
+                resident = self._resident.get(index)
+                if resident is None:
+                    entries = self._decode_shard(index)
+                    if self.metrics is not None:
+                        self.metrics.inc("shards.stream_decodes")
+                else:
+                    entries = resident
+                packed.extend(entry.tree.parent_array() for entry in entries)
+            self._packed = packed
+        return list(self._packed)
 
     def subset(self, nodes: Iterable[Node]) -> TreeStore:
         """Return a dense, independent :class:`TreeStore` over ``nodes``.

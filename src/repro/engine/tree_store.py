@@ -187,6 +187,9 @@ class TreeStore:
             if entry.node in self._entries:
                 raise GraphError(f"duplicate node {entry.node!r} in TreeStore")
             self._entries[entry.node] = entry
+        # Memoized packed parent arrays; sound because entries are immutable
+        # after construction (there is no add/remove API).
+        self._packed: Optional[List[List[int]]] = None
 
     # ---------------------------------------------------------------- factory
     @classmethod
@@ -262,8 +265,18 @@ class TreeStore:
         initializer, after which chunks of bare ``(i, j)`` index pairs are
         enough to name any pair of trees — the zero-copy alternative to
         serializing parent arrays into every chunk.
+
+        The packing is memoized (entries are immutable), so one run that
+        both warms a process pool and pre-compiles the batch TED* kernel
+        walks every tree once, not once per consumer.  The outer list is a
+        fresh copy per call; the inner arrays are shared and must be
+        treated as read-only.
         """
-        return [entry.tree.parent_array() for entry in self._entries.values()]
+        if self._packed is None:
+            self._packed = [
+                entry.tree.parent_array() for entry in self._entries.values()
+            ]
+        return list(self._packed)
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -13,9 +13,20 @@
   (Section 11: GED ≤ 2·TED*, TED ≤ δ_T(W+)).
 * :mod:`repro.ted.resolver` — :class:`BoundedNedDistance`, the staged
   distance-resolution cascade consumed by the engine and the hybrid metric
-  indexes.
+  indexes; resolves pairs one at a time (:meth:`~repro.ted.resolver.
+  BoundedNedDistance.resolve`) or in blocks (:meth:`~repro.ted.resolver.
+  BoundedNedDistance.resolve_many`).
+* :mod:`repro.ted.batch` — the array-native batch TED* kernel: stores are
+  pre-compiled once into contiguous numpy arrays (per-level slices of the
+  canonical parent arrays) and many pairs are evaluated per call with
+  vectorized per-level canonization/costs and SciPy assignment — values
+  bit-identical to ``ted_star(..., backend="scipy")``, with a per-pair
+  fallback on pathological level sizes.  Needs numpy + SciPy
+  (:func:`~repro.ted.batch.batch_available`); sessions attach it
+  automatically, or pin it with ``backend="batch"``.
 """
 
+from repro.ted.batch import BatchTedKernel, CompiledTree, batch_available
 from repro.ted.ted_star import TedStarResult, ted_star, ted_star_detailed
 from repro.ted.weighted import (
     level_weighted_ted_star,
@@ -26,6 +37,7 @@ from repro.ted.exact_ted import exact_tree_edit_distance
 from repro.ted.exact_ged import exact_graph_edit_distance
 from repro.ted.bounds import ged_upper_bound_from_ted_star, ted_upper_bound_from_weighted
 from repro.ted.resolver import (
+    BATCH_BACKEND,
     BOUND_TIERS,
     TIER_CASCADE,
     BoundedNedDistance,
@@ -34,6 +46,10 @@ from repro.ted.resolver import (
 )
 
 __all__ = [
+    "BatchTedKernel",
+    "CompiledTree",
+    "batch_available",
+    "BATCH_BACKEND",
     "ted_star",
     "ted_star_detailed",
     "TedStarResult",

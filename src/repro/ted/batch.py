@@ -1,0 +1,493 @@
+"""Array-native batch TED* kernel over packed parent arrays.
+
+The per-pair kernel (:mod:`repro.ted.ted_star`) already avoids the
+algorithmic traps — AHU-canonical inputs, label-pair memoized costs, SciPy
+assignment — so the remaining cost of a cold distance-matrix build is pure
+Python-object churn: per pair, per level, it rebuilds children collections
+as sorted tuples, canonizes them through a Python sort, and broadcasts a
+``dict``-memoized cost into a list-of-lists matrix.  This module exploits
+the structure *inside* the computation instead (the way RTED's heavy-path
+decomposition does for classic TED): it pre-compiles each tree once into
+contiguous numpy arrays and evaluates **many pairs per call** with
+vectorized per-level steps.
+
+The key layout fact comes from :func:`repro.trees.canonize.canonical_form`:
+the canonical representative numbers nodes in BFS order with children
+visited contiguously, so in the canonical parent array
+
+* the nodes of depth ``d`` occupy one contiguous id range
+  (``level_starts[d] .. level_starts[d+1]``), and
+* the children of any node occupy one contiguous id range.
+
+A :class:`CompiledTree` is just those boundaries plus each node's position
+within its parent's level — enough to run Algorithm 1 without ever touching
+a :class:`~repro.trees.tree.Tree` again.  Per level the kernel then
+
+1. builds both sides' children-label *count vectors* with one ``bincount``
+   (a collection is a multiset; a count row over the alphabet of the level
+   below represents it exactly),
+2. canonizes jointly with one lexicographic ranking of the stacked rows
+   (``np.unique(..., axis=0, return_inverse=True)``),
+3. materializes the complete bipartite cost matrix as one contiguous
+   ``float64`` array via the distinct-label broadcast trick
+   (``|U_i - U_j|.sum()`` is the multiset symmetric difference, gathered
+   through the label indices), and
+4. solves it with :func:`scipy.optimize.linear_sum_assignment`, skipping
+   the solver outright when every collection on the level is identical
+   (always true on the bottom level, where children fall outside the
+   ``k``-level view).
+
+**Bit-identity.**  The batch kernel is exactly value-equal to
+``ted_star(..., backend="scipy")``, not merely close: every per-level cost
+matrix entry is a multiset symmetric-difference size, which is invariant
+under any relabeling that preserves collection equality — so ranking
+collections by count-row order instead of the per-pair ``(len, content)``
+order feeds ``linear_sum_assignment`` the *same float64 matrix*, which
+returns the same assignment, the same re-canonization, and the same
+distance, bit for bit.  The property suite asserts this over random tree
+blocks, and the engine's value-identity checks re-assert it on every CI
+smoke run.
+
+Pairs whose level sizes would make the contiguous arrays pathological
+(``max_level_cells``) fall back to the per-pair kernel pinned to the scipy
+backend — same values, bounded memory.  When numpy or SciPy are missing the
+kernel cannot be constructed at all (:func:`batch_available` is the guard);
+the resolver then stays on the per-pair path.
+
+Consumers do not call this module directly: the kernel is an exact-tier
+backend of :class:`repro.ted.resolver.BoundedNedDistance`
+(``backend="batch"``, auto-adopted by sessions when the store side-channel
+and SciPy are available), reached through ``resolve_many()`` /
+``exact_many()`` block resolution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import DistanceError
+from repro.ted.ted_star import _canonical, ted_star
+from repro.trees.tree import Tree
+from repro.utils.validation import check_positive_int
+
+#: Per-level cell budget before a pair falls back to the per-pair kernel:
+#: a level of ``n = max(size_l, size_r)`` nodes over a children alphabet of
+#: ``m`` labels stays array-native only while ``n*n`` (cost matrix) and
+#: ``n*(m+1)`` (count rows) fit the budget.  The default admits levels of
+#: ~2000 nodes (a ~32 MB float64 cost matrix) — far beyond the k-adjacent
+#: trees the engine stores — while keeping adversarial inputs bounded.
+DEFAULT_MAX_LEVEL_CELLS = 1 << 22
+
+_np = None
+_lsa = None
+_ZERO_LABELS = None  # shared length-1 zero label array (read-only by contract)
+
+
+def _load_numpy():
+    """Import numpy + SciPy's assignment solver lazily (tier-1 runs without)."""
+    global _np, _lsa, _ZERO_LABELS
+    if _np is None:
+        import numpy
+
+        from scipy.optimize import linear_sum_assignment
+
+        _np = numpy
+        _lsa = linear_sum_assignment
+        _ZERO_LABELS = numpy.zeros(1, dtype=numpy.int64)
+    return _np
+
+
+def batch_available() -> bool:
+    """True when numpy and SciPy are importable, i.e. the kernel can run."""
+    try:
+        _load_numpy()
+    except ImportError:
+        return False
+    return True
+
+
+class CompiledTree:
+    """One tree pre-compiled into the contiguous arrays the kernel consumes.
+
+    Built from the AHU-canonical parent array, whose BFS numbering makes
+    both levels and sibling groups contiguous id ranges:
+
+    * ``level_starts[d] .. level_starts[d+1]`` are the nodes of depth ``d``
+      (``level_sizes`` is the diff),
+    * ``parent_pos[v]`` is the position of ``v``'s parent *within its own
+      level* — the row index of ``v``'s contribution to the parent level's
+      children count matrix.
+
+    ``key`` is the per-pair kernel's ``_normalise_order`` sort key, so the
+    batch kernel orients every pair exactly as ``ted_star`` would.
+    """
+
+    __slots__ = ("signature", "size", "height", "level_starts", "level_sizes",
+                 "parent_pos", "key")
+
+    def __init__(self, parents: Sequence[int], signature: str) -> None:
+        np = _load_numpy()
+        par = np.asarray(parents, dtype=np.int64)
+        size = int(par.shape[0])
+        if size > 1 and bool((np.diff(par[1:]) < 0).any()):
+            raise DistanceError(
+                "CompiledTree expects a canonical (BFS-ordered) parent array; "
+                "compile through BatchTedKernel.compile, which canonicalizes"
+            )
+        counts = (
+            np.bincount(par[1:], minlength=size)
+            if size > 1
+            else np.zeros(size, dtype=np.int64)
+        )
+        # child_starts[v] = first child id of node v (= 1 + children of all
+        # earlier nodes); in BFS order, child_starts[end of level d] is the
+        # end of level d+1 — which is how the level boundaries fall out.
+        child_starts = np.ones(size + 1, dtype=np.int64)
+        np.cumsum(counts, out=child_starts[1:])
+        child_starts[1:] += 1
+        starts = [0, 1]
+        while starts[-1] < size:
+            starts.append(int(child_starts[starts[-1]]))
+        self.level_starts = np.asarray(starts, dtype=np.int64)
+        self.level_sizes = np.diff(self.level_starts)
+        self.size = size
+        self.height = len(starts) - 2
+        self.signature = signature
+        self.key = (size, self.height, signature)
+        depth = np.empty(size, dtype=np.int64)
+        for d in range(len(starts) - 1):
+            depth[starts[d]:starts[d + 1]] = d
+        parent_pos = np.zeros(size, dtype=np.int64)
+        if size > 1:
+            parent_pos[1:] = par[1:] - self.level_starts[depth[1:] - 1]
+        self.parent_pos = parent_pos
+
+    def level_size(self, depth: int) -> int:
+        """Nodes at ``depth`` (0 beyond the height)."""
+        if depth > self.height:
+            return 0
+        return int(self.level_sizes[depth])
+
+    def level_parent_positions(self, depth: int):
+        """``parent_pos`` slice of the nodes at ``depth`` (a view)."""
+        return self.parent_pos[self.level_starts[depth]:self.level_starts[depth + 1]]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledTree(size={self.size}, height={self.height})"
+
+
+class BatchTedKernel:
+    """Evaluate blocks of TED* pairs over pre-compiled tree arrays.
+
+    One kernel instance memoizes compiled trees by canonical signature
+    (unbounded — a compiled tree is a few small arrays), so a store is
+    compiled at most once per session regardless of how many blocks touch
+    it; :meth:`precompile_store` does it eagerly for benchmarks and warm
+    process starts.  ``blocks`` / ``batched_pairs`` / ``fallback_pairs``
+    count the work split between the array path and the per-pair fallback
+    (sessions surface them via ``metrics_snapshot()['batch_kernel']``).
+    """
+
+    def __init__(self, max_level_cells: int = DEFAULT_MAX_LEVEL_CELLS) -> None:
+        if not batch_available():
+            raise DistanceError(
+                "the batch TED* kernel needs numpy and SciPy "
+                "(pip install numpy scipy), or use the per-pair backends"
+            )
+        check_positive_int(max_level_cells, "max_level_cells")
+        self.max_level_cells = max_level_cells
+        self._compiled: Dict[str, CompiledTree] = {}
+        self.blocks = 0
+        self.batched_pairs = 0
+        self.fallback_pairs = 0
+
+    # ------------------------------------------------------------ compilation
+    @property
+    def compiled_trees(self) -> int:
+        """Distinct isomorphism classes compiled so far."""
+        return len(self._compiled)
+
+    def compile(self, tree: Tree, signature: Optional[str] = None) -> CompiledTree:
+        """Return (and memoize) the compiled form of ``tree``.
+
+        Canonicalization is shared with the per-pair kernel's weak cache, so
+        trees already touched by ``ted_star`` compile without re-deriving
+        their canonical form.  ``signature`` (e.g. from a
+        :class:`~repro.engine.tree_store.StoredTree`) is only a memo key
+        hint; the canonical form is authoritative.
+        """
+        if signature is not None:
+            cached = self._compiled.get(signature)
+            if cached is not None:
+                return cached
+        canonical, canonical_signature = _canonical(tree)
+        cached = self._compiled.get(canonical_signature)
+        if cached is None:
+            cached = CompiledTree(canonical.parent_array(), canonical_signature)
+            self._compiled[canonical_signature] = cached
+        return cached
+
+    def precompile_store(self, store) -> int:
+        """Compile every entry of a tree store; returns the entry count.
+
+        ``store`` is duck-typed (``entries()`` yielding objects with
+        ``.tree`` / ``.signature`` — both :class:`~repro.engine.tree_store.
+        TreeStore` and :class:`~repro.engine.shards.ShardedTreeStore` fit).
+        """
+        entries = store.entries()
+        for entry in entries:
+            self.compile(entry.tree, entry.signature)
+        return len(entries)
+
+    # ------------------------------------------------------- block evaluation
+    def ted_star_block(self, pairs: Sequence[Tuple[object, object]], k: int) -> List[float]:
+        """Return ``[ted_star(a, b, k, backend="scipy"), ...]`` for ``pairs``.
+
+        Each pair element is a :class:`~repro.trees.tree.Tree` or any
+        summary carrying ``.tree`` (and optionally ``.signature``).  Values
+        are bit-identical to the per-pair scipy path; pairs whose level
+        sizes exceed ``max_level_cells`` are evaluated through it directly.
+        """
+        check_positive_int(k, "k")
+        self.blocks += 1
+        values: List[float] = []
+        for first, second in pairs:
+            tree_a, sig_a = _tree_and_signature(first)
+            tree_b, sig_b = _tree_and_signature(second)
+            left = self.compile(tree_a, sig_a)
+            right = self.compile(tree_b, sig_b)
+            if self._eligible(left, right, k):
+                self.batched_pairs += 1
+                values.append(self._evaluate_pair(left, right, k))
+            else:
+                self.fallback_pairs += 1
+                values.append(ted_star(tree_a, tree_b, k=k, backend="scipy"))
+        return values
+
+    def _eligible(self, left: CompiledTree, right: CompiledTree, k: int) -> bool:
+        """Level-size screen: do the per-level arrays fit the cell budget?"""
+        budget = self.max_level_cells
+        for depth in range(k):
+            n = max(left.level_size(depth), right.level_size(depth))
+            if depth + 1 < k:
+                below = left.level_size(depth + 1) + right.level_size(depth + 1)
+            else:
+                below = 0
+            if n * max(n, 2 * below + 1) > budget:
+                return False
+        return True
+
+    def _evaluate_pair(self, left: CompiledTree, right: CompiledTree, k: int) -> float:
+        """One pair through the vectorized Algorithm 1 (see module docstring).
+
+        Mirrors ``ted_star_detailed`` step for step: same pair orientation,
+        same padding, the same float64 cost matrices (hence the same scipy
+        assignments), the same re-canonization and the same clamp.
+        """
+        np = _np
+        if right.key < left.key:
+            left, right = right, left
+        if left.signature == right.signature:
+            return 0.0
+        total = 0.0
+        padding_below = 0
+        labels_left = labels_right = None  # final labels of the level below
+        alphabet = 0  # distinct labels of the level below
+        for depth in range(k - 1, -1, -1):
+            size_left = left.level_size(depth)
+            size_right = right.level_size(depth)
+            if size_left == 0 and size_right == 0:
+                # Deeper than both trees: levels are contiguous, so nothing
+                # below this depth existed either (padding_below is 0).
+                continue
+            n = max(size_left, size_right)
+            padding_cost = abs(size_left - size_right)
+            # Children-label count rows; children are only visible while the
+            # level below is inside the k-level view (LevelView truncation).
+            if depth + 1 >= k:
+                below_left = below_right = None
+            else:
+                below_left, below_right = labels_left, labels_right
+            if n == 1:
+                # Singleton level (always the root, often the top of narrow
+                # trees): the 1x1 assignment cost is just the symmetric
+                # difference of the two collections, and the matched pair
+                # ends up sharing one label — no ranking, no solver.
+                total += padding_cost + _singleton_level_cost(
+                    np, alphabet, below_left, below_right, padding_below
+                )
+                labels_left = _ZERO_LABELS[:size_left]
+                labels_right = _ZERO_LABELS[:size_right]
+                alphabet = 1
+                padding_below = padding_cost
+                continue
+            stacked = _stacked_level_counts(
+                np, left, right, depth, n, alphabet, below_left, below_right
+            )
+            uniques, labels = _rank_rows(np, stacked, alphabet)
+            canon_left = labels[:n]
+            canon_right = labels[n:]
+            distinct = int(uniques.shape[0])
+            if distinct <= 1:
+                # Every collection on the level is identical (always true on
+                # the bottom level): the cost matrix is all zeros, so the
+                # matching cost clamps to 0 and re-canonization is a no-op.
+                matching_cost = 0.0
+                final_left, final_right = canon_left, canon_right
+            else:
+                diff = _distinct_label_costs(np, uniques, self.max_level_cells)
+                cost = diff[canon_left[:, None], canon_right[None, :]]
+                rows, cols = _lsa(cost)
+                bipartite = float(cost[rows, cols].sum())
+                matching_cost = (bipartite - padding_below) / 2.0
+                if matching_cost < 0.0:
+                    matching_cost = 0.0
+                # Re-canonization: the padded (smaller-or-equal-by-order)
+                # side adopts the matched partner's label, exactly as the
+                # per-pair kernel does (rows come back as arange(n)).
+                if size_left < size_right:
+                    final_left = canon_right[cols]
+                    final_right = canon_right
+                else:
+                    final_right = np.empty(n, dtype=labels.dtype)
+                    final_right[cols] = canon_left
+                    final_left = canon_left
+            labels_left = final_left[:size_left]
+            labels_right = final_right[:size_right]
+            alphabet = distinct
+            padding_below = padding_cost
+            total += padding_cost + matching_cost
+        return float(total)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BatchTedKernel(compiled={len(self._compiled)}, "
+            f"batched={self.batched_pairs}, fallback={self.fallback_pairs})"
+        )
+
+
+def _tree_and_signature(obj) -> Tuple[Tree, Optional[str]]:
+    """Accept a Tree or a StoredTree-style summary; return (tree, signature)."""
+    tree = getattr(obj, "tree", obj)
+    if not isinstance(tree, Tree):
+        raise DistanceError(
+            f"batch kernel pairs must be Trees or summaries with .tree, "
+            f"got {type(obj).__name__}"
+        )
+    return tree, getattr(obj, "signature", None)
+
+
+def _stacked_level_counts(np, left: CompiledTree, right: CompiledTree,
+                          depth: int, n: int, alphabet: int,
+                          below_left, below_right):
+    """Both sides' children-label count matrices, stacked into one (2n, m).
+
+    Row ``i`` is left node position ``i``'s collection, row ``n + j`` is
+    right position ``j``'s; padded nodes are all-zero rows — the empty
+    collections the per-pair kernel appends.  One flat ``bincount`` over
+    both sides builds the whole thing: each child at the level below
+    contributes 1 at ``(side offset + parent position, child label)``.
+    """
+    if alphabet == 0:
+        return np.zeros((2 * n, 0), dtype=np.int64)
+    parts = []
+    if below_left is not None and below_left.size:
+        parts.append(left.level_parent_positions(depth + 1) * alphabet + below_left)
+    if below_right is not None and below_right.size:
+        parts.append(
+            (right.level_parent_positions(depth + 1) + n) * alphabet + below_right
+        )
+    if not parts:
+        return np.zeros((2 * n, alphabet), dtype=np.int64)
+    flat = parts[0] if len(parts) == 1 else np.concatenate(parts)
+    return np.bincount(flat, minlength=2 * n * alphabet).reshape(2 * n, alphabet)
+
+
+def _rank_rows(np, stacked, alphabet: int):
+    """Joint canonization: rank the stacked count rows lexicographically.
+
+    Returns ``(uniques, labels)`` with ``uniques[labels[i]] == stacked[i]``
+    — the same contract as ``np.unique(..., axis=0, return_inverse=True)``
+    but via ``lexsort``/``argsort`` + run-boundary scan, which skips the
+    structured-dtype machinery that dominates the profile on small levels.
+    Label *values* differ from the per-pair kernel's ``(len, content)``
+    ranking, which is fine: symmetric-difference costs are invariant under
+    any relabeling that preserves collection equality.
+    """
+    rows = stacked.shape[0]
+    if alphabet == 0:
+        return np.zeros((1, 0), dtype=np.int64), np.zeros(rows, dtype=np.int64)
+    if alphabet == 1:
+        # 1-D values (plain child counts): rank through a bincount remap
+        # instead of a sort.
+        column = stacked[:, 0]
+        present = np.bincount(column) > 0
+        remap = np.cumsum(present) - 1
+        labels = remap[column]
+        uniques = np.nonzero(present)[0].reshape(-1, 1)
+        return uniques, labels
+    order = np.lexsort(stacked.T[::-1])
+    ordered = stacked[order]
+    boundaries = np.empty(rows, dtype=bool)
+    boundaries[0] = True
+    (ordered[1:] != ordered[:-1]).any(axis=1, out=boundaries[1:])
+    ranks = np.cumsum(boundaries) - 1
+    labels = np.empty(rows, dtype=np.int64)
+    labels[order] = ranks
+    return ordered[boundaries], labels
+
+
+def _singleton_level_cost(np, alphabet: int, below_left, below_right,
+                          padding_below: int) -> float:
+    """Matching cost of an ``n == 1`` level (root and narrow-top levels).
+
+    The 1x1 assignment's cost is exactly the symmetric difference of the
+    two collections, so the solver and the ranking both collapse away:
+    ``max(0, (|counts_l - counts_r|.sum() - padding_below) / 2)``.
+    """
+    if alphabet == 0:
+        return 0.0
+    counts_left = (
+        np.bincount(below_left, minlength=alphabet)
+        if below_left is not None and below_left.size
+        else None
+    )
+    counts_right = (
+        np.bincount(below_right, minlength=alphabet)
+        if below_right is not None and below_right.size
+        else None
+    )
+    if counts_left is None and counts_right is None:
+        return 0.0
+    if counts_left is None:
+        symdiff = int(counts_right.sum())
+    elif counts_right is None:
+        symdiff = int(counts_left.sum())
+    else:
+        symdiff = int(np.abs(counts_left - counts_right).sum())
+    matching_cost = (symdiff - padding_below) / 2.0
+    return matching_cost if matching_cost > 0.0 else 0.0
+
+
+def _distinct_label_costs(np, uniques, budget: int):
+    """Pairwise multiset symmetric differences of the distinct count rows.
+
+    ``|U_i - U_j|.sum()`` over count vectors *is* the symmetric-difference
+    size; float64 output feeds the assignment solver exactly what the
+    per-pair path's ``np.asarray(cost, dtype=float)`` would.  The broadcast
+    temporary is ``d × d × m``; rows are chunked so it never exceeds the
+    kernel's cell budget (chunking is value-exact).
+    """
+    d, m = uniques.shape
+    if d * d * m <= budget:
+        return np.abs(uniques[:, None, :] - uniques[None, :, :]).sum(
+            axis=2, dtype=np.float64
+        )
+    diff = np.empty((d, d), dtype=np.float64)
+    step = max(1, budget // (d * max(m, 1)))
+    for start in range(0, d, step):
+        stop = min(d, start + step)
+        diff[start:stop] = np.abs(
+            uniques[start:stop, None, :] - uniques[None, :, :]
+        ).sum(axis=2, dtype=np.float64)
+    return diff

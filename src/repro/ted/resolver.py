@@ -65,6 +65,12 @@ CACHE_TIER = "cache"
 EXACT_TIER = "exact"
 NO_TIER = "none"
 
+#: Exact-tier backend that evaluates pair *blocks* through the array-native
+#: kernel (:mod:`repro.ted.batch`); values are bit-identical to
+#: ``backend="scipy"``, so it shares scipy's matching semantics everywhere a
+#: backend string selects tie-break behaviour.
+BATCH_BACKEND = "batch"
+
 #: Cheap tiers, in cascade order (exact is always the implicit last resort).
 BOUND_TIERS = (SIGNATURE_TIER, LEVEL_SIZE_TIER, DEGREE_TIER)
 #: The full resolution cascade.  The cache tier sits between the bound tiers
@@ -194,7 +200,11 @@ class BoundedNedDistance:
         Number of tree levels compared (must match the summaries' ``k``).
     backend:
         Bipartite matching backend forwarded to exact TED* (``"auto"``
-        picks SciPy when available).
+        picks SciPy when available).  ``"batch"`` selects the array-native
+        block kernel (:mod:`repro.ted.batch`) for the exact tier — values
+        stay bit-identical to scipy's (see :attr:`matching_backend`), and
+        sessions attach the same kernel automatically under ``"auto"`` when
+        the store side-channel and SciPy are available.
     tiers:
         Which cheap tiers to run, any subset of :data:`BOUND_TIERS`; order is
         normalised to cascade order.  ``None`` enables all of them.  The
@@ -253,6 +263,162 @@ class BoundedNedDistance:
         # Lifetime lookup hits per resident entry; persisted in the sidecar
         # (format v2) so a later overflowing load keeps the hottest entries.
         self._cache_uses: Dict[Tuple[str, str], int] = {}
+        self._batch_kernel = None
+        if backend == BATCH_BACKEND:
+            from repro.ted.batch import BatchTedKernel, batch_available
+
+            if not batch_available():
+                raise DistanceError(
+                    "backend='batch' needs numpy and SciPy for the array-native "
+                    "TED* kernel; use backend='auto' to fall back gracefully"
+                )
+            self._batch_kernel = BatchTedKernel()
+
+    # ----------------------------------------------------------- batch kernel
+    @property
+    def matching_backend(self) -> str:
+        """The per-pair matching backend this resolver's values realise.
+
+        ``"batch"`` is an exact-*tier* strategy, not a matching strategy: its
+        values are bit-identical to scipy's, so consumers that forward a
+        backend string to per-pair code (process-pool workers, sidecar
+        warmup, the fallback path) must use this instead of ``backend``.
+        """
+        return "scipy" if self.backend == BATCH_BACKEND else self.backend
+
+    @property
+    def batch_active(self) -> bool:
+        """True when blocks are evaluated by the array-native kernel."""
+        return self._batch_kernel is not None
+
+    @property
+    def batch_kernel(self):
+        """The attached :class:`repro.ted.batch.BatchTedKernel`, if any."""
+        return self._batch_kernel
+
+    def attach_batch_kernel(self, kernel) -> bool:
+        """Adopt an array-native batch kernel for block evaluation.
+
+        Returns True when the kernel was attached.  Attachment is refused
+        (False) when it could change values: the kernel realises scipy's
+        matching semantics, so only the scipy-compatible backends
+        (``"auto"`` resolving to scipy, ``"scipy"``, ``"batch"``) may adopt
+        it, and only when numpy/SciPy are importable.  Passing ``None``
+        detaches — except under ``backend="batch"``, whose contract *is* the
+        kernel.
+        """
+        if kernel is None:
+            if self.backend == BATCH_BACKEND:
+                raise DistanceError(
+                    "backend='batch' requires its batch kernel; construct a "
+                    "resolver with a per-pair backend instead of detaching"
+                )
+            self._batch_kernel = None
+            return False
+        if self.backend not in ("auto", "scipy", BATCH_BACKEND):
+            return False
+        from repro.ted.batch import batch_available
+
+        if not batch_available():
+            return False
+        self._batch_kernel = kernel
+        return True
+
+    def exact_many(self, pairs: Sequence[Tuple[object, object]]) -> List[float]:
+        """Evaluate a block of pairs on the raw exact tier.
+
+        No cache lookups, no counters — this is the block-shaped equivalent
+        of calling ``ted_star`` directly; callers own the bookkeeping (as
+        the matrix builder does).  With a batch kernel attached the whole
+        block goes through the array-native path (latency recorded in the
+        ``resolver.exact_batch_seconds`` histogram); otherwise it degrades
+        to a per-pair loop on :attr:`matching_backend`.
+        """
+        if not pairs:
+            return []
+        kernel = self._batch_kernel
+        if kernel is None:
+            backend = self.matching_backend
+            return [
+                ted_star(first.tree, second.tree, k=self.k, backend=backend)
+                for first, second in pairs
+            ]
+        if self.metrics is None:
+            return kernel.ted_star_block(pairs, k=self.k)
+        started = clock()
+        values = kernel.ted_star_block(pairs, k=self.k)
+        self.metrics.observe("resolver.exact_batch_seconds", clock() - started)
+        return values
+
+    def resolve_many(
+        self,
+        pairs: Sequence[Tuple[object, object]],
+        threshold: Optional[float] = None,
+        bounds: bool = True,
+    ) -> List[Tuple[Optional[float], ResolutionInterval]]:
+        """Run the cascade over a block of pairs, batching the exact tier.
+
+        Counter-for-counter equivalent to calling :meth:`resolve` (or, with
+        ``bounds=False``, :meth:`exact`) per pair in order, with one
+        deliberate refinement shared with the matrix builder: pairs whose
+        cache key repeats *within the block* are deduplicated — the first
+        occurrence pays the exact evaluation and followers are counted as
+        cache hits, exactly as they would be had the pairs been resolved
+        sequentially.  The surviving distinct pairs are evaluated as one
+        block via :meth:`exact_many`, which is where an attached batch
+        kernel pays off.
+        """
+        results: List[Optional[float]] = [None] * len(pairs)
+        intervals: List[Optional[ResolutionInterval]] = [None] * len(pairs)
+        pending: List[int] = []
+        pending_keys: List[Optional[Tuple[str, str]]] = []
+        owners: Dict[Tuple[str, str], int] = {}
+        followers: Dict[int, List[int]] = {}
+        for index, (first, second) in enumerate(pairs):
+            if bounds:
+                interval = self.bounds(first, second)
+                if threshold is not None and interval.excludes(threshold):
+                    self.record_pruned(interval)
+                    intervals[index] = interval
+                    continue
+                if interval.exact:
+                    self.record_decided(interval)
+                    results[index] = interval.lower
+                    intervals[index] = interval
+                    continue
+            key = self.cache_key(first, second)
+            if key is not None:
+                owner = owners.get(key)
+                if owner is not None:
+                    # Deferred hit: sequential resolution would find the
+                    # owner's freshly cached value here.
+                    self.counters.cache_hits += 1
+                    followers.setdefault(owner, []).append(index)
+                    continue
+                cached = self._timed(
+                    "resolver.cache_lookup_seconds", self.cache_get, key
+                )
+                if cached is not None:
+                    results[index] = cached
+                    intervals[index] = ResolutionInterval(cached, cached, CACHE_TIER)
+                    continue
+                owners[key] = len(pending)
+            pending.append(index)
+            pending_keys.append(key)
+        if pending:
+            values = self.exact_many([pairs[index] for index in pending])
+            self.counters.exact_evaluations += len(pending)
+            for slot, index in enumerate(pending):
+                value = values[slot]
+                key = pending_keys[slot]
+                if key is not None:
+                    self.cache_put(key, value)
+                results[index] = value
+                intervals[index] = ResolutionInterval(value, value, EXACT_TIER)
+                for follower in followers.get(slot, ()):
+                    results[follower] = value
+                    intervals[follower] = ResolutionInterval(value, value, CACHE_TIER)
+        return list(zip(results, intervals))
 
     # ------------------------------------------------------------ bound tiers
     def _timed(self, name: str, func, *args, **kwargs):
@@ -352,9 +518,11 @@ class BoundedNedDistance:
         """Persist the exact-distance cache as a sidecar file at ``path``.
 
         The sidecar records the resolver's ``k`` (distances are only
-        comparable at equal ``k``) and ``backend`` (tie pairs may admit
-        several optimal matchings, so values are only guaranteed reproducible
-        under the backend that produced them) next to the signature-keyed
+        comparable at equal ``k``) and :attr:`matching_backend` (tie pairs
+        may admit several optimal matchings, so values are only guaranteed
+        reproducible under the matching semantics that produced them —
+        ``backend="batch"`` realises scipy's, so its sidecars interoperate
+        with ``backend="scipy"`` resolvers) next to the signature-keyed
         entries, in LRU order (oldest first), each with its lifetime hit
         count (format v2).  Returns the number of entries written.  A sweep
         writes the sidecar once at the end of a run; the next process
@@ -369,7 +537,7 @@ class BoundedNedDistance:
             "format": _CACHE_FORMAT,
             "version": _CACHE_VERSION,
             "k": self.k,
-            "backend": self.backend,
+            "backend": self.matching_backend,
             "entries": entries,
         }
         atomic_pickle_dump(payload, Path(path))
@@ -384,12 +552,13 @@ class BoundedNedDistance:
                 f"but this resolver compares k={self.k} levels; the cached distances "
                 f"are not comparable"
             )
-        if backend != self.backend:
+        if backend != self.matching_backend:
             raise DistanceError(
                 f"distance-cache sidecar {path} was written with backend="
-                f"{backend!r}, but this resolver uses backend={self.backend!r}; "
-                f"tie pairs may admit several optimal matchings, so cached values are "
-                f"only reproducible under the backend that produced them"
+                f"{backend!r}, but this resolver's values realise backend="
+                f"{self.matching_backend!r}; tie pairs may admit several optimal "
+                f"matchings, so cached values are only reproducible under the "
+                f"matching semantics that produced them"
             )
         return entries
 
@@ -442,10 +611,11 @@ class BoundedNedDistance:
                     f"cannot warm from a resolver with k={source.k}; this resolver "
                     f"compares k={self.k} levels"
                 )
-            if source.backend != self.backend:
+            if source.matching_backend != self.matching_backend:
                 raise DistanceError(
-                    f"cannot warm from a resolver with backend={source.backend!r}; "
-                    f"this resolver uses backend={self.backend!r}"
+                    f"cannot warm from a resolver whose values realise backend="
+                    f"{source.matching_backend!r}; this resolver's realise "
+                    f"backend={self.matching_backend!r}"
                 )
             incoming = [
                 (a, b, value, source._cache_uses.get((a, b), 0))
@@ -489,7 +659,7 @@ class BoundedNedDistance:
             first.tree,
             second.tree,
             k=self.k,
-            backend=self.backend,
+            backend=self.matching_backend,
         )
         if key is not None:
             self.cache_put(key, value)

@@ -625,3 +625,60 @@ class TestWarmFromHitSemantics:
         # The base entry's single hit is counted once (from the base sidecar
         # itself), not once per warmed worker.
         assert by_key[base_key] == 1
+
+
+class TestPackedParentStreaming:
+    """packed_parent_arrays() must not disturb the shard working set.
+
+    The batch TED* kernel (and the process-pool initializer) pull the whole
+    store's parent arrays once; before the streaming path this evicted the
+    query working set of a small-``max_resident`` store and double-counted
+    as shard churn.
+    """
+
+    def test_streaming_leaves_lru_counters_and_order_untouched(self, dense, tmp_path):
+        save_sharded(dense, tmp_path / "s", shards=5)
+        store = ShardedTreeStore.load(tmp_path / "s", max_resident=2)
+        nodes = store.nodes()
+        # Warm two shards through real queries, then note the LRU state.
+        store.entry(nodes[0])
+        store.entry(nodes[-1])
+        loads = store.shard_loads
+        evictions = store.evictions
+        resident = list(store._resident)
+
+        packed = store.packed_parent_arrays()
+
+        assert store.shard_loads == loads
+        assert store.evictions == evictions
+        assert list(store._resident) == resident
+        assert packed == dense.packed_parent_arrays()
+
+    def test_streaming_decodes_are_metered_not_counted_as_loads(self, dense, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        save_sharded(dense, tmp_path / "s", shards=5)
+        store = ShardedTreeStore.load(tmp_path / "s", max_resident=2)
+        metrics = MetricsRegistry()
+        store.attach_metrics(metrics)
+        store.entry(store.nodes()[0])  # one genuinely resident shard
+        store.packed_parent_arrays()
+        counters = metrics.snapshot()["counters"]
+        assert counters.get("shards.loads") == 1
+        # The other four shards were decoded transiently, not loaded.
+        assert counters.get("shards.stream_decodes") == 4
+
+    def test_sharded_packing_memoized(self, dense, tmp_path):
+        save_sharded(dense, tmp_path / "s", shards=5)
+        store = ShardedTreeStore.load(tmp_path / "s", max_resident=2)
+        first = store.packed_parent_arrays()
+        second = store.packed_parent_arrays()
+        assert first is not second  # fresh outer list per call
+        assert all(a is b for a, b in zip(first, second))  # shared inner arrays
+
+    def test_dense_packing_memoized(self, dense):
+        first = dense.packed_parent_arrays()
+        second = dense.packed_parent_arrays()
+        assert first == [entry.tree.parent_array() for entry in dense.entries()]
+        assert first is not second
+        assert all(a is b for a, b in zip(first, second))
