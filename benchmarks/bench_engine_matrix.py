@@ -731,6 +731,141 @@ def observability_workload(
     return table
 
 
+def _resilience_pass(
+    base: Path,
+    label: str,
+    resilience,
+    nodes: int,
+    k: int,
+    seed: int,
+    neighbors: int,
+) -> dict:
+    """One engine pass with the resilience layer on or off (no faults).
+
+    Same shape as the observability pass: sharded store with evictions, a
+    sidecar, a deduplicating batch and a bound-pruned matrix — the layers
+    the resilience policy instruments (shard decodes, sidecar load/save,
+    breaker-guarded exact tiers) all run.
+    """
+    graph = barabasi_albert_graph(nodes, 2, seed=seed)
+    store_dir = base / label
+    save_sharded(TreeStore.from_graph(graph, k), store_dir, shards=6)
+    cache_file = base / f"{label}.ned"
+    registry = MetricsRegistry()
+
+    store = ShardedTreeStore.load(store_dir, max_resident=2)
+    with Timer() as timer:
+        with NedSession(store, cache_file=cache_file, metrics=registry,
+                        resilience=resilience) as session:
+            probes = [session.probe(graph, node) for node in graph.nodes()]
+            pool = probes[:16]
+            plans = [KnnPlan(pool[i % len(pool)], neighbors) for i in range(32)]
+            answers = session.execute_batch(plans)
+            matrix = session.pairwise_matrix(mode="bound-prune")
+            snapshot = session.metrics_snapshot()
+    return dict(
+        elapsed=timer.elapsed,
+        matrix_digest=_values_digest(matrix.values),
+        knn_digest=_knn_digest(answers),
+        snapshot=snapshot,
+    )
+
+
+def resilience_overhead_workload(
+    nodes: int = 40,
+    k: int = 3,
+    seed: int = 5,
+    neighbors: int = 5,
+    rounds: int = 3,
+    max_overhead_pct: Optional[float] = None,
+    record: Optional[dict] = None,
+) -> ExperimentTable:
+    """Resilience-on vs resilience-off engine pass: identical bits, bounded cost.
+
+    With no :class:`~repro.resilience.FaultPlan` installed, the default
+    policy's retries/breakers/policy checks must change nothing — every
+    digest is asserted identical — and cost at most ``max_overhead_pct``
+    extra wall time (min-of-rounds, variants interleaved so machine drift
+    hits both equally).  The guarded pass's
+    ``metrics_snapshot()["resilience"]`` section is asserted all-zero: no
+    fault plan means no retries, no degrades, no shed requests.
+    """
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    passes: Dict[str, list] = {"baseline": [], "guarded": []}
+    with tempfile.TemporaryDirectory() as tmp:
+        base = Path(tmp)
+        for round_index in range(rounds):
+            passes["baseline"].append(_resilience_pass(
+                base, f"baseline-{round_index}", False, nodes, k, seed, neighbors,
+            ))
+            passes["guarded"].append(_resilience_pass(
+                base, f"guarded-{round_index}", None, nodes, k, seed, neighbors,
+            ))
+
+    reference = passes["baseline"][0]
+    for variant, runs in passes.items():
+        for run in runs:
+            for key in ("matrix_digest", "knn_digest"):
+                if run[key] != reference[key]:
+                    raise AssertionError(
+                        f"{variant} pass {key} differs from the baseline: the "
+                        f"resilience layer must not change a single bit"
+                    )
+
+    section = passes["guarded"][-1]["snapshot"]["resilience"]
+    if not section["enabled"]:
+        raise AssertionError("guarded pass did not run with resilience enabled")
+    for key in ("retries", "faults_injected", "degrades", "shed_requests",
+                "deadline_exceeded", "retry_exhausted"):
+        if section[key]:
+            raise AssertionError(
+                f"healthy run recorded resilience.{key}={section[key]}; "
+                f"expected zero without a FaultPlan"
+            )
+
+    baseline_time = min(run["elapsed"] for run in passes["baseline"])
+    guarded_time = min(run["elapsed"] for run in passes["guarded"])
+    overhead_pct = (
+        (guarded_time - baseline_time) / baseline_time * 100.0
+        if baseline_time else 0.0
+    )
+    if max_overhead_pct is not None and overhead_pct > max_overhead_pct:
+        raise AssertionError(
+            f"resilience overhead {overhead_pct:.2f}% exceeds the "
+            f"{max_overhead_pct:g}% budget "
+            f"(baseline {baseline_time:.3f}s, guarded {guarded_time:.3f}s)"
+        )
+
+    table = ExperimentTable(
+        title=(
+            f"Resilience: guarded vs unguarded engine pass "
+            f"({nodes} nodes, k={k})"
+        ),
+        columns=["variant", "best_time", "overhead_pct"],
+        notes=[
+            "identical matrix/kNN digests on every pass",
+            f"min of {rounds} interleaved round(s) per variant; no FaultPlan",
+        ],
+    )
+    table.add_row(variant="resilience=False", best_time=baseline_time,
+                  overhead_pct=0.0)
+    table.add_row(variant="default policy", best_time=guarded_time,
+                  overhead_pct=overhead_pct)
+
+    if record is not None:
+        record["workload"] = dict(
+            nodes=nodes, k=k, seed=seed, neighbors=neighbors, rounds=rounds
+        )
+        record["identical_guarded_unguarded"] = True
+        record["baseline_time"] = baseline_time
+        record["guarded_time"] = guarded_time
+        record["overhead_pct"] = overhead_pct
+        record["max_overhead_pct"] = max_overhead_pct
+        record["resilience_section"] = section
+    return table
+
+
 def test_persistence_round_trip(benchmark):
     """Warm run: 0 exact evaluations, identical results, recorded speedup."""
     from _bench_utils import emit_table
@@ -844,6 +979,10 @@ def main(argv=None) -> int:
                         help="run only the traced-vs-untraced observability "
                         "workload (the CI observability job) and record the "
                         "'observability' section of BENCH_kernel.json")
+    parser.add_argument("--resilience", action="store_true",
+                        help="run only the resilience-overhead workload "
+                        "(guarded vs unguarded, no faults) and record the "
+                        "'resilience' section of BENCH_kernel.json")
     parser.add_argument("--max-overhead-pct", type=float, default=None,
                         metavar="PCT",
                         help="fail the observability workload when tracing "
@@ -872,6 +1011,18 @@ def main(argv=None) -> int:
         print(f"\ntracing overhead: {obs_record['overhead_pct']:.2f}% "
               f"({obs_record['spans']} spans; identical digests; recorded in "
               f"BENCH_kernel.json)")
+        return 0
+
+    if args.resilience:
+        resilience_record: dict = {}
+        print(resilience_overhead_workload(
+            nodes=nodes, k=args.k, rounds=args.rounds,
+            max_overhead_pct=args.max_overhead_pct, record=resilience_record,
+        ))
+        emit_bench_json("resilience", resilience_record)
+        print(f"\nresilience overhead: "
+              f"{resilience_record['overhead_pct']:.2f}% (identical digests; "
+              f"recorded in BENCH_kernel.json)")
         return 0
 
     if args.serving:
@@ -935,11 +1086,23 @@ def main(argv=None) -> int:
         nodes=nodes, k=args.k, rounds=1, metrics_out=args.metrics_out,
         trace_out=args.trace_out, record=obs_record,
     ))
+    # The resilience layer is gated even on the smoke path: with no
+    # FaultPlan the default policy must cost under 3% (min of interleaved
+    # rounds) while producing bit-identical digests.
+    resilience_record = {}
+    print(resilience_overhead_workload(
+        nodes=nodes, k=args.k, rounds=3,
+        max_overhead_pct=(
+            args.max_overhead_pct if args.max_overhead_pct is not None else 3.0
+        ),
+        record=resilience_record,
+    ))
     emit_bench_json("engine_matrix", matrix_record)
     emit_bench_json("repeated_probe", probe_record)
     emit_bench_json("persistence", persist_record)
     emit_bench_json("serving", serving_record)
     emit_bench_json("observability", obs_record)
+    emit_bench_json("resilience", resilience_record)
     speedup = matrix_record.get("speedup_exact_vs_reference")
     if speedup:
         print(f"exact-mode speedup vs {REFERENCE}: {speedup:.2f}x "
@@ -952,6 +1115,8 @@ def main(argv=None) -> int:
     if serving_speedup:
         print(f"serving batched-vs-per-query speedup: {serving_speedup:.2f}x "
               "(recorded in BENCH_kernel.json)")
+    print(f"resilience overhead: {resilience_record['overhead_pct']:.2f}% "
+          "(identical digests, no faults; recorded in BENCH_kernel.json)")
     return 0
 
 

@@ -21,6 +21,9 @@ engine for the paper's many-query workloads.  Map of the subpackages:
   query-execution layer behind the distance matrices, the search engine
   (kNN / range / top-l with bound-based pruning and per-query statistics),
   the batched executor and the asyncio serving facade.
+* :mod:`repro.resilience` — deterministic fault injection, retry/backoff
+  policies, deadlines, circuit breakers and graceful degradation wired
+  through the session/serving/shard/sidecar/executor stack.
 * :mod:`repro.baselines` — HITS-based and feature-based
   (ReFeX/NetSimile/OddBall) similarities, graphlets, SimRank.
 * :mod:`repro.anonymize` — anonymization schemes and the de-anonymization
@@ -58,6 +61,12 @@ from repro.engine.session import (
     TopLPlan,
 )
 from repro.engine.tree_store import TreeStore
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    ResiliencePolicy,
+    RetryPolicy,
+)
 from repro.ted.resolver import BoundedNedDistance
 from repro.graph.graph import DiGraph, Graph
 from repro.graph.generators import (
@@ -101,6 +110,11 @@ __all__ = [
     "pairwise_distance_matrix",
     "cross_distance_matrix",
     "BoundedNedDistance",
+    # Resilience
+    "FaultPlan",
+    "FaultSpec",
+    "ResiliencePolicy",
+    "RetryPolicy",
     # Tree edit distances
     "ted_star",
     "ted_star_detailed",

@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import math
 import os
+import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -62,6 +63,7 @@ from repro.engine.shards import ShardedTreeStore
 from repro.engine.stats import EngineStats
 from repro.engine.tree_store import TreeStore
 from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
+from repro.resilience.faults import ResilienceWarning
 from repro.ted.resolver import BoundedNedDistance
 from repro.ted.ted_star import ted_star
 from repro.trees.tree import Tree
@@ -353,6 +355,8 @@ def build_matrix_with_resolver(
     resolver: BoundedNedDistance,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    faults=None,
+    retry=None,
 ) -> MatrixResult:
     """Build one matrix against an already-constructed (warm) resolver.
 
@@ -367,6 +371,14 @@ def build_matrix_with_resolver(
     two passes; ``metrics`` collects per-chunk executor timings
     (``executor.chunk_seconds``) — the process executor's workers export
     their own measurements and this build folds them in.
+
+    ``faults`` (a :class:`repro.resilience.FaultPlan`) activates the
+    ``"executor.dispatch"`` site inside the built-in process dispatch;
+    ``retry`` (a :class:`repro.resilience.RetryPolicy`) lets a broken
+    process pool be *restarted* for the remaining chunks
+    (``executor.pool_restarts``) before the serial fallback
+    (``executor.serial_fallbacks``) takes over.  Both fallbacks warn with
+    the original error; values are identical on every path.
     """
     if mode not in MODES:
         raise DistanceError(f"unknown matrix mode {mode!r}; expected one of {MODES}")
@@ -447,36 +459,70 @@ def build_matrix_with_resolver(
         else:
             dispatch = _make_dispatch(
                 executor, executor_name, row_store, col_store, rows, cols,
-                symmetric, k, backend, max_workers, metrics,
+                symmetric, k, backend, max_workers, metrics, faults,
             )
         results: List[List[float]] = []
+        # A broken *built-in* pool may be restarted for the remaining chunks
+        # (workers die; a fresh pool usually works) before degrading to
+        # serial.  Custom executors are the caller's contract — one attempt,
+        # then the serial fallback, as before.
+        restart_budget = 0
+        if retry is not None and executor_name == "process":
+            restart_budget = retry.attempts_for("executor.dispatch") - 1
         with tracer.span(
             "matrix.exact", chunks=len(index_chunks), pairs=len(pending)
         ):
-            try:
-                for block in dispatch(index_chunks):
-                    results.append(list(block))
-            except (OSError, PermissionError, NotImplementedError, BrokenExecutor) as error:
-                if executor_name == "serial":
-                    raise
-                # Process pools need fork/spawn primitives some sandboxes
-                # deny — denied at pool creation (OSError/PermissionError) or
-                # after, when workers die and the pool reports itself broken
-                # (BrokenExecutor).  The matrix is still computable, just not
-                # in parallel: finish only the chunks that have not yielded
-                # yet.
-                executor_used = f"serial (fallback: {type(error).__name__})"
-                for chunk in index_chunks[len(results):]:
-                    block = _timed_chunk(
-                        metrics,
-                        [
-                            (rows[i].tree, cols[j].tree)
-                            for i, j in chunk
-                        ],
-                        k,
-                        backend,
+            while len(results) < len(index_chunks):
+                try:
+                    for block in dispatch(index_chunks[len(results):]):
+                        results.append(list(block))
+                        resolver.check_deadline("matrix.exact")
+                except (OSError, PermissionError, NotImplementedError, BrokenExecutor) as error:
+                    if executor_name == "serial":
+                        raise
+                    resolver.check_deadline("matrix.dispatch")
+                    remaining = len(index_chunks) - len(results)
+                    if restart_budget > 0 and isinstance(error, BrokenExecutor):
+                        restart_budget -= 1
+                        if metrics is not None:
+                            metrics.inc("executor.pool_restarts")
+                            metrics.inc("resilience.retries.executor.dispatch")
+                        warnings.warn(
+                            f"process pool broke mid-build "
+                            f"({type(error).__name__}: {error}); restarting it "
+                            f"for the {remaining} remaining chunks",
+                            ResilienceWarning,
+                            stacklevel=2,
+                        )
+                        continue
+                    # Process pools need fork/spawn primitives some sandboxes
+                    # deny — denied at pool creation (OSError/PermissionError)
+                    # or after, when workers die and the pool reports itself
+                    # broken (BrokenExecutor).  The matrix is still
+                    # computable, just not in parallel: finish only the
+                    # chunks that have not yielded yet.
+                    executor_used = f"serial (fallback: {type(error).__name__})"
+                    if metrics is not None:
+                        metrics.inc("executor.serial_fallbacks")
+                    warnings.warn(
+                        f"matrix executor {executor_name!r} failed "
+                        f"({type(error).__name__}: {error}); finishing the "
+                        f"{remaining} remaining chunks serially",
+                        ResilienceWarning,
+                        stacklevel=2,
                     )
-                    results.append(block)
+                    for chunk in index_chunks[len(results):]:
+                        resolver.check_deadline("matrix.exact")
+                        block = _timed_chunk(
+                            metrics,
+                            [
+                                (rows[i].tree, cols[j].tree)
+                                for i, j in chunk
+                            ],
+                            k,
+                            backend,
+                        )
+                        results.append(block)
         position = 0
         for block in results:
             for value in block:
@@ -559,6 +605,7 @@ def _make_dispatch(
     backend: str,
     max_workers: Optional[int],
     metrics: Optional[MetricsRegistry] = None,
+    faults=None,
 ) -> Callable[[List[IndexChunk]], Iterable[List[float]]]:
     """Turn an executor selection into ``index chunks -> result blocks``."""
     if callable(executor):
@@ -603,14 +650,23 @@ def _make_dispatch(
             initializer=_init_worker,
             initargs=(row_parents, col_parents, k, backend),
         ) as pool:
-            if metrics is None:
+            if metrics is None and faults is None:
                 yield from pool.map(_compute_index_chunk, index_chunks)
+            elif metrics is None:
+                for block in pool.map(_compute_index_chunk, index_chunks):
+                    # "kill" specs raise BrokenExecutor here — the same
+                    # parent-side shape a dead worker produces — which the
+                    # builder's restart/fallback handling then absorbs.
+                    faults.fire("executor.dispatch", kill_error=BrokenExecutor)
+                    yield block
             else:
                 # Workers export, the parent folds: each chunk comes back
                 # with the worker-side measurements attached.
                 for block, snapshot in pool.map(
                     _compute_index_chunk_obs, index_chunks
                 ):
+                    if faults is not None:
+                        faults.fire("executor.dispatch", kill_error=BrokenExecutor)
                     metrics.merge(snapshot)
                     yield block
 

@@ -76,13 +76,21 @@ from typing import (
     Union,
 )
 
+import warnings
+
 from repro import obs
-from repro.exceptions import DistanceError
+from repro.exceptions import DeadlineError, DistanceError, OverloadError, ReproError
 from repro.engine.shards import ShardedTreeStore
 from repro.engine.stats import EngineStats
 from repro.engine.tree_store import StoredTree, TreeStore, summarize_tree
 from repro.graph.graph import Graph
 from repro.obs import MetricsRegistry, Tracer
+from repro.resilience.faults import FaultPlan, ResilienceWarning
+from repro.resilience.policies import (
+    DEFAULT_POLICY,
+    Deadline,
+    ResiliencePolicy,
+)
 from repro.ted.resolver import (
     BATCH_BACKEND,
     DEFAULT_CACHE_SIZE,
@@ -284,6 +292,20 @@ class NedSession:
         — serial matrix builds, ``execute_batch`` and exact-mode scans then
         evaluate pair *blocks* with bit-identical values.  ``True`` makes a
         missing prerequisite an error; ``False`` opts out.
+    resilience:
+        A :class:`repro.resilience.ResiliencePolicy` wired through every
+        layer the session owns (shard decodes, sidecar load/save, matrix
+        executors, the exact-tier circuit breakers, per-plan deadlines,
+        serving-queue bounds).  ``None`` (default) uses
+        :data:`repro.resilience.DEFAULT_POLICY` — retries and breakers on
+        (no result changes in a healthy run), no deadline, strict sidecars.
+        ``False`` disables the layer entirely (the no-overhead baseline the
+        benchmarks compare against); ``True`` is the default policy,
+        spelled out.
+    faults:
+        A :class:`repro.resilience.FaultPlan` injecting deterministic
+        faults at the instrumented sites — the chaos suite's lever.
+        ``None`` (default) injects nothing.
 
     Example
     -------
@@ -311,6 +333,8 @@ class NedSession:
         trace: "Union[Tracer, bool, PathLike, None]" = None,
         metrics: Optional[MetricsRegistry] = None,
         batch: Optional[bool] = None,
+        resilience: "Union[ResiliencePolicy, bool, None]" = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if store is None and k is None:
             raise DistanceError("a NedSession needs a store or an explicit k")
@@ -354,15 +378,45 @@ class NedSession:
         )
         if store is not None and hasattr(store, "attach_metrics"):
             store.attach_metrics(self.metrics)
+        #: The active ResiliencePolicy (None when resilience=False).
+        if resilience is None or resilience is True:
+            self.resilience: Optional[ResiliencePolicy] = DEFAULT_POLICY
+        elif resilience is False:
+            self.resilience = None
+        elif isinstance(resilience, ResiliencePolicy):
+            self.resilience = resilience
+        else:
+            raise DistanceError(
+                f"resilience must be a ResiliencePolicy, True, False or None, "
+                f"got {type(resilience).__name__}"
+            )
+        #: The active FaultPlan (chaos testing only; None injects nothing).
+        self.faults = faults
+        if faults is not None:
+            faults.attach_metrics(self.metrics)
+        self._retry = self.resilience.retry if self.resilience is not None else None
+        if store is not None and hasattr(store, "attach_resilience"):
+            store.attach_resilience(faults=faults, retry=self._retry)
         #: Session-lifetime per-tier counters (the resolver writes into it).
         self.stats = EngineStats()
         self._resolver = BoundedNedDistance(
             k=k, backend=backend, tiers=tiers, counters=self.stats,
             cache_size=cache_size, metrics=self.metrics,
         )
+        if self.resilience is not None:
+            self._resolver.attach_resilience(
+                faults=faults,
+                breaker_threshold=self.resilience.breaker_threshold,
+                breaker_cooldown=self.resilience.breaker_cooldown,
+            )
+        elif faults is not None:
+            self._resolver.attach_resilience(faults=faults, breaker_threshold=None)
         self.tiers = self._resolver.tiers
         self.batch = batch
         self._configure_batch_kernel(batch)
+        #: True when the sidecar failed to load and the cold_start policy
+        #: let the session open anyway (empty cache).
+        self._sidecar_cold_start = False
         if self.cache_file is not None and self.cache_file.exists():
             # Adopt (not merge): the cache is empty at construction, and
             # load_cache preserves the sidecar's per-entry hit counts — so
@@ -371,7 +425,7 @@ class NedSession:
             # overflowing sidecar is trimmed to the hottest entries.
             with self.tracer.span("session.warm", cache_file=str(self.cache_file)):
                 with self.metrics.time("sidecar.load_seconds"):
-                    loaded = self._resolver.load_cache(self.cache_file)
+                    loaded = self._warm_from_sidecar()
             self.metrics.inc("sidecar.loaded_entries", loaded)
         self._engines: Dict[Tuple, Any] = {}
         self._closed = False
@@ -423,6 +477,66 @@ class NedSession:
                     f"uses backend={resolver.backend!r}"
                 )
 
+    # ------------------------------------------------------ sidecar lifecycle
+    @property
+    def _sidecar_policy(self) -> str:
+        return self.resilience.sidecar if self.resilience is not None else "strict"
+
+    def _warm_from_sidecar(self) -> int:
+        """Adopt the sidecar at open, honoring the retry + sidecar policy.
+
+        Transient read failures are retried under the policy.  A sidecar
+        that stays unreadable (truncated, foreign, wrong ``k``/backend)
+        raises under ``sidecar="strict"`` — today's behavior — but under
+        ``sidecar="cold_start"`` the session warns, counts a
+        ``resilience.sidecar_cold_starts``, and starts with an empty cache:
+        a broken cache file costs recomputation, never availability.
+        """
+        load = lambda: self._resolver.load_cache(self.cache_file)  # noqa: E731
+        try:
+            if self._retry is not None:
+                return self._retry.call(
+                    load, site="sidecar.load", metrics=self.metrics
+                )
+            return load()
+        except ReproError as error:
+            if self._sidecar_policy != "cold_start":
+                raise
+            self.metrics.inc("resilience.sidecar_cold_starts")
+            self._sidecar_cold_start = True
+            warnings.warn(
+                f"distance-cache sidecar {self.cache_file} could not be "
+                f"loaded ({type(error).__name__}: {error}); starting cold — "
+                f"cached distances will be recomputed and the sidecar "
+                f"rewritten on close",
+                ResilienceWarning,
+                stacklevel=4,
+            )
+            return 0
+
+    def _save_sidecar(self) -> int:
+        """Save the sidecar at close, honoring the retry + sidecar policy."""
+        save = lambda: self._resolver.save_cache(self.cache_file)  # noqa: E731
+        try:
+            if self._retry is not None:
+                return self._retry.call(
+                    save, site="sidecar.save", metrics=self.metrics
+                )
+            return save()
+        except ReproError as error:
+            if self._sidecar_policy != "cold_start":
+                raise
+            self.metrics.inc("resilience.sidecar_save_failures")
+            warnings.warn(
+                f"distance-cache sidecar {self.cache_file} could not be "
+                f"saved ({type(error).__name__}: {error}); the next process "
+                f"starts cold from the previous sidecar (atomic writes never "
+                f"leave a truncated file)",
+                ResilienceWarning,
+                stacklevel=4,
+            )
+            return 0
+
     # ---------------------------------------------------------------- factory
     @classmethod
     def from_graph(
@@ -446,6 +560,11 @@ class NedSession:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def sidecar_cold_start(self) -> bool:
+        """True when the sidecar failed to load and the session opened cold."""
+        return self._sidecar_cold_start
+
     def close(self) -> None:
         """Save the cache sidecar (when configured) and close the session.
 
@@ -460,7 +579,7 @@ class NedSession:
         with self.tracer.span("session.close"):
             if self.cache_file is not None:
                 with self.metrics.time("sidecar.save_seconds"):
-                    saved = self._resolver.save_cache(self.cache_file)
+                    saved = self._save_sidecar()
                 self.metrics.inc("sidecar.saved_entries", saved)
         self._closed = True
 
@@ -536,7 +655,53 @@ class NedSession:
                 "loads": store.shard_loads,
                 "evictions": store.evictions,
             }
+        snapshot["resilience"] = self._resilience_section(snapshot["counters"])
         return snapshot
+
+    def _resilience_section(self, counters: Dict[str, int]) -> Dict[str, Any]:
+        """Derived accounting of every retry/shed/degrade/breaker event.
+
+        Always present in :meth:`metrics_snapshot` (zeros when nothing went
+        wrong), so dashboards and the chaos suite can assert on one shape.
+        """
+
+        def total(prefix: str) -> int:
+            exact = counters.get(prefix, 0)
+            dotted = prefix + "."
+            return exact + sum(
+                count for name, count in counters.items() if name.startswith(dotted)
+            )
+
+        def per_site(prefix: str) -> Dict[str, int]:
+            dotted = prefix + "."
+            return {
+                name[len(dotted):]: count
+                for name, count in counters.items()
+                if name.startswith(dotted)
+            }
+
+        section: Dict[str, Any] = {
+            "enabled": self.resilience is not None,
+            "retries": total("resilience.retries"),
+            "retries_by_site": per_site("resilience.retries"),
+            "retry_exhausted": total("resilience.retry_exhausted"),
+            "faults_injected": total("resilience.faults_injected"),
+            "faults_by_site": per_site("resilience.faults_injected"),
+            "shed_requests": counters.get("resilience.shed_requests", 0),
+            "deadline_exceeded": counters.get("resilience.deadline_exceeded", 0),
+            "degrades": counters.get("resilience.degrades", 0),
+            "degrades_by_rung": per_site("resilience.degrades"),
+            "sidecar_cold_starts": counters.get("resilience.sidecar_cold_starts", 0),
+            "sidecar_save_failures": counters.get(
+                "resilience.sidecar_save_failures", 0
+            ),
+            "pool_restarts": counters.get("executor.pool_restarts", 0),
+            "serial_fallbacks": counters.get("executor.serial_fallbacks", 0),
+        }
+        breakers = self._resolver.breaker_states()
+        if breakers is not None:
+            section["breakers"] = breakers
+        return section
 
     # ------------------------------------------------------- resolver surface
     @property
@@ -658,10 +823,33 @@ class NedSession:
         self._require_open()
         kind = _PLAN_KINDS.get(type(plan))
         if kind is None:
-            return self._dispatch(plan)
+            return self._dispatch_guarded(plan)
         with self.tracer.span(f"execute.{kind}"):
             with self.metrics.time(f"session.execute_seconds.{kind}"):
-                return self._dispatch(plan)
+                return self._dispatch_guarded(plan)
+
+    def _dispatch_guarded(self, plan: Plan) -> Any:
+        """Dispatch one plan under the policy's per-plan deadline (if any).
+
+        The deadline is cooperative: it is installed on the resolver, which
+        checks it at each exact evaluation/block (and the matrix builder per
+        chunk), so a runaway plan raises a typed
+        :class:`~repro.exceptions.DeadlineError` at the next checkpoint
+        instead of hanging its caller.  Counted in
+        ``resilience.deadline_exceeded``.
+        """
+        policy = self.resilience
+        if policy is None or policy.deadline is None:
+            return self._dispatch(plan)
+        deadline = Deadline(policy.deadline)
+        self._resolver.set_deadline(deadline)
+        try:
+            return self._dispatch(plan)
+        except DeadlineError:
+            self.metrics.inc("resilience.deadline_exceeded")
+            raise
+        finally:
+            self._resolver.set_deadline(None)
 
     def _dispatch(self, plan: Plan) -> Any:
         if isinstance(plan, _MATRIX_PLANS):
@@ -705,6 +893,8 @@ class NedSession:
             resolver=self._resolver,
             tracer=self.tracer,
             metrics=self.metrics,
+            faults=self.faults,
+            retry=self._retry,
         )
         # The shared resolver counters already hold the per-tier deltas; the
         # builder tracks pairs_considered only on the per-build stats, so
@@ -893,15 +1083,37 @@ class NedSession:
         return result
 
     # ---------------------------------------------------------------- serving
-    def serve(self, max_batch: Optional[int] = None) -> "SessionServer":
+    def serve(
+        self,
+        max_batch: Optional[int] = None,
+        max_queue_depth: Optional[int] = None,
+        request_deadline: Optional[float] = None,
+    ) -> "SessionServer":
         """Return an asyncio serving facade over this session.
 
         Use as ``async with session.serve() as server:`` and await
         ``server.submit(plan)`` from any number of tasks; queued plans are
         drained into :meth:`execute_batch` ticks.
+
+        ``max_queue_depth`` bounds the request queue: submissions past it are
+        shed immediately with :class:`repro.exceptions.OverloadError` instead
+        of growing an unbounded backlog.  ``request_deadline`` (seconds)
+        starts ticking at submit time; a request still queued when it expires
+        is resolved with :class:`repro.exceptions.DeadlineError` rather than
+        executed.  Both default from the session's resilience policy.
         """
         self._require_open()
-        return SessionServer(self, max_batch=max_batch)
+        policy = self.resilience
+        if max_queue_depth is None and policy is not None:
+            max_queue_depth = policy.max_queue_depth
+        if request_deadline is None and policy is not None:
+            request_deadline = policy.deadline
+        return SessionServer(
+            self,
+            max_batch=max_batch,
+            max_queue_depth=max_queue_depth,
+            request_deadline=request_deadline,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         size = len(self.store) if self.store is not None else 0
@@ -924,17 +1136,37 @@ class SessionServer:
     ``served`` expose how much batching actually happened.
     """
 
-    def __init__(self, session: NedSession, max_batch: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        session: NedSession,
+        max_batch: Optional[int] = None,
+        max_queue_depth: Optional[int] = None,
+        request_deadline: Optional[float] = None,
+    ) -> None:
         if max_batch is not None and max_batch < 1:
             raise DistanceError(f"max_batch must be >= 1, got {max_batch}")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise DistanceError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        if request_deadline is not None and request_deadline <= 0:
+            raise DistanceError(
+                f"request_deadline must be > 0 seconds, got {request_deadline}"
+            )
         self._session = session
         self._max_batch = max_batch
+        self._max_queue_depth = max_queue_depth
+        self._request_deadline = request_deadline
         self._queue: Optional[asyncio.Queue] = None
         self._drain_task: Optional[asyncio.Task] = None
         self._closing = False
         #: Batch ticks executed and total plans answered.
         self.ticks = 0
         self.served = 0
+        #: Requests refused at submit because the queue was full, and the
+        #: deepest the queue ever got (the load-shedding high-water mark).
+        self.shed = 0
+        self.queue_depth_hwm = 0
 
     async def __aenter__(self) -> "SessionServer":
         self._queue = asyncio.Queue()
@@ -956,12 +1188,37 @@ class SessionServer:
         self._drain_task = None
 
     async def submit(self, plan: Plan) -> Any:
-        """Enqueue ``plan`` and await its result from a future batch tick."""
+        """Enqueue ``plan`` and await its result from a future batch tick.
+
+        Raises :class:`repro.exceptions.OverloadError` immediately (without
+        queueing) when the server's ``max_queue_depth`` is reached — shedding
+        at the door keeps queue wait bounded for requests already admitted.
+        """
         if self._queue is None or self._closing:
             raise DistanceError("this SessionServer is not serving")
+        metrics = self._session.metrics
+        if (
+            self._max_queue_depth is not None
+            and self._queue.qsize() >= self._max_queue_depth
+        ):
+            self.shed += 1
+            metrics.inc("resilience.shed_requests")
+            raise OverloadError(
+                f"serving queue is full ({self._max_queue_depth} pending); "
+                "request shed — retry later or raise max_queue_depth"
+            )
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[Any]" = loop.create_future()
-        await self._queue.put((plan, future))
+        deadline = (
+            Deadline(self._request_deadline)
+            if self._request_deadline is not None
+            else None
+        )
+        await self._queue.put((plan, future, deadline))
+        depth = self._queue.qsize()
+        if depth > self.queue_depth_hwm:
+            self.queue_depth_hwm = depth
+            metrics.set_gauge("serving.queue_depth_hwm", depth)
         return await future
 
     async def map(self, plans: Sequence[Plan]) -> List[Any]:
@@ -985,37 +1242,60 @@ class SessionServer:
                     stopping = True
                     break
                 batch.append(extra)
-            plans = [plan for plan, _ in batch]
             metrics = self._session.metrics
             metrics.set_gauge("serving.queue_depth", self._queue.qsize())
             metrics.observe("serving.batch_size", float(len(batch)))
+            # Requests whose deadline expired while they sat in the queue are
+            # answered with DeadlineError instead of executed — running them
+            # anyway would push every request behind them past its own
+            # deadline too (the classic overload death spiral).
+            live: List[Tuple[Plan, "asyncio.Future[Any]"]] = []
+            for plan, future, deadline in batch:
+                if deadline is not None and deadline.expired():
+                    if not future.done():
+                        future.set_exception(
+                            DeadlineError(
+                                f"request deadline of {deadline.seconds:.3f}s "
+                                "expired while queued"
+                            )
+                        )
+                    metrics.inc("resilience.deadline_exceeded")
+                    continue
+                live.append((plan, future))
+            if not live:
+                self.ticks += 1
+                self.served += len(batch)
+                continue
+            plans = [plan for plan, _ in live]
+            faults = self._session.faults
+
+            def _tick(plans: Sequence[Plan] = plans) -> List[Any]:
+                if faults is not None:
+                    faults.fire("serving.tick")
+                return self._session.execute_batch(plans, return_exceptions=True)
+
             try:
                 # Gather-style: each plan's failure lands in its own result
                 # slot, so one bad plan neither aborts nor re-runs its batch
                 # neighbours (every plan executes exactly once).
-                with self._session.tracer.span("server.tick", batch=len(batch)):
+                with self._session.tracer.span("server.tick", batch=len(live)):
                     with metrics.time("serving.tick_seconds"):
-                        results = await loop.run_in_executor(
-                            None,
-                            lambda: self._session.execute_batch(
-                                plans, return_exceptions=True
-                            ),
-                        )
+                        results = await loop.run_in_executor(None, _tick)
             except asyncio.CancelledError:
                 # Cancellation must stop the drain loop, not be converted
                 # into per-future errors — swallowing it would leave the
                 # task looping and block event-loop shutdown forever.
-                for _, future in batch:
+                for _, future, _deadline in batch:
                     future.cancel()
                 raise
             except Exception as error:  # batch-level failure (e.g. closed)
-                for _, future in batch:
+                for _, future, _deadline in batch:
                     if not future.done():
                         future.set_exception(error)
                 self.ticks += 1
                 self.served += len(batch)
                 continue
-            for (_, future), result in zip(batch, results):
+            for (_, future), result in zip(live, results):
                 if future.done():
                     continue
                 if isinstance(result, BaseException):

@@ -210,6 +210,9 @@ class ShardedTreeStore:
         self.evictions = 0
         # Optional MetricsRegistry (duck-typed); see attach_metrics.
         self.metrics = None
+        # Optional FaultPlan / RetryPolicy (duck-typed); see attach_resilience.
+        self.faults = None
+        self.retry = None
         # Memoized packed parent arrays (entries are immutable on disk);
         # built by streaming decodes that never touch the resident LRU.
         self._packed: Optional[List[List[int]]] = None
@@ -225,6 +228,20 @@ class ShardedTreeStore:
         self.metrics = registry
         if registry is not None:
             registry.set_gauge("shards.resident", len(self._resident))
+
+    def attach_resilience(self, faults=None, retry=None) -> None:
+        """Wire fault injection and shard-decode retries into this store.
+
+        ``faults`` (a :class:`repro.resilience.FaultPlan`) activates the
+        ``"shards.decode"`` site inside :meth:`_decode_shard`; ``retry`` (a
+        :class:`repro.resilience.RetryPolicy`) re-attempts failed decodes
+        with backoff — transient faults (slow NFS, injected one-shots) heal
+        invisibly, persistent corruption still surfaces as the original
+        typed :class:`~repro.exceptions.GraphError`.  A session attaches
+        both when it adopts the store; ``None`` detaches either.
+        """
+        self.faults = faults
+        self.retry = retry
 
     @classmethod
     def load(
@@ -245,6 +262,13 @@ class ShardedTreeStore:
         set.
         """
         path = self.directory / self._shard_files[index]
+        if self.faults is not None and self.faults.fire("shards.decode"):
+            # One-shot corruption: truncate the shard file on disk, then
+            # decode it — the real validation path produces the typed error,
+            # and (unlike an "error" fault) retries keep failing, which is
+            # exactly the persistent-corruption shape.
+            data = path.read_bytes()
+            path.write_bytes(data[: max(1, len(data) // 2)])
         payload = _load_headered(path, _SHARD_FORMAT, "TreeStore shard")
         if payload.get("k") != self.k:
             raise GraphError(
@@ -267,6 +291,16 @@ class ShardedTreeStore:
             )
         return entries
 
+    def _decode_with_retry(self, index: int) -> List[StoredTree]:
+        """Decode one shard under the attached retry policy (if any)."""
+        if self.retry is None:
+            return self._decode_shard(index)
+        return self.retry.call(
+            lambda: self._decode_shard(index),
+            site="shards.decode",
+            metrics=self.metrics,
+        )
+
     def _shard(self, index: int) -> List[StoredTree]:
         """Return one shard's entries, decoding it on first touch (LRU)."""
         resident = self._resident.get(index)
@@ -274,7 +308,7 @@ class ShardedTreeStore:
             self._resident.move_to_end(index)
             return resident
         load_started = clock() if self.metrics is not None else 0.0
-        entries = self._decode_shard(index)
+        entries = self._decode_with_retry(index)
         self._resident[index] = entries
         self._resident.move_to_end(index)
         self.shard_loads += 1
@@ -353,7 +387,7 @@ class ShardedTreeStore:
             for index in range(self.shard_count):
                 resident = self._resident.get(index)
                 if resident is None:
-                    entries = self._decode_shard(index)
+                    entries = self._decode_with_retry(index)
                     if self.metrics is not None:
                         self.metrics.inc("shards.stream_decodes")
                 else:

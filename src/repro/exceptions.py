@@ -55,3 +55,33 @@ class DatasetError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment driver receives an invalid configuration."""
+
+
+class ResilienceError(ReproError):
+    """Base class for failures raised by the resilience layer itself.
+
+    Faults *injected* by a :class:`repro.resilience.FaultPlan`, blown
+    deadlines and shed requests all derive from this class, so callers can
+    distinguish "the service protected itself" from "the computation was
+    invalid" (:class:`DistanceError` and friends).
+    """
+
+
+class FaultInjectedError(ResilienceError):
+    """The synthetic failure a :class:`repro.resilience.FaultPlan` raises.
+
+    Carries the instrumented ``site`` so chaos tests can assert exactly
+    where the fault surfaced.
+    """
+
+    def __init__(self, site: str, detail: str = "injected fault") -> None:
+        super().__init__(f"{detail} at site {site!r}")
+        self.site = site
+
+
+class DeadlineError(ResilienceError):
+    """Raised when a plan or serving request exceeds its configured deadline."""
+
+
+class OverloadError(ResilienceError):
+    """Raised when a bounded :class:`SessionServer` queue sheds a request."""

@@ -44,12 +44,13 @@ sweep workers into one warm file.
 from __future__ import annotations
 
 import math
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.exceptions import DistanceError
+from repro.exceptions import DeadlineError, DistanceError, OverloadError
 from repro.ted.bounds import (
     ted_star_degree_multiset_bounds,
     ted_star_level_size_bounds,
@@ -264,6 +265,15 @@ class BoundedNedDistance:
         # (format v2) so a later overflowing load keeps the hottest entries.
         self._cache_uses: Dict[Tuple[str, str], int] = {}
         self._batch_kernel = None
+        # Resilience wiring (attach_resilience): a FaultPlan activates the
+        # kernel/sidecar fault sites, the breakers guard the exact-tier
+        # degradation ladder (batch -> per-pair scipy -> hungarian), and a
+        # per-plan Deadline is pushed down by the session around execution.
+        self.faults = None
+        self._deadline = None
+        self._batch_breaker = None
+        self._pair_breaker = None
+        self._warned_degrades: set = set()
         if backend == BATCH_BACKEND:
             from repro.ted.batch import BatchTedKernel, batch_available
 
@@ -324,6 +334,126 @@ class BoundedNedDistance:
         self._batch_kernel = kernel
         return True
 
+    # -------------------------------------------------------------- resilience
+    def attach_resilience(
+        self,
+        faults=None,
+        breaker_threshold: Optional[int] = 3,
+        breaker_cooldown: float = 1.0,
+    ) -> None:
+        """Wire fault injection and the exact-tier circuit breakers.
+
+        ``faults`` (a :class:`repro.resilience.FaultPlan`) activates the
+        ``"kernel.batch"`` / ``"kernel.pair"`` / ``"sidecar.load"`` /
+        ``"sidecar.save"`` sites.  ``breaker_threshold``/``breaker_cooldown``
+        configure two :class:`~repro.resilience.CircuitBreaker` guards on
+        the exact-tier degradation ladder:
+
+        * ``exact-batch`` — repeated batch-kernel failures degrade blocks to
+          the per-pair path.  Values are **bit-identical** (the kernel
+          realises scipy matching), so this rung trades only speed.
+        * ``exact-pair`` — repeated per-pair failures on a scipy-compatible
+          backend degrade to the dependency-free hungarian backend.  This
+          rung trades availability over strict reproducibility: rare tie
+          pairs may realise a different (equally optimal) matching, which
+          the degrade warning spells out.
+
+        ``breaker_threshold=None`` removes the breakers.  Sessions call this
+        when a policy is active; bare resolvers stay unguarded.
+        """
+        from repro.resilience.policies import CircuitBreaker
+
+        self.faults = faults
+        if breaker_threshold is None:
+            self._batch_breaker = None
+            self._pair_breaker = None
+            return
+        self._batch_breaker = CircuitBreaker(
+            "exact-batch", threshold=breaker_threshold,
+            cooldown=breaker_cooldown, metrics=self.metrics,
+        )
+        self._pair_breaker = CircuitBreaker(
+            "exact-pair", threshold=breaker_threshold,
+            cooldown=breaker_cooldown, metrics=self.metrics,
+        )
+
+    def set_deadline(self, deadline) -> None:
+        """Install (or clear) the cooperative per-plan deadline.
+
+        The session pushes a :class:`repro.resilience.Deadline` here around
+        each plan execution; the exact tiers check it per evaluation/block,
+        so a slow or delay-faulted plan raises a typed
+        :class:`~repro.exceptions.DeadlineError` instead of running away.
+        """
+        self._deadline = deadline
+
+    def check_deadline(self, site: str = "resolver.exact") -> None:
+        """Raise when the installed deadline (if any) is spent."""
+        if self._deadline is not None:
+            self._deadline.check(site)
+
+    def breaker_states(self) -> Optional[Dict[str, Dict[str, object]]]:
+        """Breaker telemetry for ``metrics_snapshot()``; None when unguarded."""
+        if self._batch_breaker is None:
+            return None
+        return {
+            self._batch_breaker.name: self._batch_breaker.as_dict(),
+            self._pair_breaker.name: self._pair_breaker.as_dict(),
+        }
+
+    def _record_degrade(self, rung: str, from_backend: str, to_backend: str, error) -> None:
+        """Count + warn (once per transition) about a ladder degrade."""
+        if self.metrics is not None:
+            self.metrics.inc("resilience.degrades")
+            self.metrics.inc(f"resilience.degrades.{rung}")
+        transition = (rung, from_backend, to_backend)
+        if transition in self._warned_degrades:
+            return
+        self._warned_degrades.add(transition)
+        from repro.resilience.faults import ResilienceWarning
+
+        identical = (
+            "values are bit-identical"
+            if rung == "exact-batch"
+            else "rare tie pairs may realise a different optimal matching"
+        )
+        warnings.warn(
+            f"exact tier degraded {from_backend!r} -> {to_backend!r} after "
+            f"{type(error).__name__}: {error} ({identical})",
+            ResilienceWarning,
+            stacklevel=3,
+        )
+
+    def _pair_exact(self, tree_a, tree_b) -> float:
+        """One exact TED* through the per-pair rung of the ladder.
+
+        Unguarded resolvers call straight through.  Guarded ones try the
+        scipy-compatible backend while its breaker allows, degrade the
+        failing pair to hungarian (counting + warning), and skip straight
+        to hungarian while the breaker is open; the half-open probe after
+        the cool-down reopens the fast path.
+        """
+        breaker = self._pair_breaker
+        backend = self.matching_backend
+        if breaker is None:
+            if self.faults is not None:
+                self.faults.fire("kernel.pair")
+            return ted_star(tree_a, tree_b, k=self.k, backend=backend)
+        if backend != "hungarian" and breaker.allows():
+            try:
+                if self.faults is not None:
+                    self.faults.fire("kernel.pair")
+                value = ted_star(tree_a, tree_b, k=self.k, backend=backend)
+            except (DeadlineError, OverloadError):
+                raise  # service-protection errors are not backend failures
+            except Exception as error:
+                breaker.record_failure()
+                self._record_degrade("exact-pair", backend, "hungarian", error)
+            else:
+                breaker.record_success()
+                return value
+        return ted_star(tree_a, tree_b, k=self.k, backend="hungarian")
+
     def exact_many(self, pairs: Sequence[Tuple[object, object]]) -> List[float]:
         """Evaluate a block of pairs on the raw exact tier.
 
@@ -332,17 +462,39 @@ class BoundedNedDistance:
         the matrix builder does).  With a batch kernel attached the whole
         block goes through the array-native path (latency recorded in the
         ``resolver.exact_batch_seconds`` histogram); otherwise it degrades
-        to a per-pair loop on :attr:`matching_backend`.
+        to a per-pair loop on :attr:`matching_backend`.  Under an attached
+        breaker, batch-kernel failures degrade the block to the per-pair
+        path (bit-identical values) instead of failing the build.
         """
         if not pairs:
             return []
+        self.check_deadline("resolver.exact_many")
         kernel = self._batch_kernel
-        if kernel is None:
-            backend = self.matching_backend
-            return [
-                ted_star(first.tree, second.tree, k=self.k, backend=backend)
-                for first, second in pairs
-            ]
+        if kernel is not None:
+            breaker = self._batch_breaker
+            if breaker is None:
+                if self.faults is not None:
+                    self.faults.fire("kernel.batch")
+                return self._kernel_block(kernel, pairs)
+            if breaker.allows():
+                try:
+                    if self.faults is not None:
+                        self.faults.fire("kernel.batch")
+                    values = self._kernel_block(kernel, pairs)
+                except (DeadlineError, OverloadError):
+                    raise
+                except Exception as error:
+                    breaker.record_failure()
+                    self._record_degrade(
+                        "exact-batch", BATCH_BACKEND, self.matching_backend, error
+                    )
+                else:
+                    breaker.record_success()
+                    return values
+        return [self._pair_exact(first.tree, second.tree) for first, second in pairs]
+
+    def _kernel_block(self, kernel, pairs: Sequence[Tuple[object, object]]) -> List[float]:
+        """Run one block through the batch kernel, timing it when measured."""
         if self.metrics is None:
             return kernel.ted_star_block(pairs, k=self.k)
         started = clock()
@@ -529,6 +681,15 @@ class BoundedNedDistance:
         attaches it with :meth:`load_cache` or :meth:`warm_from` and answers
         the repeated pairs from memory.
         """
+        if self.faults is not None and self.faults.fire("sidecar.save"):
+            # Corruption at the save site means the *new* bytes are bad, but
+            # atomic_pickle_dump's temp-write + rename discipline still
+            # applies — so we simulate the nearest reachable failure, a torn
+            # write detected before the rename, as a typed error.  The
+            # previous sidecar on disk stays intact either way.
+            raise DistanceError(
+                f"injected corruption while writing distance-cache sidecar {path}"
+            )
         entries = [
             (a, b, value, self._cache_uses.get((a, b), 0))
             for (a, b), value in self._cache.items()
@@ -545,6 +706,12 @@ class BoundedNedDistance:
 
     def _read_sidecar(self, path: Union[str, Path]) -> List[CacheEntry]:
         """Read, validate and return the entries of a cache sidecar."""
+        if self.faults is not None and self.faults.fire("sidecar.load"):
+            # One-shot corruption: truncate the sidecar on disk and fall
+            # through to the real validation path, which raises the same
+            # typed DistanceError a genuinely torn file would.
+            data = Path(path).read_bytes()
+            Path(path).write_bytes(data[: max(1, len(data) // 2)])
         k, backend, entries = _read_sidecar_payload(path)
         if k != self.k:
             raise DistanceError(
@@ -652,14 +819,13 @@ class BoundedNedDistance:
             cached = self._timed("resolver.cache_lookup_seconds", self.cache_get, key)
             if cached is not None:
                 return cached, CACHE_TIER
+        self.check_deadline("resolver.exact")
         self.counters.exact_evaluations += 1
         value = self._timed(
             "resolver.exact_seconds",
-            ted_star,
+            self._pair_exact,
             first.tree,
             second.tree,
-            k=self.k,
-            backend=self.matching_backend,
         )
         if key is not None:
             self.cache_put(key, value)

@@ -13,7 +13,23 @@ from __future__ import annotations
 import os
 import pickle
 from pathlib import Path
-from typing import Sequence, Type, Union
+from typing import Callable, Optional, Sequence, Type, Union
+
+# Test seam for crash-consistency checks: called after the temp file is fully
+# written and before os.replace — the window where a process kill must leave
+# the previous file intact.  Installed via repro.resilience.inject_io_faults;
+# None (the default) costs one comparison per dump.
+_REPLACE_HOOK: Optional[Callable[[Path], None]] = None
+
+
+def set_replace_hook(
+    hook: Optional[Callable[[Path], None]],
+) -> Optional[Callable[[Path], None]]:
+    """Install the pre-``os.replace`` hook; returns the previous one."""
+    global _REPLACE_HOOK
+    previous = _REPLACE_HOOK
+    _REPLACE_HOOK = hook
+    return previous
 
 
 def atomic_pickle_dump(payload: object, path: Path) -> None:
@@ -28,6 +44,8 @@ def atomic_pickle_dump(payload: object, path: Path) -> None:
     try:
         with temp.open("wb") as handle:
             pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        if _REPLACE_HOOK is not None:
+            _REPLACE_HOOK(path)
         os.replace(temp, path)
     except BaseException:
         try:

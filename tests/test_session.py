@@ -467,3 +467,145 @@ class TestReviewRegressions:
         # Standalone engines own a never-closed session and keep working.
         standalone = engine.__class__(store, mode="bound-prune")
         assert standalone.knn(probe, 3)
+
+
+class TestSessionResilience:
+    """PR-8 resilience semantics at the session and serving layers."""
+
+    def test_broken_sidecar_raises_under_strict_default(self, store, tmp_path):
+        sidecar = tmp_path / "cache.ned"
+        sidecar.write_bytes(b"not a sidecar at all")
+        with pytest.raises(DistanceError):
+            NedSession(store, cache_file=sidecar)
+
+    def test_broken_sidecar_cold_starts_under_lenient_policy(
+        self, graph, store, tmp_path
+    ):
+        import warnings
+
+        from repro.resilience import ResiliencePolicy, ResilienceWarning
+
+        sidecar = tmp_path / "cache.ned"
+        sidecar.write_bytes(b"not a sidecar at all")
+        policy = ResiliencePolicy(sidecar="cold_start")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with NedSession(store, cache_file=sidecar, resilience=policy) as session:
+                assert session.sidecar_cold_start
+                result = session.knn(session.probe(graph, 0), 4)
+                assert session.stats.exact_evaluations > 0  # really cold
+        assert result
+        assert any(issubclass(w.category, ResilienceWarning) for w in caught)
+        snapshot = session.metrics_snapshot()
+        assert snapshot["resilience"]["sidecar_cold_starts"] == 1
+        # close() rewrote a valid sidecar over the broken one.
+        with NedSession(store, cache_file=sidecar) as warm:
+            assert warm.knn(warm.probe(graph, 0), 4) == result
+            assert warm.stats.exact_evaluations == 0
+
+    def test_plan_deadline_raises_typed_error(self, store):
+        from repro.exceptions import DeadlineError
+        from repro.resilience import ResiliencePolicy
+
+        policy = ResiliencePolicy(deadline=1e-9)
+        with NedSession(store, resilience=policy) as session:
+            with pytest.raises(DeadlineError, match="deadline"):
+                session.execute(PairwiseMatrixPlan(mode="exact"))
+            snapshot = session.metrics_snapshot()
+        assert snapshot["resilience"]["deadline_exceeded"] == 1
+
+    def test_resilience_off_is_allowed_and_unguarded(self, graph, store):
+        with NedSession(store, resilience=False) as session:
+            assert session.resilience is None
+            result = session.knn(session.probe(graph, 0), 4)
+            snapshot = session.metrics_snapshot()
+        assert result
+        assert snapshot["resilience"]["enabled"] is False
+        assert "breakers" not in snapshot["resilience"]
+
+    def test_shutdown_resolves_in_flight_and_queued_requests(self, graph, store):
+        # Satellite (d): aclose() during a busy burst must resolve every
+        # future — in-flight and still-queued alike — and never hang.
+        async def scenario():
+            with NedSession(store) as session:
+                plans = [
+                    KnnPlan(session.probe(graph, node), 4)
+                    for node in graph.nodes()[:8]
+                ]
+                async with session.serve(max_batch=2) as server:
+                    tasks = [
+                        asyncio.create_task(server.submit(plan)) for plan in plans
+                    ]
+                    await asyncio.sleep(0)  # first tick starts, rest queue up
+                    await server.aclose()
+                    return await asyncio.wait_for(
+                        asyncio.gather(*tasks), timeout=30.0
+                    )
+
+        results = asyncio.run(scenario())
+        assert len(results) == 8 and all(len(r) == 4 for r in results)
+
+    def test_expired_queued_request_gets_deadline_error_not_a_hang(
+        self, graph, store
+    ):
+        from repro.exceptions import DeadlineError
+        from repro.resilience import FaultPlan, FaultSpec
+
+        # A delay fault holds the first tick while later requests sit queued
+        # past their deadline; map() must surface DeadlineError, not block.
+        plan = FaultPlan([FaultSpec("serving.tick", kind="delay", delay=0.3)])
+
+        async def scenario():
+            with NedSession(store, faults=plan) as session:
+                probe = session.probe(graph, 0)
+                async with session.serve(request_deadline=0.05) as server:
+                    first = asyncio.create_task(server.submit(KnnPlan(probe, 3)))
+                    await asyncio.sleep(0.05)  # tick 1 holds; these will queue
+                    with pytest.raises(DeadlineError, match="expired while queued"):
+                        await asyncio.wait_for(
+                            server.map([KnnPlan(probe, 4), KnnPlan(probe, 5)]),
+                            timeout=30.0,
+                        )
+                    await first  # the in-flight request still completes
+                return session.metrics_snapshot()
+
+        snapshot = asyncio.run(scenario())
+        assert snapshot["resilience"]["deadline_exceeded"] >= 1
+
+    def test_full_queue_sheds_with_overload_error(self, graph, store):
+        from repro.exceptions import OverloadError
+        from repro.resilience import FaultPlan, FaultSpec
+
+        plan = FaultPlan([FaultSpec("serving.tick", kind="delay", delay=0.3)])
+
+        async def scenario():
+            with NedSession(store, faults=plan) as session:
+                probe = session.probe(graph, 0)
+                async with session.serve(max_queue_depth=1) as server:
+                    first = asyncio.create_task(server.submit(KnnPlan(probe, 3)))
+                    await asyncio.sleep(0.05)  # drain took it; tick 1 is held
+                    second = asyncio.create_task(server.submit(KnnPlan(probe, 4)))
+                    await asyncio.sleep(0)  # second occupies the whole queue
+                    with pytest.raises(OverloadError, match="shed"):
+                        await server.submit(KnnPlan(probe, 5))
+                    results = await asyncio.wait_for(
+                        asyncio.gather(first, second), timeout=30.0
+                    )
+                return results, server.shed, session.metrics_snapshot()
+
+        results, shed, snapshot = asyncio.run(scenario())
+        assert [len(r) for r in results] == [3, 4]  # admitted requests answered
+        assert shed == 1
+        assert snapshot["resilience"]["shed_requests"] == 1
+        assert snapshot["gauges"]["serving.queue_depth_hwm"] >= 1
+
+    def test_serve_parameter_validation(self, store):
+        with NedSession(store) as session:
+            with pytest.raises(DistanceError, match="max_queue_depth"):
+                session.serve(max_queue_depth=0)
+            with pytest.raises(DistanceError, match="request_deadline"):
+                session.serve(request_deadline=0.0)
+
+    def test_rejects_bad_resilience_argument(self, store):
+        with pytest.raises(DistanceError, match="resilience"):
+            NedSession(store, resilience="on")
