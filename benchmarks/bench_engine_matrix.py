@@ -73,7 +73,13 @@ from repro.engine.shards import ShardedTreeStore, save_sharded, sharded_store_ex
 from repro.engine.tree_store import TreeStore
 from repro.experiments.reporting import ExperimentTable
 from repro.graph.generators import barabasi_albert_graph
-from repro.obs import MetricsRegistry, Tracer, render_metrics_summary
+from repro.obs import (
+    METRIC_NAMES,
+    MetricsRegistry,
+    Tracer,
+    render_metrics_summary,
+    validate_snapshot_names,
+)
 from repro.ted.batch import batch_available
 from repro.ted.resolver import DEFAULT_CACHE_SIZE
 from repro.ted.ted_star import ted_star
@@ -550,6 +556,15 @@ REQUIRED_HISTOGRAMS = (
     ("resolver.exact_batch_seconds",) if batch_available() else ()
 )
 
+# Every histogram this gate requires must itself be canonical — the
+# name table (repro.obs.METRIC_NAMES) is the single source of truth, so a
+# rename there that forgets this gate (or vice versa) fails at import time.
+_unknown_required = [name for name in REQUIRED_HISTOGRAMS if name not in METRIC_NAMES]
+if _unknown_required:
+    raise AssertionError(
+        f"REQUIRED_HISTOGRAMS not in repro.obs.METRIC_NAMES: {_unknown_required}"
+    )
+
 
 def _observability_pass(
     base: Path,
@@ -678,6 +693,14 @@ def observability_workload(
         )
 
     snapshot = passes["traced"][-1]["snapshot"]
+    # Runtime half of the metric-name contract (ned-lint NED-REG02 is the
+    # static half): every series the workload actually minted must be in
+    # the canonical table, so a phantom name cannot reach a dashboard.
+    phantom = validate_snapshot_names(snapshot)
+    if phantom:
+        raise AssertionError(
+            f"metrics snapshot contains non-canonical series names: {phantom}"
+        )
     histograms = snapshot["histograms"]
     missing = [name for name in REQUIRED_HISTOGRAMS if name not in histograms]
     if missing:

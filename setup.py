@@ -6,6 +6,24 @@ classic ``setup.py`` lets ``pip install -e .`` fall back to the legacy
 editable-install path with the locally available setuptools.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-ned",
+    version="0.9.0",
+    description=(
+        "Reproduction of NED (k-adjacent-tree / TED* graph node similarity) "
+        "grown into a sharded, cached, batch-serving engine"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            # experiment drivers (figures/tables + cache compaction)
+            "ned-experiments=repro.experiments.cli:main",
+            # AST-based invariant checker (see README "Static analysis")
+            "ned-lint=repro.analysis.cli:main",
+        ]
+    },
+)

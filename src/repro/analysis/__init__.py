@@ -1,0 +1,48 @@
+"""``repro.analysis`` — the engine's invariant checker (``ned-lint``).
+
+The engine's headline guarantees — bit-identical warm runs, one shared
+clock, atomic persistence, canonical fault-site and metric-name registries,
+typed failure semantics — were conventions enforced by review and one-off
+greps.  This package machine-enforces them: a small AST framework
+(:mod:`repro.analysis.core`) runs repo-specific rules
+(:mod:`repro.analysis.rules`, stable ``NED-*`` ids) over the tree, with
+justified ``# repro: allow[RULE-ID] reason`` suppressions and text/JSON
+reporters.  CI runs ``ned-lint`` with findings-as-failures, so a drifted
+metric name or an unseeded RNG fails the build instead of silently breaking
+a guarantee no tier-1 test targets.
+
+Run it::
+
+    ned-lint                     # or: python -m repro.analysis
+    ned-lint --list-rules
+    ned-lint --format json -o ned-lint.json src benchmarks examples
+"""
+
+from repro.analysis.core import (
+    AnalysisResult,
+    FileContext,
+    Finding,
+    PARSE_ERROR_ID,
+    REPORT_SCHEMA_VERSION,
+    Rule,
+    Suppression,
+    analyze_paths,
+    analyze_source,
+    parse_suppressions,
+)
+from repro.analysis.rules import ALL_RULES, default_rules
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisResult",
+    "FileContext",
+    "Finding",
+    "PARSE_ERROR_ID",
+    "REPORT_SCHEMA_VERSION",
+    "Rule",
+    "Suppression",
+    "analyze_paths",
+    "analyze_source",
+    "default_rules",
+    "parse_suppressions",
+]

@@ -1,0 +1,171 @@
+"""``ned-lint`` — the repository's invariant checker, as a command.
+
+Usage::
+
+    ned-lint                       # lint src/, benchmarks/, examples/
+    ned-lint src/repro             # lint one tree
+    ned-lint --format json -o report.json src benchmarks examples
+    ned-lint --list-rules          # rule table (ids, names, contracts)
+    ned-lint --select NED-DET01,NED-EXC01 src
+    ned-lint --show-suppressed src
+
+Exit codes: 0 — clean (suppressed findings allowed), 1 — at least one
+unsuppressed finding, 2 — usage error.  ``python -m repro.analysis`` is the
+same program.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.core import AnalysisResult, Rule, analyze_paths
+from repro.analysis.rules import ALL_RULES
+
+#: Directories linted when no paths are given (those that exist under cwd).
+DEFAULT_TARGETS = ("src", "benchmarks", "examples")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ned-lint",
+        description=(
+            "AST-based invariant checker for the NED engine: determinism, "
+            "layering, import hygiene, atomic persistence, fault-site and "
+            "metric-name registries, exception and lock discipline."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: src benchmarks examples)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=None,
+        help="write the report to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list suppressed findings (text format)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="directory findings are reported relative to (default: cwd)",
+    )
+    return parser
+
+
+def select_rules(select: Optional[str], ignore: Optional[str]) -> List[Rule]:
+    """Resolve ``--select``/``--ignore`` id lists to rule instances."""
+    known = {rule.rule_id: rule for rule in ALL_RULES}
+
+    def parse_ids(raw: str) -> List[str]:
+        ids = [part.strip() for part in raw.split(",") if part.strip()]
+        unknown = [rule_id for rule_id in ids if rule_id not in known]
+        if unknown:
+            raise SystemExit(
+                f"ned-lint: unknown rule id(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        return ids
+
+    chosen = list(ALL_RULES) if select is None else [known[i] for i in parse_ids(select)]
+    if ignore is not None:
+        dropped = set(parse_ids(ignore))
+        chosen = [rule for rule in chosen if rule.rule_id not in dropped]
+    return [rule() for rule in chosen]
+
+
+def render_rule_table() -> str:
+    width = max(len(rule.rule_id) for rule in ALL_RULES)
+    lines = [
+        f"{rule.rule_id:<{width}}  {rule.name:<24} {rule.description}"
+        for rule in ALL_RULES
+    ]
+    lines.append("")
+    lines.append(
+        "suppress with: # repro: allow[RULE-ID] <one-line reason>  "
+        "(reason mandatory; allow[*] covers every rule on the line)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_rule_table())
+        return 0
+
+    if args.paths:
+        targets = args.paths
+    else:
+        targets = [Path(name) for name in DEFAULT_TARGETS if Path(name).is_dir()]
+        if not targets:
+            parser.error(
+                "no paths given and none of src/, benchmarks/, examples/ "
+                "exist under the current directory"
+            )
+    missing = [str(path) for path in targets if not path.exists()]
+    if missing:
+        parser.error(f"path(s) do not exist: {', '.join(missing)}")
+
+    try:
+        rules = select_rules(args.select, args.ignore)
+    except SystemExit as error:
+        if isinstance(error.code, str):
+            print(error.code, file=sys.stderr)
+            return 2
+        raise
+
+    result: AnalysisResult = analyze_paths(targets, rules, root=args.root)
+    if args.format == "json":
+        report = result.render_json()
+    else:
+        report = result.render_text(show_suppressed=args.show_suppressed)
+    if args.output is not None:
+        args.output.write_text(report + "\n", encoding="utf-8")
+        summary = result.to_json()["summary"]
+        print(
+            f"ned-lint: wrote {args.format} report to {args.output} "
+            f"({summary['findings']} finding(s), "
+            f"{summary['suppressed']} suppressed)"
+        )
+    else:
+        print(report)
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console entry
+    raise SystemExit(main())

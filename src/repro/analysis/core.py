@@ -1,0 +1,384 @@
+"""The ``ned-lint`` framework: findings, suppressions, drivers, reporters.
+
+The analysis layer is deliberately small: a :class:`Rule` walks one parsed
+file (:class:`FileContext`) and yields :class:`Finding` s; the driver
+(:func:`analyze_paths`) parses each ``.py`` file once, runs every rule over
+it, and applies suppressions; two reporters render the result as text or a
+stable JSON document.  Rules live in :mod:`repro.analysis.rules`.
+
+Suppressions
+------------
+A finding is silenced by a justified allow comment on the finding's line or
+on the comment line directly above it::
+
+    return random.Random()  # repro: allow[NED-DET01] seed=None means OS-seeded
+
+The justification is **mandatory** — ``# repro: allow[NED-DET01]`` with no
+reason does not suppress (and is itself reported, so a bare allow can't rot
+silently).  ``allow[*]`` suppresses every rule on that line; a
+comma-separated list (``allow[NED-DET01,NED-DET02]``) suppresses several.
+Comments are read with :mod:`tokenize`, so an allow-shaped string literal
+never suppresses anything.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: JSON report schema version (bump on breaking shape changes).
+REPORT_SCHEMA_VERSION = 1
+
+#: Internal rule id for files the analyzer cannot parse.
+PARSE_ERROR_ID = "NED-AST00"
+
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<ids>[A-Za-z0-9*,\s-]+)\]\s*(?P<reason>.*)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    reason: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict export (one entry of the JSON report)."""
+        record: Dict[str, object] = {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+        if self.suppressed:
+            record["suppressed"] = True
+            record["reason"] = self.reason
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "Finding":
+        """Rebuild a finding from its :meth:`as_dict` form (round-trip)."""
+        return cls(
+            rule_id=str(record["rule"]),
+            path=str(record["path"]),
+            line=int(record["line"]),
+            col=int(record["col"]),
+            message=str(record["message"]),
+            suppressed=bool(record.get("suppressed", False)),
+            reason=str(record.get("reason", "")),
+        )
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One justified ``# repro: allow[...]`` comment."""
+
+    line: int
+    rule_ids: Tuple[str, ...]  # ("*",) allows every rule
+    reason: str
+
+    def covers(self, rule_id: str) -> bool:
+        return "*" in self.rule_ids or rule_id in self.rule_ids
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs about one parsed file."""
+
+    path: Path  # absolute location on disk
+    display_path: str  # as reported (relative, POSIX separators)
+    source: str
+    tree: ast.AST
+    #: ``repro``-rooted subpath (``"repro/ted/batch.py"``) when the file
+    #: lives inside the ``repro`` package, else ``None``.  Rules scope on
+    #: this so the analyzer behaves identically on checkouts and on the
+    #: temp-copy trees the meta-tests lint.
+    repro_path: Optional[str] = None
+    lines: List[str] = field(default_factory=list)
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule_id=rule_id,
+            path=self.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+    def in_repro(self, *prefixes: str) -> bool:
+        """True when the file sits under any ``repro/...`` prefix given."""
+        if self.repro_path is None:
+            return False
+        return any(
+            self.repro_path == prefix or self.repro_path.startswith(prefix.rstrip("/") + "/")
+            for prefix in prefixes
+        )
+
+
+class Rule:
+    """Base class for one checker: a stable id, docs, and a ``check``."""
+
+    rule_id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    @classmethod
+    def doc(cls) -> Dict[str, str]:
+        return {"id": cls.rule_id, "name": cls.name, "description": cls.description}
+
+
+def parse_suppressions(source: str) -> Tuple[List[Suppression], List[Finding]]:
+    """Extract allow comments; bare allows (no reason) come back as findings.
+
+    The second element reports ``allow[...]`` comments with an empty
+    justification — they do not suppress, and surfacing them keeps the
+    mandatory-reason contract machine-enforced too.  (Paths are filled in
+    by the driver.)
+    """
+    suppressions: List[Suppression] = []
+    bare: List[Finding] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            token for token in tokens if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return [], []
+    for token in comments:
+        match = _ALLOW_RE.search(token.string)
+        if match is None:
+            continue
+        ids = tuple(
+            part.strip() for part in match.group("ids").split(",") if part.strip()
+        )
+        reason = match.group("reason").strip()
+        if not ids:
+            continue
+        if not reason:
+            bare.append(
+                Finding(
+                    rule_id="NED-SUP00",
+                    path="",
+                    line=token.start[0],
+                    col=token.start[1] + 1,
+                    message=(
+                        "allow comment has no justification; write "
+                        "'# repro: allow[RULE-ID] <one-line reason>'"
+                    ),
+                )
+            )
+            continue
+        suppressions.append(Suppression(token.start[0], ids, reason))
+    return suppressions, bare
+
+
+def _suppression_for(
+    finding: Finding, by_line: Dict[int, List[Suppression]], lines: Sequence[str]
+) -> Optional[Suppression]:
+    """Find an allow covering ``finding``: same line, or the line above when
+    that line is a standalone comment."""
+    for suppression in by_line.get(finding.line, ()):
+        if suppression.covers(finding.rule_id):
+            return suppression
+    above = finding.line - 1
+    if 1 <= above <= len(lines) and lines[above - 1].lstrip().startswith("#"):
+        for suppression in by_line.get(above, ()):
+            if suppression.covers(finding.rule_id):
+                return suppression
+    return None
+
+
+def repro_subpath(path: Path) -> Optional[str]:
+    """``repro``-rooted POSIX subpath of ``path``, if it has one.
+
+    ``/any/where/src/repro/ted/batch.py`` → ``"repro/ted/batch.py"``; the
+    *last* ``repro`` component wins so nested scratch copies still resolve.
+    """
+    parts = path.parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return None
+
+
+def analyze_source(
+    source: str,
+    path: Path,
+    display_path: str,
+    rules: Sequence[Rule],
+) -> List[Finding]:
+    """Run ``rules`` over one file's source; suppressions applied."""
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return [
+            Finding(
+                rule_id=PARSE_ERROR_ID,
+                path=display_path,
+                line=error.lineno or 1,
+                col=(error.offset or 0) + 1,
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    ctx = FileContext(
+        path=path,
+        display_path=display_path,
+        source=source,
+        tree=tree,
+        repro_path=repro_subpath(path),
+        lines=source.splitlines(),
+    )
+    raw: List[Finding] = []
+    for rule in rules:
+        raw.extend(rule.check(ctx))
+    suppressions, bare_allows = parse_suppressions(source)
+    by_line: Dict[int, List[Suppression]] = {}
+    for suppression in suppressions:
+        by_line.setdefault(suppression.line, []).append(suppression)
+    findings: List[Finding] = []
+    for finding in sorted(raw, key=lambda f: (f.line, f.col, f.rule_id)):
+        covering = _suppression_for(finding, by_line, ctx.lines)
+        if covering is not None:
+            finding = Finding(
+                rule_id=finding.rule_id,
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                message=finding.message,
+                suppressed=True,
+                reason=covering.reason,
+            )
+        findings.append(finding)
+    for finding in bare_allows:
+        findings.append(
+            Finding(
+                rule_id=finding.rule_id,
+                path=display_path,
+                line=finding.line,
+                col=finding.col,
+                message=finding.message,
+            )
+        )
+    return findings
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` (files or directories),
+    skipping caches and hidden directories, in sorted order."""
+    seen = set()
+    for path in paths:
+        if path.is_file():
+            candidates: Iterable[Path] = [path] if path.suffix == ".py" else []
+        else:
+            candidates = sorted(path.rglob("*.py"))
+        for candidate in candidates:
+            if any(
+                part == "__pycache__" or part.startswith(".")
+                for part in candidate.parts
+            ):
+                continue
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            yield candidate
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    rules: Sequence[Rule],
+    root: Optional[Path] = None,
+) -> "AnalysisResult":
+    """Lint every python file under ``paths`` with ``rules``."""
+    root = (root or Path.cwd()).resolve()
+    findings: List[Finding] = []
+    files = 0
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        files += 1
+        try:
+            display = file_path.resolve().relative_to(root).as_posix()
+        except ValueError:
+            display = file_path.as_posix()
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(analyze_source(source, file_path.resolve(), display, rules))
+    return AnalysisResult(findings=findings, files=files, rules=list(rules))
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analysis run produced."""
+
+    findings: List[Finding]
+    files: int
+    rules: List[Rule]
+
+    @property
+    def active(self) -> List[Finding]:
+        """Unsuppressed findings — the ones that fail the build."""
+        return [finding for finding in self.findings if not finding.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.suppressed]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.active else 0
+
+    # ---------------------------------------------------------------- reports
+    def to_json(self) -> Dict[str, object]:
+        """Stable JSON document (schema asserted by the test suite)."""
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "tool": "ned-lint",
+            "rules": [type(rule).doc() for rule in self.rules],
+            "files_analyzed": self.files,
+            "findings": [finding.as_dict() for finding in self.active],
+            "suppressed": [finding.as_dict() for finding in self.suppressed],
+            "summary": {
+                "findings": len(self.active),
+                "suppressed": len(self.suppressed),
+                "exit_code": self.exit_code,
+            },
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=False)
+
+    def render_text(self, show_suppressed: bool = False) -> str:
+        """Human-oriented report: one ``path:line:col: ID message`` per finding."""
+        out: List[str] = []
+        for finding in self.active:
+            out.append(
+                f"{finding.path}:{finding.line}:{finding.col}: "
+                f"{finding.rule_id} {finding.message}"
+            )
+        if show_suppressed:
+            for finding in self.suppressed:
+                out.append(
+                    f"{finding.path}:{finding.line}:{finding.col}: "
+                    f"{finding.rule_id} [suppressed: {finding.reason}] "
+                    f"{finding.message}"
+                )
+        out.append(
+            f"ned-lint: {self.files} files, {len(self.active)} finding(s), "
+            f"{len(self.suppressed)} suppressed"
+        )
+        return "\n".join(out)

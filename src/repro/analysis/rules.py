@@ -1,0 +1,603 @@
+"""The ``ned-lint`` rule set — the engine's contracts, machine-enforced.
+
+Each rule encodes one convention earlier PRs established by hand and that a
+single drifted line would silently break:
+
+==========  ==============================================================
+id          contract
+==========  ==============================================================
+NED-DET01   no unseeded RNGs / global ``random`` (or ``numpy.random``)
+            state — determinism across warm runs and backends
+NED-DET02   no direct clock reads outside ``repro.utils.timer`` /
+            ``repro.obs`` — one ``perf_counter`` for every recorded number
+NED-LAY01   ``BoundedNedDistance`` is constructed only by
+            ``repro/engine/session.py``, ``repro/ted/`` and tests — every
+            other layer must share a session's warm resolver
+NED-IMP01   ``repro.ted`` top-level imports stay stdlib/``repro``-only —
+            numpy/scipy must be lazy or gated so tier-1 runs without them
+NED-PER01   no bare ``pickle.dump`` / binary-write ``open`` /
+            ``os.replace`` in ``repro/`` outside ``repro/utils/io.py`` —
+            all persistence goes through the atomic-write helpers
+NED-REG01   fault-site literals must be in ``repro.resilience.SITES``
+NED-REG02   metric-name literals must be in ``repro.obs.METRIC_NAMES`` (or
+            a registered dynamic family prefix)
+NED-EXC01   no bare ``except:``
+NED-EXC02   a broad ``except Exception`` may not swallow typed service
+            errors — re-raise ``DeadlineError``/``OverloadError`` first,
+            or re-raise/propagate the caught error
+NED-LCK01   an attribute mutated under ``with self._lock:`` anywhere in a
+            class is mutated under it everywhere (``__init__`` exempt)
+==========  ==============================================================
+
+Framework-level ids (not listed by ``--list-rules`` selectors): ``NED-AST00``
+(unparsable file) and ``NED-SUP00`` (allow comment without justification).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.core import FileContext, Finding, Rule
+from repro.obs.names import METRIC_PREFIXES, is_known_metric
+from repro.resilience.faults import SITES
+
+# Fallback stdlib table for interpreters predating ``sys.stdlib_module_names``
+# (3.9): the modules the repository actually imports at ``repro.ted`` top
+# level, which is all the hygiene rule needs to adjudicate.
+_STDLIB_FALLBACK = frozenset(
+    {
+        "__future__", "abc", "argparse", "ast", "asyncio", "bisect",
+        "collections", "contextlib", "copy", "csv", "dataclasses", "enum",
+        "functools", "hashlib", "heapq", "io", "itertools", "json", "math",
+        "os", "pathlib", "pickle", "queue", "random", "re", "shutil",
+        "string", "struct", "sys", "tempfile", "threading", "time",
+        "tokenize", "types", "typing", "warnings", "weakref",
+    }
+)
+
+STDLIB_MODULES = frozenset(getattr(sys, "stdlib_module_names", _STDLIB_FALLBACK))
+
+
+def _import_origins(tree: ast.AST) -> Dict[str, str]:
+    """Map local names to the dotted origins their imports bind.
+
+    ``import time as t`` → ``{"t": "time"}``; ``from time import
+    perf_counter as pc`` → ``{"pc": "time.perf_counter"}``.  All imports in
+    the file count, module-level or nested — the goal is resolving call
+    sites, not scoping.
+    """
+    origins: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    origins[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    origins[root] = root
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                origins[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return origins
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _resolved(node: ast.AST, origins: Dict[str, str]) -> Optional[str]:
+    """Dotted chain with its first segment resolved through the imports."""
+    chain = _dotted(node)
+    if chain is None:
+        return None
+    head, _, rest = chain.partition(".")
+    origin = origins.get(head, head)
+    return f"{origin}.{rest}" if rest else origin
+
+
+def _literal_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+class RngRule(Rule):
+    """NED-DET01 — unseeded RNG constructions and global random state."""
+
+    rule_id = "NED-DET01"
+    name = "unseeded-rng"
+    description = (
+        "random.Random()/SystemRandom()/numpy default_rng() without a seed, "
+        "or module-level random/numpy.random global-state calls, break "
+        "warm-run determinism; thread an explicit seed or rng through "
+        "repro.utils.rng.ensure_rng"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        origins = _import_origins(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _resolved(node.func, origins)
+            if target is None:
+                continue
+            if target in ("random.Random", "numpy.random.default_rng"):
+                if not node.args and not node.keywords:
+                    yield ctx.finding(
+                        self.rule_id, node, f"unseeded {target}() construction"
+                    )
+            elif target == "random.SystemRandom":
+                yield ctx.finding(
+                    self.rule_id, node, "random.SystemRandom is never deterministic"
+                )
+            elif target.startswith("random.") and target.count(".") == 1:
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"{target}() uses the process-global random state",
+                )
+            elif target.startswith("numpy.random.") and target != "numpy.random.default_rng":
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"{target}() uses numpy's process-global random state",
+                )
+
+
+class ClockRule(Rule):
+    """NED-DET02 — direct clock reads outside the shared clock source."""
+
+    rule_id = "NED-DET02"
+    name = "direct-clock"
+    description = (
+        "direct time.time/perf_counter/monotonic/process_time access outside "
+        "repro/utils/timer.py and repro/obs keeps timings off the one shared "
+        "clock; use repro.utils.timer.clock/Timer instead"
+    )
+
+    _CLOCKS = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "time.monotonic",
+            "time.monotonic_ns",
+            "time.process_time",
+            "time.process_time_ns",
+        }
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.in_repro("repro/utils/timer.py", "repro/obs"):
+            return
+        origins = _import_origins(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time" and node.level == 0:
+                for alias in node.names:
+                    if f"time.{alias.name}" in self._CLOCKS:
+                        yield ctx.finding(
+                            self.rule_id,
+                            node,
+                            f"import of time.{alias.name}; use "
+                            "repro.utils.timer.clock (the shared clock source)",
+                        )
+            elif isinstance(node, ast.Attribute):
+                target = _resolved(node, origins)
+                if target in self._CLOCKS:
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"direct {target} access; use repro.utils.timer.clock "
+                        "(the shared clock source)",
+                    )
+
+
+class ResolverBoundaryRule(Rule):
+    """NED-LAY01 — ``BoundedNedDistance`` construction boundary."""
+
+    rule_id = "NED-LAY01"
+    name = "resolver-boundary"
+    description = (
+        "BoundedNedDistance(...) may be constructed only in "
+        "repro/engine/session.py, repro/ted/ and tests; other layers must "
+        "go through a NedSession so they share its warm cache and policies"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.in_repro("repro/engine/session.py", "repro/ted"):
+            return
+        if any(part in ("tests", "test") for part in ctx.path.parts):
+            return
+        origins = _import_origins(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _resolved(node.func, origins)
+            if target is None:
+                continue
+            if target == "BoundedNedDistance" or target.endswith(".BoundedNedDistance"):
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    "BoundedNedDistance constructed outside the session/ted "
+                    "boundary; open a NedSession (or use its resolver) instead",
+                )
+
+
+class TedImportRule(Rule):
+    """NED-IMP01 — ``repro.ted`` top-level import hygiene."""
+
+    rule_id = "NED-IMP01"
+    name = "ted-import-hygiene"
+    description = (
+        "module-level imports in repro/ted/ must be stdlib or repro.*; "
+        "numpy/scipy must be imported lazily or inside a gated block so "
+        "tier-1 keeps running without them"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_repro("repro/ted"):
+            return
+        for node in ctx.tree.body if isinstance(ctx.tree, ast.Module) else []:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root not in STDLIB_MODULES and root != "repro":
+                        yield ctx.finding(
+                            self.rule_id,
+                            node,
+                            f"top-level import of third-party module "
+                            f"{alias.name!r} in repro.ted (make it lazy/gated)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level > 0:
+                    continue
+                root = (node.module or "").split(".")[0]
+                if root and root not in STDLIB_MODULES and root != "repro":
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"top-level import from third-party module "
+                        f"{node.module!r} in repro.ted (make it lazy/gated)",
+                    )
+
+
+class PersistenceRule(Rule):
+    """NED-PER01 — all persistence goes through ``repro.utils.io``."""
+
+    rule_id = "NED-PER01"
+    name = "atomic-persistence"
+    description = (
+        "bare pickle.dump / open(..., 'wb') / os.replace in repro/ outside "
+        "repro/utils/io.py can leave torn files on a crash; use "
+        "atomic_pickle_dump / the io helpers"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.repro_path is None or ctx.in_repro("repro/utils/io.py"):
+            return
+        origins = _import_origins(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _resolved(node.func, origins)
+            if target in ("pickle.dump", "os.replace", "os.rename"):
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"direct {target} call; persist via "
+                    "repro.utils.io.atomic_pickle_dump (atomic writes only)",
+                )
+                continue
+            # open(path, "wb"-ish) — builtin or Path.open method alike.
+            is_open = target == "open" or (
+                isinstance(node.func, ast.Attribute) and node.func.attr == "open"
+            )
+            if not is_open:
+                continue
+            mode = None
+            if len(node.args) >= 2:
+                mode = _literal_str(node.args[1])
+            elif len(node.args) >= 1 and target != "open":
+                mode = _literal_str(node.args[0])
+            for keyword in node.keywords:
+                if keyword.arg == "mode":
+                    mode = _literal_str(keyword.value)
+            if mode is not None and "w" in mode and "b" in mode:
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"binary write open(..., {mode!r}); persist via "
+                    "repro.utils.io.atomic_pickle_dump (atomic writes only)",
+                )
+
+
+class FaultSiteRule(Rule):
+    """NED-REG01 — fault-site literals come from the canonical registry."""
+
+    rule_id = "NED-REG01"
+    name = "fault-site-registry"
+    description = (
+        "fire('...')/FaultSpec('...') site literals must be in "
+        "repro.resilience.SITES; an unknown site never fires, so a typo "
+        "silently disables the fault it meant to schedule"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            site: Optional[str] = None
+            if isinstance(node.func, ast.Attribute) and node.func.attr == "fire":
+                if node.args:
+                    site = _literal_str(node.args[0])
+            else:
+                chain = _dotted(node.func)
+                if chain is not None and chain.split(".")[-1] == "FaultSpec":
+                    if node.args:
+                        site = _literal_str(node.args[0])
+                    for keyword in node.keywords:
+                        if keyword.arg == "site":
+                            site = _literal_str(keyword.value)
+                        if keyword.arg == "custom":
+                            site = None  # explicitly application-defined
+            if site is not None and site not in SITES:
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"unknown fault site {site!r}; the canonical registry "
+                    f"(repro.resilience.SITES) has {sorted(SITES)}",
+                )
+
+
+class MetricNameRule(Rule):
+    """NED-REG02 — metric-name literals come from the canonical table."""
+
+    rule_id = "NED-REG02"
+    name = "metric-name-registry"
+    description = (
+        "inc/observe/set_gauge/time/histogram name literals must be in "
+        "repro.obs.METRIC_NAMES (or start a registered dynamic family); a "
+        "typo mints a phantom series no dashboard or assertion watches"
+    )
+
+    _METHODS = frozenset(
+        {"inc", "observe", "set_gauge", "gauge", "histogram", "counter", "time", "_timed"}
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in self._METHODS or not node.args:
+                continue
+            first = node.args[0]
+            name = _literal_str(first)
+            if name is not None:
+                if not is_known_metric(name):
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"metric name {name!r} is not in the canonical table "
+                        "(repro.obs.METRIC_NAMES / METRIC_PREFIXES)",
+                    )
+                continue
+            if isinstance(first, ast.JoinedStr) and first.values:
+                head = first.values[0]
+                prefix = _literal_str(head) if isinstance(head, ast.Constant) else None
+                if prefix is None:
+                    continue  # fully dynamic; runtime validation covers it
+                if not any(
+                    prefix.startswith(known) or known.startswith(prefix)
+                    for known in METRIC_PREFIXES
+                ):
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"dynamic metric name starting {prefix!r} matches no "
+                        "registered family in repro.obs.METRIC_PREFIXES",
+                    )
+
+
+class BareExceptRule(Rule):
+    """NED-EXC01 — no bare ``except:``."""
+
+    rule_id = "NED-EXC01"
+    name = "bare-except"
+    description = (
+        "bare except: catches SystemExit/KeyboardInterrupt and every typed "
+        "engine error alike; name the exceptions (or Exception, subject to "
+        "NED-EXC02)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield ctx.finding(self.rule_id, node, "bare except: clause")
+
+
+_TYPED_SERVICE_ERRORS = ("DeadlineError", "OverloadError")
+
+
+def _handler_names(handler: ast.ExceptHandler) -> Set[str]:
+    """Leaf class names a handler catches (``a.b.DeadlineError`` → that)."""
+    names: Set[str] = set()
+    node = handler.type
+    if node is None:
+        return names
+    elements = node.elts if isinstance(node, ast.Tuple) else [node]
+    for element in elements:
+        chain = _dotted(element)
+        if chain is not None:
+            names.add(chain.split(".")[-1])
+    return names
+
+
+class BroadExceptRule(Rule):
+    """NED-EXC02 — broad handlers must not swallow typed service errors."""
+
+    rule_id = "NED-EXC02"
+    name = "swallowed-service-errors"
+    description = (
+        "an except Exception handler that neither re-raises nor propagates "
+        "the caught error can swallow DeadlineError/OverloadError; add an "
+        "'except (DeadlineError, OverloadError): raise' arm first, or "
+        "re-raise/record the error"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            typed_first = False
+            for handler in node.handlers:
+                caught = _handler_names(handler)
+                if any(name in caught for name in _TYPED_SERVICE_ERRORS):
+                    typed_first = True
+                    continue
+                # ReproError/ResilienceError are ancestors of the typed
+                # service errors, so catching them is just as swallowing.
+                if not caught & {
+                    "Exception",
+                    "BaseException",
+                    "ReproError",
+                    "ResilienceError",
+                }:
+                    continue
+                if typed_first:
+                    continue  # service errors already peeled off and re-raised
+                if self._propagates(handler):
+                    continue
+                yield ctx.finding(
+                    self.rule_id,
+                    handler,
+                    "broad except may swallow DeadlineError/OverloadError: "
+                    "peel them off with a typed re-raise arm first, or "
+                    "re-raise/propagate the caught error",
+                )
+
+    @staticmethod
+    def _propagates(handler: ast.ExceptHandler) -> bool:
+        """True when the handler re-raises or uses the caught exception."""
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if (
+                handler.name is not None
+                and isinstance(node, ast.Name)
+                and node.id == handler.name
+                and isinstance(node.ctx, ast.Load)
+            ):
+                return True
+        return False
+
+
+class LockDisciplineRule(Rule):
+    """NED-LCK01 — attributes guarded by ``self._lock`` stay guarded."""
+
+    rule_id = "NED-LCK01"
+    name = "lock-discipline"
+    description = (
+        "an attribute assigned under 'with self.<lock>:' somewhere in a "
+        "class but assigned without it elsewhere (outside __init__) is a "
+        "data race waiting for a second thread"
+    )
+
+    _EXEMPT_METHODS = frozenset({"__init__", "__new__", "__del__"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.repro_path is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(self, ctx: FileContext, cls: ast.ClassDef) -> Iterator[Finding]:
+        locked: Set[str] = set()
+        unlocked: List[Tuple[str, ast.AST]] = []
+        uses_lock = False
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            exempt = method.name in self._EXEMPT_METHODS
+            for name, site, under_lock in self._walk_method(method):
+                uses_lock = uses_lock or under_lock
+                if under_lock:
+                    locked.add(name)
+                elif not exempt:
+                    unlocked.append((name, site))
+        if not uses_lock:
+            return
+        for name, site in unlocked:
+            if name in locked:
+                yield ctx.finding(
+                    self.rule_id,
+                    site,
+                    f"attribute self.{name} is assigned under the lock "
+                    f"elsewhere in {cls.name} but without it here",
+                )
+
+    @staticmethod
+    def _is_self_lock(item: ast.withitem) -> bool:
+        chain = _dotted(item.context_expr)
+        return chain is not None and chain.startswith("self.") and "lock" in chain.lower()
+
+    def _walk_method(
+        self, method: ast.AST
+    ) -> Iterator[Tuple[str, ast.AST, bool]]:
+        """Yield ``(attr, node, under_lock)`` for each ``self.X`` store."""
+
+        def visit(node: ast.AST, under: bool) -> Iterator[Tuple[str, ast.AST, bool]]:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                inner = under or any(self._is_self_lock(item) for item in node.items)
+                for child in ast.iter_child_nodes(node):
+                    yield from visit(child, inner)
+                return
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        yield (target.attr, node, under)
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child, under)
+
+        for child in ast.iter_child_nodes(method):
+            yield from visit(child, False)
+
+
+#: Every shipped rule, in reporting order.  Stable ids are the public API:
+#: suppressions, --select/--ignore and the JSON report all key on them.
+ALL_RULES: Sequence[type] = (
+    RngRule,
+    ClockRule,
+    ResolverBoundaryRule,
+    TedImportRule,
+    PersistenceRule,
+    FaultSiteRule,
+    MetricNameRule,
+    BareExceptRule,
+    BroadExceptRule,
+    LockDisciplineRule,
+)
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every shipped rule."""
+    return [rule() for rule in ALL_RULES]

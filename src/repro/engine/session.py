@@ -499,6 +499,10 @@ class NedSession:
                     load, site="sidecar.load", metrics=self.metrics
                 )
             return load()
+        except (DeadlineError, OverloadError):
+            # Service-protection errors are never downgraded to a cold
+            # start: they mean "stop", not "the sidecar is broken".
+            raise
         except ReproError as error:
             if self._sidecar_policy != "cold_start":
                 raise
@@ -523,6 +527,10 @@ class NedSession:
                     save, site="sidecar.save", metrics=self.metrics
                 )
             return save()
+        except (DeadlineError, OverloadError):
+            # Service-protection errors are never downgraded to a warn +
+            # cold start; the caller owns deadline/overload handling.
+            raise
         except ReproError as error:
             if self._sidecar_policy != "cold_start":
                 raise

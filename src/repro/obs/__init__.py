@@ -41,6 +41,13 @@ from repro.obs.metrics import (
     MetricsRegistry,
     merge_snapshots,
 )
+from repro.obs.names import (
+    METRIC_NAMES,
+    METRIC_PREFIXES,
+    is_known_metric,
+    unknown_metric_names,
+    validate_snapshot_names,
+)
 from repro.obs.render import render_metrics_summary, render_trace_summary
 from repro.obs.tracing import (
     NULL_TRACER,
@@ -62,6 +69,11 @@ __all__ = [
     "MetricsRegistry",
     "merge_snapshots",
     "DEFAULT_BUCKETS_PER_DECADE",
+    "METRIC_NAMES",
+    "METRIC_PREFIXES",
+    "is_known_metric",
+    "unknown_metric_names",
+    "validate_snapshot_names",
     "render_trace_summary",
     "render_metrics_summary",
     "configure",

@@ -22,6 +22,7 @@ from repro.exceptions import (
 from repro.resilience.faults import (
     FAULT_KINDS,
     FAULT_SITES,
+    SITES,
     FaultPlan,
     FaultSpec,
     ResilienceWarning,
@@ -59,4 +60,5 @@ __all__ = [
     "ResilienceWarning",
     "RetryPolicy",
     "SIDECAR_POLICIES",
+    "SITES",
 ]

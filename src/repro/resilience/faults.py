@@ -53,9 +53,13 @@ from repro.exceptions import FaultInjectedError, ResilienceError
 #: Fault kinds a spec may request.
 FAULT_KINDS = ("error", "delay", "corrupt", "kill")
 
-#: Every instrumented site (documentation + validation; custom sites work too
-#: but typos in chaos schedules are worth catching early).
-FAULT_SITES = (
+#: The canonical fault-site registry: every instrumented site, in one
+#: importable table.  Both halves of the contract consume it — runtime
+#: (:class:`FaultSpec` rejects unknown sites unless ``custom=True``, so a
+#: typo in a chaos schedule fails fast instead of silently never firing)
+#: and static analysis (``ned-lint`` rule ``NED-REG01`` cross-checks every
+#: ``fire("...")``/``FaultSpec("...")`` literal in the tree against it).
+SITES = (
     "shards.decode",
     "sidecar.load",
     "sidecar.save",
@@ -65,6 +69,9 @@ FAULT_SITES = (
     "serving.tick",
     "io.replace",
 )
+
+#: Backward-compatible alias for :data:`SITES`.
+FAULT_SITES = SITES
 
 
 class ResilienceWarning(UserWarning):
@@ -84,7 +91,8 @@ class FaultSpec:
     Parameters
     ----------
     site:
-        The instrumented site name (see :data:`FAULT_SITES`).
+        The instrumented site name (see :data:`SITES`); unknown sites are
+        rejected unless ``custom=True``.
     kind:
         ``"error"`` raises (``error`` or :class:`FaultInjectedError`);
         ``"delay"`` sleeps ``delay`` seconds; ``"corrupt"`` tells the site
@@ -104,6 +112,9 @@ class FaultSpec:
         Sleep duration for ``kind="delay"``.
     error:
         Exception instance (or class) to raise for ``"error"``/``"kill"``.
+    custom:
+        Opt out of site validation for a site not in :data:`SITES` (an
+        application-defined injection point outside the engine's registry).
     """
 
     site: str
@@ -113,8 +124,14 @@ class FaultSpec:
     probability: float = 1.0
     delay: float = 0.05
     error: Union[BaseException, Type[BaseException], None] = None
+    custom: bool = False
 
     def __post_init__(self) -> None:
+        if not self.custom and self.site not in SITES:
+            raise ResilienceError(
+                f"unknown fault site {self.site!r}; expected one of {SITES} "
+                "(pass custom=True for an application-defined site)"
+            )
         if self.kind not in FAULT_KINDS:
             raise ResilienceError(
                 f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"

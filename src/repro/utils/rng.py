@@ -25,6 +25,7 @@ def ensure_rng(seed: RngLike = None) -> random.Random:
     if isinstance(seed, random.Random):
         return seed
     if seed is None:
+        # repro: allow[NED-DET01] seed=None is the documented opt-in to an OS-seeded generator
         return random.Random()
     if isinstance(seed, int):
         return random.Random(seed)

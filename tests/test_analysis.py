@@ -1,0 +1,476 @@
+"""Tests for ``repro.analysis`` — the ``ned-lint`` invariant checker.
+
+Three layers:
+
+* per-rule fixtures — every shipped rule gets a positive hit, a suppressed
+  hit and a clean snippet, so a rule that silently stops firing (or starts
+  over-firing) is caught here before it rots in CI;
+* framework semantics — suppression syntax (mandatory reason, ``allow[*]``,
+  comment-above form), the JSON report schema and its round-trip, CLI exit
+  codes and selection;
+* meta-tests — ``ned-lint`` over the committed tree exits 0, and injecting
+  a seeded violation (an unseeded ``random.Random()`` dropped into a temp
+  copy of ``repro/ted``) flips the exit to 1 — the acceptance criterion
+  that proves the CI job actually guards the contracts.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    ALL_RULES,
+    AnalysisResult,
+    Finding,
+    REPORT_SCHEMA_VERSION,
+    analyze_paths,
+    analyze_source,
+    default_rules,
+    parse_suppressions,
+)
+from repro.analysis.cli import main as ned_lint_main
+from repro.exceptions import ResilienceError
+from repro.obs.names import (
+    METRIC_NAMES,
+    is_known_metric,
+    unknown_metric_names,
+    validate_snapshot_names,
+)
+from repro.resilience import SITES, FaultSpec
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def lint(source: str, relpath: str = "src/repro/scratch.py"):
+    """Run every rule over one snippet 'located' at ``relpath``."""
+    return analyze_source(
+        source, REPO_ROOT / relpath, relpath, default_rules()
+    )
+
+
+def active_ids(findings):
+    return [finding.rule_id for finding in findings if not finding.suppressed]
+
+
+def suppressed_ids(findings):
+    return [finding.rule_id for finding in findings if finding.suppressed]
+
+
+# --------------------------------------------------------------------------
+# Per-rule fixtures: (rule id, violating snippet, clean snippet, path).
+# The suppressed variant is generated from the violating one by appending a
+# justified allow comment to the flagged line.
+# --------------------------------------------------------------------------
+RULE_FIXTURES = [
+    (
+        "NED-DET01",
+        "import random\nvalue = random.Random()\n",
+        "import random\nvalue = random.Random(42)\n",
+        "src/repro/scratch.py",
+    ),
+    (
+        "NED-DET01",
+        "import random\nrandom.shuffle(items)\n",
+        "from repro.utils.rng import ensure_rng\nensure_rng(7).shuffle(items)\n",
+        "benchmarks/scratch.py",
+    ),
+    (
+        "NED-DET02",
+        "import time\nstart = time.perf_counter()\n",
+        "from repro.utils.timer import clock\nstart = clock()\n",
+        "src/repro/engine/scratch.py",
+    ),
+    (
+        "NED-DET02",
+        "from time import monotonic\n",
+        "import time\ntime.sleep(0.1)\n",
+        "examples/scratch.py",
+    ),
+    (
+        "NED-LAY01",
+        "from repro.ted.resolver import BoundedNedDistance\n"
+        "resolver = BoundedNedDistance(k=3)\n",
+        "from repro.engine.session import NedSession\nsession = NedSession(store)\n",
+        "src/repro/engine/scratch.py",
+    ),
+    (
+        "NED-IMP01",
+        "import numpy as np\n",
+        "try:\n    import numpy as np\nexcept ImportError:\n    np = None\n",
+        "src/repro/ted/scratch.py",
+    ),
+    (
+        "NED-PER01",
+        "import pickle\n\ndef save(payload, handle):\n    pickle.dump(payload, handle)\n",
+        "from repro.utils.io import atomic_pickle_dump\n\n"
+        "def save(payload, path):\n    atomic_pickle_dump(payload, path)\n",
+        "src/repro/engine/scratch.py",
+    ),
+    (
+        "NED-REG01",
+        'plan.fire("shards.decoed")\n',
+        'plan.fire("shards.decode")\n',
+        "src/repro/engine/scratch.py",
+    ),
+    (
+        "NED-REG02",
+        'metrics.inc("shards.laods")\n',
+        'metrics.inc("shards.loads")\n',
+        "src/repro/engine/scratch.py",
+    ),
+    (
+        "NED-EXC01",
+        "try:\n    work()\nexcept:\n    pass\n",
+        "try:\n    work()\nexcept ValueError:\n    pass\n",
+        "src/repro/scratch.py",
+    ),
+    (
+        "NED-EXC02",
+        "try:\n    work()\nexcept Exception:\n    fallback()\n",
+        "try:\n    work()\n"
+        "except (DeadlineError, OverloadError):\n    raise\n"
+        "except Exception:\n    fallback()\n",
+        "src/repro/scratch.py",
+    ),
+    (
+        "NED-LCK01",
+        "class Store:\n"
+        "    def locked(self):\n"
+        "        with self._lock:\n"
+        "            self.count = 1\n"
+        "    def unlocked(self):\n"
+        "        self.count = 2\n",
+        "class Store:\n"
+        "    def __init__(self):\n"
+        "        self.count = 0\n"
+        "    def locked(self):\n"
+        "        with self._lock:\n"
+        "            self.count = 1\n",
+        "src/repro/engine/scratch.py",
+    ),
+]
+
+
+def _suppress_flagged_line(source: str, line: int, rule_id: str) -> str:
+    lines = source.splitlines()
+    lines[line - 1] += f"  # repro: allow[{rule_id}] intentional in this fixture"
+    return "\n".join(lines) + "\n"
+
+
+class TestRuleFixtures:
+    @pytest.mark.parametrize(
+        "rule_id,bad,good,relpath",
+        RULE_FIXTURES,
+        ids=[f"{rid}-{i}" for i, (rid, *_rest) in enumerate(RULE_FIXTURES)],
+    )
+    def test_positive_suppressed_clean(self, rule_id, bad, good, relpath):
+        hits = lint(bad, relpath)
+        assert rule_id in active_ids(hits), f"{rule_id} did not fire on:\n{bad}"
+
+        flagged_line = next(
+            finding.line for finding in hits if finding.rule_id == rule_id
+        )
+        suppressed_source = _suppress_flagged_line(bad, flagged_line, rule_id)
+        silenced = lint(suppressed_source, relpath)
+        assert rule_id not in active_ids(silenced)
+        assert rule_id in suppressed_ids(silenced)
+
+        clean = lint(good, relpath)
+        assert rule_id not in active_ids(clean), (
+            f"{rule_id} false positive on:\n{good}"
+        )
+
+    def test_every_shipped_rule_has_a_fixture(self):
+        covered = {rule_id for rule_id, *_rest in RULE_FIXTURES}
+        shipped = {rule.rule_id for rule in ALL_RULES}
+        assert covered == shipped
+
+    def test_rule_ids_are_stable_and_unique(self):
+        ids = [rule.rule_id for rule in ALL_RULES]
+        assert len(ids) == len(set(ids))
+        assert all(rule_id.startswith("NED-") for rule_id in ids)
+        assert len(ids) >= 7  # the PR's floor
+
+
+class TestScoping:
+    def test_clock_allowed_in_timer_and_obs(self):
+        source = "import time\nstart = time.perf_counter()\n"
+        for relpath in ("src/repro/utils/timer.py", "src/repro/obs/tracing.py"):
+            assert active_ids(lint(source, relpath)) == []
+
+    def test_resolver_construction_allowed_in_session_ted_tests(self):
+        source = (
+            "from repro.ted.resolver import BoundedNedDistance\n"
+            "resolver = BoundedNedDistance(k=3)\n"
+        )
+        for relpath in (
+            "src/repro/engine/session.py",
+            "src/repro/ted/resolver.py",
+            "tests/test_resolver.py",
+        ):
+            assert active_ids(lint(source, relpath)) == []
+
+    def test_persistence_rule_only_guards_repro(self):
+        source = "import pickle\npickle.dump(1, handle)\n"
+        assert "NED-PER01" in active_ids(lint(source, "src/repro/engine/x.py"))
+        assert "NED-PER01" not in active_ids(lint(source, "benchmarks/x.py"))
+
+    def test_custom_fault_spec_opt_out_is_not_flagged(self):
+        source = 'spec = FaultSpec("app.site", custom=True)\n'
+        assert active_ids(lint(source, "src/repro/scratch.py")) == []
+
+
+class TestSuppressions:
+    def test_reason_is_mandatory(self):
+        source = "import random\nrandom.shuffle(items)  # repro: allow[NED-DET01]\n"
+        findings = lint(source)
+        ids = active_ids(findings)
+        assert "NED-DET01" in ids  # not suppressed
+        assert "NED-SUP00" in ids  # and the bare allow is itself reported
+
+    def test_star_allows_every_rule_on_the_line(self):
+        source = (
+            "import random\n"
+            "random.shuffle(items)  # repro: allow[*] fixture needs global state\n"
+        )
+        findings = lint(source)
+        assert active_ids(findings) == []
+        assert "NED-DET01" in suppressed_ids(findings)
+
+    def test_comment_line_above_suppresses(self):
+        source = (
+            "import random\n"
+            "# repro: allow[NED-DET01] exercised by the suppression tests\n"
+            "random.shuffle(items)\n"
+        )
+        findings = lint(source)
+        assert active_ids(findings) == []
+
+    def test_allow_inside_string_literal_does_not_suppress(self):
+        source = (
+            'text = "# repro: allow[NED-DET01] not a comment"\n'
+            "import random\n"
+            "random.shuffle(items)\n"
+        )
+        assert "NED-DET01" in active_ids(lint(source))
+
+    def test_comma_separated_ids(self):
+        source = (
+            "import random\n"
+            "random.shuffle(items)  "
+            "# repro: allow[NED-DET02, NED-DET01] both rules intentional here\n"
+        )
+        assert active_ids(lint(source)) == []
+
+    def test_parse_suppressions_reports_reasons(self):
+        suppressions, bare = parse_suppressions(
+            "x = 1  # repro: allow[NED-EXC01] because the fixture says so\n"
+        )
+        assert len(suppressions) == 1 and not bare
+        assert suppressions[0].rule_ids == ("NED-EXC01",)
+        assert suppressions[0].reason == "because the fixture says so"
+
+
+class TestReporters:
+    def _result(self) -> AnalysisResult:
+        findings = lint(
+            "import random\n"
+            "random.shuffle(a)\n"
+            "random.choice(a)  # repro: allow[NED-DET01] fixture keeps one suppressed\n"
+        )
+        return AnalysisResult(findings=findings, files=1, rules=default_rules())
+
+    def test_json_schema(self):
+        report = self._result().to_json()
+        assert report["schema_version"] == REPORT_SCHEMA_VERSION
+        assert report["tool"] == "ned-lint"
+        assert {doc["id"] for doc in report["rules"]} == {
+            rule.rule_id for rule in ALL_RULES
+        }
+        assert all(
+            set(doc) == {"id", "name", "description"} for doc in report["rules"]
+        )
+        assert report["files_analyzed"] == 1
+        assert report["summary"] == {
+            "findings": 1,
+            "suppressed": 1,
+            "exit_code": 1,
+        }
+        (finding,) = report["findings"]
+        assert set(finding) == {"rule", "path", "line", "col", "message"}
+        (suppressed,) = report["suppressed"]
+        assert suppressed["suppressed"] is True and suppressed["reason"]
+
+    def test_json_round_trips_through_findings(self):
+        result = self._result()
+        encoded = json.loads(result.render_json())
+        rebuilt = [
+            Finding.from_dict(record)
+            for record in encoded["findings"] + encoded["suppressed"]
+        ]
+        assert rebuilt == result.active + result.suppressed
+
+    def test_text_report_shape(self):
+        text = self._result().render_text(show_suppressed=True)
+        lines = text.splitlines()
+        assert lines[0].startswith("src/repro/scratch.py:2:")
+        assert "NED-DET01" in lines[0]
+        assert "[suppressed:" in lines[1]
+        assert lines[-1] == "ned-lint: 1 files, 1 finding(s), 1 suppressed"
+
+    def test_unparsable_file_is_a_finding(self):
+        findings = lint("def broken(:\n")
+        assert active_ids(findings) == ["NED-AST00"]
+
+
+class TestCli:
+    def test_list_rules(self, capsys):
+        assert ned_lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.rule_id in out
+        assert "repro: allow[RULE-ID]" in out
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("VALUE = 1\n", encoding="utf-8")
+        assert ned_lint_main([str(target)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one_and_select_ignore(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("try:\n    f()\nexcept:\n    pass\n", encoding="utf-8")
+        assert ned_lint_main([str(target)]) == 1
+        capsys.readouterr()
+        assert ned_lint_main([str(target), "--select", "NED-DET01"]) == 0
+        capsys.readouterr()
+        assert ned_lint_main([str(target), "--ignore", "NED-EXC01"]) == 0
+
+    def test_unknown_rule_id_is_usage_error(self, tmp_path, capsys):
+        target = tmp_path / "x.py"
+        target.write_text("VALUE = 1\n", encoding="utf-8")
+        assert ned_lint_main([str(target), "--select", "NED-NOPE"]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_json_output_file(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("try:\n    f()\nexcept:\n    pass\n", encoding="utf-8")
+        out_file = tmp_path / "report.json"
+        code = ned_lint_main(
+            [str(target), "--format", "json", "-o", str(out_file)]
+        )
+        assert code == 1
+        report = json.loads(out_file.read_text(encoding="utf-8"))
+        assert report["summary"]["findings"] == 1
+        assert report["findings"][0]["rule"] == "NED-EXC01"
+        assert "wrote json report" in capsys.readouterr().out
+
+
+class TestRegistries:
+    def test_fault_spec_rejects_unknown_sites(self):
+        with pytest.raises(ResilienceError, match="unknown fault site"):
+            FaultSpec("shards.decoed")
+
+    def test_fault_spec_custom_opt_out(self):
+        spec = FaultSpec("app.defined", custom=True)
+        assert spec.site == "app.defined"
+
+    def test_every_canonical_site_constructs(self):
+        for site in SITES:
+            assert FaultSpec(site).site == site
+
+    def test_metric_name_lookup(self):
+        assert is_known_metric("shards.loads")
+        assert is_known_metric("resilience.retries.sidecar.load")
+        assert not is_known_metric("shards.laods")
+        assert unknown_metric_names(["shards.loads", "nope"]) == ["nope"]
+
+    def test_validate_snapshot_names(self):
+        snapshot = {
+            "counters": {"shards.loads": 3, "phantom.series": 1},
+            "gauges": {"serving.queue_depth": 0.0},
+            "histograms": {"resolver.exact_seconds": {"count": 1}},
+        }
+        assert validate_snapshot_names(snapshot) == ["phantom.series"]
+
+    def test_metric_names_are_dotted_and_sorted_friendly(self):
+        assert all("." in name for name in METRIC_NAMES)
+
+
+class TestMetaLint:
+    """ned-lint over the committed tree — the CI job in miniature."""
+
+    @pytest.mark.parametrize("target", ["src/repro", "benchmarks", "examples"])
+    def test_committed_tree_is_clean(self, target):
+        result = analyze_paths(
+            [REPO_ROOT / target], default_rules(), root=REPO_ROOT
+        )
+        assert result.files > 0
+        messages = [
+            f"{finding.path}:{finding.line}: {finding.rule_id} {finding.message}"
+            for finding in result.active
+        ]
+        assert not messages, "ned-lint findings on the committed tree:\n" + "\n".join(
+            messages
+        )
+        assert result.exit_code == 0
+
+    def test_committed_suppressions_all_carry_reasons(self):
+        result = analyze_paths(
+            [REPO_ROOT / "src"], default_rules(), root=REPO_ROOT
+        )
+        for finding in result.suppressed:
+            assert finding.reason.strip(), finding
+
+    def test_injected_violation_fails_the_build(self, tmp_path):
+        """Acceptance criterion: seed a violation into a temp copy of
+        repro/ted and the analyzer must exit nonzero."""
+        copy = tmp_path / "repro"
+        shutil.copytree(
+            REPO_ROOT / "src" / "repro",
+            copy,
+            ignore=shutil.ignore_patterns("__pycache__"),
+        )
+        clean = analyze_paths([copy], default_rules(), root=tmp_path)
+        assert clean.exit_code == 0  # the copy starts as clean as the tree
+
+        violation = copy / "ted" / "seeded_violation.py"
+        violation.write_text(
+            "import random\n\n_RNG = random.Random()\n", encoding="utf-8"
+        )
+        dirty = analyze_paths([copy], default_rules(), root=tmp_path)
+        assert dirty.exit_code == 1
+        hits = [
+            finding
+            for finding in dirty.active
+            if finding.rule_id == "NED-DET01"
+            and finding.path.endswith("ted/seeded_violation.py")
+        ]
+        assert len(hits) == 1
+
+        # And through the console entry point, as CI runs it.
+        assert ned_lint_main([str(copy)]) == 1
+
+    def test_injected_clock_and_import_violations_also_fail(self, tmp_path):
+        copy = tmp_path / "repro"
+        shutil.copytree(
+            REPO_ROOT / "src" / "repro",
+            copy,
+            ignore=shutil.ignore_patterns("__pycache__"),
+        )
+        (copy / "engine" / "drift.py").write_text(
+            "import time\n\n\ndef stamp():\n    return time.time()\n",
+            encoding="utf-8",
+        )
+        (copy / "ted" / "eager.py").write_text(
+            "import numpy as np\n", encoding="utf-8"
+        )
+        result = analyze_paths([copy], default_rules(), root=tmp_path)
+        assert {finding.rule_id for finding in result.active} >= {
+            "NED-DET02",
+            "NED-IMP01",
+        }
