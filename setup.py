@@ -24,6 +24,8 @@ setup(
             "ned-experiments=repro.experiments.cli:main",
             # AST-based invariant checker (see README "Static analysis")
             "ned-lint=repro.analysis.cli:main",
+            # multi-process NED service (see README "Serving")
+            "ned-serve=repro.serving.cli:main",
         ]
     },
 )

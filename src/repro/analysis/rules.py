@@ -21,6 +21,9 @@ NED-PER01   no bare ``pickle.dump`` / binary-write ``open`` /
 NED-REG01   fault-site literals must be in ``repro.resilience.SITES``
 NED-REG02   metric-name literals must be in ``repro.obs.METRIC_NAMES`` (or
             a registered dynamic family prefix)
+NED-WIRE01  serving-package wire literals (field names, plan kinds, error
+            kinds, endpoint paths) must be spelled via the canonical
+            constants in ``repro.serving.protocol``
 NED-EXC01   no bare ``except:``
 NED-EXC02   a broad ``except Exception`` may not swallow typed service
             errors — re-raise ``DeadlineError``/``OverloadError`` first,
@@ -410,6 +413,68 @@ class MetricNameRule(Rule):
                     )
 
 
+class WireVocabularyRule(Rule):
+    """NED-WIRE01 — wire literals come from the protocol's canonical table."""
+
+    rule_id = "NED-WIRE01"
+    name = "wire-vocabulary"
+    description = (
+        "a string literal inside repro/serving/ equal to a wire field / plan "
+        "kind / error kind / endpoint path duplicates the schema by hand; "
+        "reference the canonical constant from repro.serving.protocol "
+        "(F_*/KIND_*/ERROR_*/PATH_*) so the wire vocabulary has one spelling"
+    )
+
+    #: Mapping-access methods whose first argument is a key literal.
+    _KEY_METHODS = frozenset({"get", "pop", "setdefault"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_repro("repro/serving"):
+            return
+        if ctx.in_repro("repro/serving/protocol.py"):
+            return
+        # Imported lazily so linting a tree without the serving package (or
+        # with a broken one) degrades to skipping this rule, not crashing
+        # the analyzer.
+        try:
+            from repro.serving.protocol import WIRE_VOCABULARY
+        except ImportError:  # pragma: no cover - only with a broken checkout
+            return
+        for node in ast.walk(ctx.tree):
+            for literal in self._wire_positions(node):
+                value = _literal_str(literal)
+                if value is not None and value in WIRE_VOCABULARY:
+                    yield ctx.finding(
+                        self.rule_id,
+                        literal,
+                        f"hand-written wire literal {value!r}; spell it via "
+                        "the canonical constant in repro.serving.protocol",
+                    )
+
+    def _wire_positions(self, node: ast.AST) -> Iterator[ast.AST]:
+        """The positions where a string acts as wire vocabulary: dict keys,
+        subscripts, mapping ``.get``-style keys, and comparison operands."""
+        if isinstance(node, ast.Dict):
+            yield from (key for key in node.keys if key is not None)
+        elif isinstance(node, ast.Subscript):
+            yield node.slice
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in self._KEY_METHODS
+            and node.args
+        ):
+            yield node.args[0]
+        elif isinstance(node, ast.Compare):
+            yield node.left
+            yield from node.comparators
+        elif isinstance(node, ast.Assign) and any(
+            isinstance(target, ast.Subscript) for target in node.targets
+        ):
+            # payload["kind"] = "knn" — the value is wire vocabulary too.
+            yield node.value
+
+
 class BareExceptRule(Rule):
     """NED-EXC01 — no bare ``except:``."""
 
@@ -592,6 +657,7 @@ ALL_RULES: Sequence[type] = (
     PersistenceRule,
     FaultSiteRule,
     MetricNameRule,
+    WireVocabularyRule,
     BareExceptRule,
     BroadExceptRule,
     LockDisciplineRule,

@@ -98,6 +98,7 @@ from repro.ted.resolver import (
     ResolutionInterval,
 )
 from repro.trees.tree import Tree
+from repro.utils.timer import clock
 
 Node = Hashable
 Query = Union[StoredTree, Tree]
@@ -717,6 +718,17 @@ class NedSession:
         """The session's warm resolver (shared by every surface it backs)."""
         return self._resolver
 
+    def attach_block_dispatcher(self, dispatcher) -> None:
+        """Offer the resolver's exact blocks to ``dispatcher`` (see
+        :meth:`repro.ted.resolver.BoundedNedDistance.attach_block_dispatcher`).
+
+        The serving layer attaches its shared-memory worker pool here, so
+        every surface the session backs — matrix builds, batched point
+        queries, exact scans — transparently fans exact blocks out to the
+        worker processes.  Pass ``None`` to detach.
+        """
+        self._resolver.attach_block_dispatcher(dispatcher)
+
     def interval_hook(self) -> SessionIntervalHook:
         """Return a fresh interval hook bound to the warm resolver.
 
@@ -1093,7 +1105,7 @@ class NedSession:
     # ---------------------------------------------------------------- serving
     def serve(
         self,
-        max_batch: Optional[int] = None,
+        max_batch: "Union[int, str, Any, None]" = None,
         max_queue_depth: Optional[int] = None,
         request_deadline: Optional[float] = None,
     ) -> "SessionServer":
@@ -1102,6 +1114,12 @@ class NedSession:
         Use as ``async with session.serve() as server:`` and await
         ``server.submit(plan)`` from any number of tasks; queued plans are
         drained into :meth:`execute_batch` ticks.
+
+        ``max_batch`` caps how many queued plans one tick drains: an int is
+        a fixed cap, ``"adaptive"`` (or a configured
+        :class:`repro.serving.AdaptiveTicks` instance) closes the loop from
+        the measured tick latency — the limit grows while full ticks stay
+        under the latency target and shrinks when ticks run long.
 
         ``max_queue_depth`` bounds the request queue: submissions past it are
         shed immediately with :class:`repro.exceptions.OverloadError` instead
@@ -1147,10 +1165,28 @@ class SessionServer:
     def __init__(
         self,
         session: NedSession,
-        max_batch: Optional[int] = None,
+        max_batch: "Union[int, str, Any, None]" = None,
         max_queue_depth: Optional[int] = None,
         request_deadline: Optional[float] = None,
     ) -> None:
+        # ``max_batch`` accepts an AdaptiveTicks controller (or the string
+        # "adaptive" for a default-configured one): each tick then drains up
+        # to the controller's current limit and feeds back its measured
+        # (batch_size, tick_seconds) so the limit tracks the latency target.
+        self._adaptive = None
+        if max_batch == "adaptive":
+            from repro.serving.ticks import AdaptiveTicks
+
+            self._adaptive = AdaptiveTicks()
+            max_batch = None
+        elif max_batch is not None and not isinstance(max_batch, int):
+            if not (hasattr(max_batch, "observe") and hasattr(max_batch, "limit")):
+                raise DistanceError(
+                    f"max_batch must be an int, 'adaptive' or an AdaptiveTicks "
+                    f"controller, got {max_batch!r}"
+                )
+            self._adaptive = max_batch
+            max_batch = None
         if max_batch is not None and max_batch < 1:
             raise DistanceError(f"max_batch must be >= 1, got {max_batch}")
         if max_queue_depth is not None and max_queue_depth < 1:
@@ -1175,6 +1211,16 @@ class SessionServer:
         #: deepest the queue ever got (the load-shedding high-water mark).
         self.shed = 0
         self.queue_depth_hwm = 0
+
+    @property
+    def adaptive(self):
+        """The attached AdaptiveTicks controller, if any."""
+        return self._adaptive
+
+    @property
+    def tick_limit(self) -> Optional[int]:
+        """What the next tick will drain up to (None = unbounded)."""
+        return self._adaptive.limit if self._adaptive is not None else self._max_batch
 
     async def __aenter__(self) -> "SessionServer":
         self._queue = asyncio.Queue()
@@ -1242,7 +1288,10 @@ class SessionServer:
             if item is _STOP:
                 break
             batch = [item]
-            while (self._max_batch is None or len(batch) < self._max_batch) and (
+            limit = (
+                self._adaptive.limit if self._adaptive is not None else self._max_batch
+            )
+            while (limit is None or len(batch) < limit) and (
                 not self._queue.empty()
             ):
                 extra = self._queue.get_nowait()
@@ -1287,8 +1336,15 @@ class SessionServer:
                 # slot, so one bad plan neither aborts nor re-runs its batch
                 # neighbours (every plan executes exactly once).
                 with self._session.tracer.span("server.tick", batch=len(live)):
-                    with metrics.time("serving.tick_seconds"):
-                        results = await loop.run_in_executor(None, _tick)
+                    tick_started = clock()
+                    results = await loop.run_in_executor(None, _tick)
+                    tick_seconds = clock() - tick_started
+                metrics.observe("serving.tick_seconds", tick_seconds)
+                if self._adaptive is not None:
+                    metrics.set_gauge(
+                        "serving.tick_limit",
+                        self._adaptive.observe(len(live), tick_seconds),
+                    )
             except asyncio.CancelledError:
                 # Cancellation must stop the drain loop, not be converted
                 # into per-future errors — swallowing it would leave the

@@ -213,9 +213,12 @@ class ShardedTreeStore:
         # Optional FaultPlan / RetryPolicy (duck-typed); see attach_resilience.
         self.faults = None
         self.retry = None
-        # Memoized packed parent arrays (entries are immutable on disk);
-        # built by streaming decodes that never touch the resident LRU.
+        # Memoized packed parent arrays / signatures (entries are immutable
+        # on disk); built by ONE streaming pass that never touches the
+        # resident LRU — both accessors fill both memos, so the pass (and
+        # its ``shards.stream_decodes`` count) happens at most once.
         self._packed: Optional[List[List[int]]] = None
+        self._packed_signatures: Optional[List[str]] = None
 
     def attach_metrics(self, registry) -> None:
         """Route this store's shard traffic into a metrics registry.
@@ -382,19 +385,40 @@ class ShardedTreeStore:
         memoized; the outer list is a fresh copy per call and the inner
         arrays are shared, read-only by contract.
         """
-        if self._packed is None:
-            packed: List[List[int]] = []
-            for index in range(self.shard_count):
-                resident = self._resident.get(index)
-                if resident is None:
-                    entries = self._decode_with_retry(index)
-                    if self.metrics is not None:
-                        self.metrics.inc("shards.stream_decodes")
-                else:
-                    entries = resident
-                packed.extend(entry.tree.parent_array() for entry in entries)
-            self._packed = packed
+        self._ensure_packed()
         return list(self._packed)
+
+    def packed_signatures(self) -> List[str]:
+        """Return every entry's canonical signature, aligned with
+        :meth:`packed_parent_arrays`.
+
+        Filled by the *same* streaming pass as the parent arrays (the pass
+        runs at most once per store, whichever accessor is called first), so
+        exporting a store for serving — arrays into shared memory plus
+        signatures for index validation — costs exactly one transient decode
+        per non-resident shard (``shards.stream_decodes``), never two.
+        """
+        self._ensure_packed()
+        return list(self._packed_signatures)
+
+    def _ensure_packed(self) -> None:
+        if self._packed is not None:
+            return
+        packed: List[List[int]] = []
+        signatures: List[str] = []
+        for index in range(self.shard_count):
+            resident = self._resident.get(index)
+            if resident is None:
+                entries = self._decode_with_retry(index)
+                if self.metrics is not None:
+                    self.metrics.inc("shards.stream_decodes")
+            else:
+                entries = resident
+            for entry in entries:
+                packed.append(entry.tree.parent_array())
+                signatures.append(entry.signature)
+        self._packed = packed
+        self._packed_signatures = signatures
 
     def subset(self, nodes: Iterable[Node]) -> TreeStore:
         """Return a dense, independent :class:`TreeStore` over ``nodes``.

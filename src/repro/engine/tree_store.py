@@ -187,9 +187,10 @@ class TreeStore:
             if entry.node in self._entries:
                 raise GraphError(f"duplicate node {entry.node!r} in TreeStore")
             self._entries[entry.node] = entry
-        # Memoized packed parent arrays; sound because entries are immutable
-        # after construction (there is no add/remove API).
+        # Memoized packed parent arrays / signatures; sound because entries
+        # are immutable after construction (there is no add/remove API).
         self._packed: Optional[List[List[int]]] = None
+        self._packed_signatures: Optional[List[str]] = None
 
     # ---------------------------------------------------------------- factory
     @classmethod
@@ -277,6 +278,21 @@ class TreeStore:
                 entry.tree.parent_array() for entry in self._entries.values()
             ]
         return list(self._packed)
+
+    def packed_signatures(self) -> List[str]:
+        """Return every entry's canonical signature, aligned with
+        :meth:`packed_parent_arrays`.
+
+        The serving layer ships this alongside the shared-memory parent
+        arrays so workers can validate that an index they were handed names
+        the tree the server meant (signatures are content hashes of the
+        packed layout, cheap to compare and already computed).
+        """
+        if self._packed_signatures is None:
+            self._packed_signatures = [
+                entry.signature for entry in self._entries.values()
+            ]
+        return list(self._packed_signatures)
 
     def __len__(self) -> int:
         return len(self._entries)

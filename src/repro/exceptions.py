@@ -57,6 +57,16 @@ class ExperimentError(ReproError):
     """Raised when an experiment driver receives an invalid configuration."""
 
 
+class WireFormatError(ReproError):
+    """Raised when a serving wire payload cannot be safely decoded.
+
+    Unknown schema versions, unknown plan kinds, unexpected or missing
+    fields, and non-encodable values all surface as this type — the wire
+    layer (:mod:`repro.serving.protocol`) refuses to guess rather than
+    execute a half-understood request.
+    """
+
+
 class ResilienceError(ReproError):
     """Base class for failures raised by the resilience layer itself.
 

@@ -7,6 +7,7 @@ Usage::
     ned-experiments --only figure7b_ned_vs_k table2
     ned-experiments --trace --metrics-out metrics.json
     ned-experiments merge-cache merged.ned worker-0.ned worker-1.ned
+    ned-experiments serve-demo --port 8757   # client of a running ned-serve
     python -m repro.experiments.cli --list
 
 Every engine-backed experiment runs through a
@@ -129,12 +130,97 @@ def merge_cache_main(argv: List[str]) -> int:
     return 0
 
 
+def build_serve_demo_parser() -> argparse.ArgumentParser:
+    """Build the parser of the ``serve-demo`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="ned-experiments serve-demo",
+        description="Client example for the multi-process NED service: "
+        "connect to a running ned-serve endpoint, extract probes from a "
+        "synthetic dataset (matching the k the server reports), submit one "
+        "batched k-NN request over the wire, and print the decoded "
+        "neighbours plus the server's telemetry counters.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="server address")
+    parser.add_argument(
+        "--port", type=int, required=True, help="server port (ned-serve prints it)"
+    )
+    parser.add_argument(
+        "--dataset",
+        default="CAR",
+        help="synthetic dataset the probes are drawn from (default CAR); "
+        "for meaningful distances serve a store built from the same graph",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.1, help="dataset scale (default 0.1)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="dataset seed (default: fixed per dataset)"
+    )
+    parser.add_argument(
+        "--probes", type=int, default=3, help="number of probe nodes (default 3)"
+    )
+    parser.add_argument(
+        "--count", type=int, default=5, help="neighbours per probe (default 5)"
+    )
+    parser.add_argument(
+        "--tenant", default="serve-demo", help="tenant key stamped on the request"
+    )
+    return parser
+
+
+def serve_demo_main(argv: List[str]) -> int:
+    """Entry point of ``ned-experiments serve-demo``."""
+    from repro.datasets import load_dataset
+    from repro.engine.session import KnnPlan
+    from repro.engine.tree_store import summarize_tree
+    from repro.exceptions import ReproError
+    from repro.serving.client import NedServiceClient
+    from repro.serving.protocol import F_ENTRIES, F_K, F_MERGED, F_WORKERS
+    from repro.trees.adjacent import k_adjacent_tree
+
+    args = build_serve_demo_parser().parse_args(argv)
+    client = NedServiceClient(host=args.host, port=args.port, tenant=args.tenant)
+    try:
+        status = client.status()
+        k = status[F_K]
+        graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        nodes = sorted(graph.nodes())[: args.probes]
+        probes = [
+            summarize_tree(node, k_adjacent_tree(graph, node, k), k)
+            for node in nodes
+        ]
+        plans = [KnnPlan(probe, args.count) for probe in probes]
+        results = client.execute_batch(plans)
+        telemetry = client.telemetry()
+    except (ReproError, KeyError) as error:
+        print(f"serve-demo failed: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"server: k={k} entries={status.get(F_ENTRIES)} "
+        f"workers={status.get(F_WORKERS)}"
+    )
+    for node, neighbours in zip(nodes, results):
+        rendered = ", ".join(
+            f"{name}: {distance:.3f}" for name, distance in neighbours
+        )
+        print(f"knn({node!r}, count={args.count}) -> [{rendered}]")
+    counters = telemetry.get(F_MERGED, {}).get("counters", {})
+    served = {
+        name: value for name, value in sorted(counters.items())
+        if name.startswith("serving.")
+    }
+    print(f"telemetry (merged serving counters): {served}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI main; returns a process exit code."""
     if argv is None:  # pragma: no cover - exercised via the console script
         argv = sys.argv[1:]
     if argv and argv[0] == "merge-cache":
         return merge_cache_main(argv[1:])
+    if argv and argv[0] == "serve-demo":
+        return serve_demo_main(argv[1:])
     args = build_parser().parse_args(argv)
     persistence = {}
     if getattr(args, "cache_file", None):

@@ -50,9 +50,20 @@ METRIC_NAMES = frozenset(
         # search / serving / session
         "search.query_seconds",
         "serving.batch_size",
+        "serving.dispatch_blocks",
+        "serving.dispatch_fallbacks",
+        "serving.dispatch_pairs",
+        "serving.dispatch_seconds",
         "serving.queue_depth",
         "serving.queue_depth_hwm",
+        "serving.request_plans",
+        "serving.request_seconds",
+        "serving.requests",
+        "serving.shm_export_bytes",
+        "serving.shm_exports",
+        "serving.tick_limit",
         "serving.tick_seconds",
+        "serving.worker_block_seconds",
         "session.execute_batch_seconds",
         # sharded store
         "shards.evictions",
@@ -78,6 +89,7 @@ METRIC_PREFIXES = (
     "resilience.faults_injected.",
     "resilience.retries.",
     "resilience.retry_exhausted.",
+    "serving.worker.",
     "session.execute_seconds.",
 )
 

@@ -17,6 +17,8 @@ site                      where it fires
 ``"kernel.batch"``        the array-native ``ted_star_block`` exact tier
 ``"kernel.pair"``         a per-pair exact TED* evaluation
 ``"serving.tick"``        a :class:`SessionServer` batch tick
+``"serving.request"``     one HTTP request in the multi-process NED
+                          service (:class:`repro.serving.NedServiceServer`)
 ``"io.replace"``          between temp-write and ``os.replace`` in
                           :func:`repro.utils.io.atomic_pickle_dump`
                           (process kill mid-persist; see :func:`inject_io_faults`)
@@ -67,6 +69,7 @@ SITES = (
     "kernel.batch",
     "kernel.pair",
     "serving.tick",
+    "serving.request",
     "io.replace",
 )
 

@@ -1,0 +1,6 @@
+"""``python -m repro.serving`` — alias for the ``ned-serve`` console script."""
+
+from repro.serving.cli import main
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

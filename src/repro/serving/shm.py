@@ -1,0 +1,238 @@
+"""Zero-copy export of a tree store into ``multiprocessing.shared_memory``.
+
+The packed parent arrays are the store's whole exact-tier working set
+(:meth:`~repro.engine.tree_store.TreeStore.packed_parent_arrays`): every
+tree is one small int array, and TED* needs nothing else.  This module
+flattens all of them into **one** shared-memory segment —
+
+::
+
+    [ offsets : int64 x (n + 1) | values : int64 x total ]
+
+— where entry ``i``'s parent array is ``values[offsets[i]:offsets[i+1]]``.
+The server exports once; each worker attaches the segment by name and
+reconstructs numpy views in place (:class:`AttachedStore`), so N workers
+share one resident copy of the store instead of decoding N pickles.  The
+acceptance check for "attached, not copied" is the store's own
+``shards.stream_decodes`` counter: exporting a sharded store costs exactly
+one streaming pass, and workers perform zero decodes.
+
+Lifecycle is the sharp edge.  POSIX shared memory outlives processes, so a
+leaked segment survives the test run in ``/dev/shm``:
+
+* the server owns unlinking, via :meth:`StoreExport.close` — idempotent,
+  so shutdown paths that overlap (signal handler + ``finally``) unlink
+  **exactly once**, even after a worker crash;
+* workers must *not* unlink (a crashing worker would tear the store out
+  from under its siblings).  Python's ``resource_tracker`` would do
+  exactly that at worker exit, so :func:`attach_store` unregisters the
+  attachment from tracking (Python 3.13+ has ``track=False`` for the same
+  purpose; we fall back to unregistering on older runtimes).
+
+Everything here is gated on numpy (:func:`shm_available`); the serving
+package imports without it and the server simply refuses ``workers > 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.exceptions import DistanceError
+
+try:  # gate, don't require: tier-1 environments may lack numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+
+def shm_available() -> bool:
+    """True when numpy (and hence the zero-copy worker path) is usable."""
+    return _np is not None
+
+
+def _require_numpy():
+    if _np is None:
+        raise DistanceError(
+            "the shared-memory store path needs numpy; run the server with "
+            "workers=0 or install numpy"
+        )
+    return _np
+
+
+@dataclass(frozen=True)
+class StoreHandle:
+    """The small picklable description workers need to attach a store.
+
+    ``name`` is the shared-memory segment; ``entry_count``/``values_length``
+    recover the two views' shapes; ``k`` is the store's tree depth;
+    ``signatures`` (AHU-canonical, aligned with entry order) let a worker
+    both validate the indices it is handed and memoize compiled trees.
+    """
+
+    name: str
+    entry_count: int
+    values_length: int
+    k: int
+    signatures: Tuple[str, ...]
+
+
+class StoreExport:
+    """The server-side owner of one exported store segment.
+
+    Create with :func:`export_store`; pass :attr:`handle` to workers; call
+    :meth:`close` (idempotent, unlink-exactly-once) when serving stops.
+    Context-manager use closes on exit.
+    """
+
+    def __init__(self, shm, handle: StoreHandle) -> None:
+        self._shm = shm
+        self.handle = handle
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    def __enter__(self) -> "StoreExport":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close *and unlink* the segment; safe to call any number of times.
+
+        The export is the one owner of the segment's lifetime: overlapping
+        shutdown paths (atexit + ``finally`` + signal handling) all funnel
+        here, and the flag makes the unlink happen exactly once — a second
+        unlink of a POSIX shm name raises, and a *missed* one leaks the
+        segment into ``/dev/shm`` past the process's death.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._shm.close()
+        self._shm.unlink()
+
+
+def export_store(store, metrics=None) -> StoreExport:
+    """Flatten ``store``'s packed parent arrays into one shared segment.
+
+    ``store`` is duck-typed (:class:`~repro.engine.tree_store.TreeStore` or
+    :class:`~repro.engine.shards.ShardedTreeStore` — anything with
+    ``packed_parent_arrays()`` / ``packed_signatures()`` / ``k``).  Counts
+    ``serving.shm_exports`` and ``serving.shm_export_bytes`` into
+    ``metrics`` when given.
+    """
+    np = _require_numpy()
+    from multiprocessing import shared_memory
+
+    packed = store.packed_parent_arrays()
+    signatures = tuple(store.packed_signatures())
+    offsets = np.zeros(len(packed) + 1, dtype=np.int64)
+    for index, parents in enumerate(packed):
+        offsets[index + 1] = offsets[index] + len(parents)
+    total = int(offsets[-1])
+    nbytes = max(1, (len(offsets) + total) * 8)
+    shm = shared_memory.SharedMemory(create=True, size=nbytes)
+    offsets_view = np.ndarray(len(offsets), dtype=np.int64, buffer=shm.buf)
+    values_view = np.ndarray(
+        total, dtype=np.int64, buffer=shm.buf, offset=len(offsets) * 8
+    )
+    offsets_view[:] = offsets
+    for index, parents in enumerate(packed):
+        values_view[offsets[index]:offsets[index + 1]] = parents
+    handle = StoreHandle(
+        name=shm.name,
+        entry_count=len(packed),
+        values_length=total,
+        k=store.k,
+        signatures=signatures,
+    )
+    if metrics is not None:
+        metrics.inc("serving.shm_exports")
+        metrics.inc("serving.shm_export_bytes", nbytes)
+    return StoreExport(shm, handle)
+
+
+def _attach_untracked(name: str):
+    """Attach an existing segment without taking over its lifetime.
+
+    An attaching process does not own the segment, so it must neither
+    unlink it at exit nor disturb the owner's tracker bookkeeping.  Python
+    3.13+ exposes ``track=False`` for exactly this.  On older runtimes the
+    attach re-registers the name — but every attacher here (the worker
+    pool's children) shares the server's ``resource_tracker`` process, and
+    its cache is a per-name *set*: the re-registration is an idempotent
+    no-op, and the server's single ``unlink()`` unregisters cleanly.  (An
+    explicit ``unregister`` on attach would be worse: it removes the
+    *owner's* entry from the shared set, and the owner's later unlink then
+    trips a tracker-side KeyError.)
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track= parameter; see docstring
+        return shared_memory.SharedMemory(name=name)
+
+
+class AttachedStore:
+    """A worker-side zero-copy view of an exported store.
+
+    Reconstructs the offsets/values numpy views over the attached buffer —
+    no decode, no copy — and serves parent arrays by entry index.  Close
+    detaches (never unlinks; the server's :class:`StoreExport` owns that).
+    """
+
+    def __init__(self, handle: StoreHandle) -> None:
+        np = _require_numpy()
+        self.handle = handle
+        self._shm = _attach_untracked(handle.name)
+        self._offsets = np.ndarray(
+            handle.entry_count + 1, dtype=np.int64, buffer=self._shm.buf
+        )
+        self._values = np.ndarray(
+            handle.values_length,
+            dtype=np.int64,
+            buffer=self._shm.buf,
+            offset=(handle.entry_count + 1) * 8,
+        )
+        self._closed = False
+
+    def __len__(self) -> int:
+        return self.handle.entry_count
+
+    @property
+    def k(self) -> int:
+        return self.handle.k
+
+    def parent_array(self, index: int) -> List[int]:
+        """Entry ``index``'s parent array, as the plain list Tree expects."""
+        if not 0 <= index < self.handle.entry_count:
+            raise DistanceError(
+                f"store index {index} out of range [0, {self.handle.entry_count})"
+            )
+        start = int(self._offsets[index])
+        stop = int(self._offsets[index + 1])
+        return self._values[start:stop].tolist()
+
+    def signature(self, index: int) -> str:
+        """Entry ``index``'s canonical signature (for validation/memo keys)."""
+        return self.handle.signatures[index]
+
+    def close(self) -> None:
+        """Detach the views and the segment (idempotent; never unlinks)."""
+        if self._closed:
+            return
+        self._closed = True
+        # The views alias shm.buf; drop them first or close() raises
+        # BufferError for exported pointers.
+        self._offsets = None
+        self._values = None
+        self._shm.close()

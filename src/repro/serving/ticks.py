@@ -1,0 +1,121 @@
+"""Adaptive batch ticks: a deterministic latency/throughput knob.
+
+A serving tick drains everything queued (up to a limit) into one
+``execute_batch`` call.  Bigger ticks amortise the batched executor's
+dedup/ordering/cache sharing across more plans — throughput — but every
+plan in a tick waits for the whole tick — latency.  :class:`AdaptiveTicks`
+closes the loop from the two signals the server already measures
+(``serving.batch_size`` and ``serving.tick_seconds``):
+
+* a tick slower than ``target_tick_seconds`` **shrinks** the limit
+  (multiplicatively), bounding how long any admitted plan can be held;
+* a tick comfortably under target (below ``target * headroom``) that
+  actually *filled* its limit **grows** it — there was queued demand and
+  latency headroom to batch more of it per tick;
+* anything else leaves the limit alone (an under-filled fast tick has
+  nothing to gain from a bigger limit).
+
+The controller is pure: it never reads a clock (the server feeds it the
+measured tick duration), so a recorded ``(batch_size, tick_seconds)``
+stream replays to bit-identical limit decisions — the property its tests
+assert.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import DistanceError
+
+
+class AdaptiveTicks:
+    """AIMD-style controller for the serving tick's batch limit.
+
+    Parameters
+    ----------
+    target_tick_seconds:
+        The latency budget for one tick.  The controller steers the batch
+        limit so observed tick durations stay near-but-under this.
+    min_batch, max_batch:
+        Hard clamp on the limit (``min_batch >= 1``).
+    initial:
+        Starting limit; defaults to ``min_batch``, i.e. start latency-safe
+        and let sustained demand earn throughput.
+    grow, shrink:
+        Multiplicative step factors (``grow > 1``, ``0 < shrink < 1``).
+    headroom:
+        Fraction of the target below which a *full* tick is considered to
+        have latency to spare (``0 < headroom <= 1``).
+    """
+
+    def __init__(
+        self,
+        target_tick_seconds: float = 0.05,
+        min_batch: int = 1,
+        max_batch: int = 256,
+        initial: int = None,
+        grow: float = 2.0,
+        shrink: float = 0.5,
+        headroom: float = 0.5,
+    ) -> None:
+        if target_tick_seconds <= 0:
+            raise DistanceError(
+                f"target_tick_seconds must be > 0, got {target_tick_seconds}"
+            )
+        if min_batch < 1 or max_batch < min_batch:
+            raise DistanceError(
+                f"need 1 <= min_batch <= max_batch, got "
+                f"min_batch={min_batch} max_batch={max_batch}"
+            )
+        if grow <= 1.0:
+            raise DistanceError(f"grow must be > 1, got {grow}")
+        if not 0.0 < shrink < 1.0:
+            raise DistanceError(f"shrink must be in (0, 1), got {shrink}")
+        if not 0.0 < headroom <= 1.0:
+            raise DistanceError(f"headroom must be in (0, 1], got {headroom}")
+        if initial is None:
+            initial = min_batch
+        if not min_batch <= initial <= max_batch:
+            raise DistanceError(
+                f"initial={initial} must lie in [{min_batch}, {max_batch}]"
+            )
+        self.target_tick_seconds = target_tick_seconds
+        self.min_batch = min_batch
+        self.max_batch = max_batch
+        self.grow = grow
+        self.shrink = shrink
+        self.headroom = headroom
+        self._limit = initial
+        #: Controller telemetry: decisions taken in each direction.
+        self.grown = 0
+        self.shrunk = 0
+
+    @property
+    def limit(self) -> int:
+        """The batch limit the next tick should drain up to."""
+        return self._limit
+
+    def observe(self, batch_size: int, tick_seconds: float) -> int:
+        """Feed one measured tick; returns the (possibly adjusted) limit.
+
+        ``batch_size`` is how many plans the tick actually ran and
+        ``tick_seconds`` how long it took — the same values the server
+        records as ``serving.batch_size`` / ``serving.tick_seconds``.
+        """
+        if batch_size < 0 or tick_seconds < 0:
+            raise DistanceError(
+                f"observe() takes non-negative measurements, got "
+                f"batch_size={batch_size} tick_seconds={tick_seconds}"
+            )
+        if tick_seconds > self.target_tick_seconds:
+            shrunk = max(self.min_batch, int(self._limit * self.shrink))
+            if shrunk < self._limit:
+                self._limit = shrunk
+                self.shrunk += 1
+        elif (
+            batch_size >= self._limit
+            and tick_seconds < self.target_tick_seconds * self.headroom
+        ):
+            grown = min(self.max_batch, max(self._limit + 1, int(self._limit * self.grow)))
+            if grown > self._limit:
+                self._limit = grown
+                self.grown += 1
+        return self._limit

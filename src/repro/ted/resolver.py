@@ -265,6 +265,9 @@ class BoundedNedDistance:
         # (format v2) so a later overflowing load keeps the hottest entries.
         self._cache_uses: Dict[Tuple[str, str], int] = {}
         self._batch_kernel = None
+        # Optional block dispatcher (attach_block_dispatcher): offered every
+        # exact block before the local kernels; None means local-only.
+        self._block_dispatcher = None
         # Resilience wiring (attach_resilience): a FaultPlan activates the
         # kernel/sidecar fault sites, the breakers guard the exact-tier
         # degradation ladder (batch -> per-pair scipy -> hungarian), and a
@@ -333,6 +336,22 @@ class BoundedNedDistance:
             return False
         self._batch_kernel = kernel
         return True
+
+    def attach_block_dispatcher(self, dispatcher) -> None:
+        """Offer exact blocks to ``dispatcher`` before evaluating locally.
+
+        ``dispatcher`` is any callable taking the :meth:`exact_many` pair
+        block and returning the list of values — or ``None`` to decline, in
+        which case the block runs on the local path unchanged.  This is the
+        serving layer's offload seam: the service's worker pool evaluates
+        declined-or-dispatched blocks against the shared-memory store, and
+        because both sides realise the same matching backend the values are
+        bit-identical either way.  The dispatcher owns its failure policy
+        (fall back locally on pool trouble), but must let service-protection
+        errors (``DeadlineError``/``OverloadError``) propagate.  Pass
+        ``None`` to detach.
+        """
+        self._block_dispatcher = dispatcher
 
     # -------------------------------------------------------------- resilience
     def attach_resilience(
@@ -469,6 +488,11 @@ class BoundedNedDistance:
         if not pairs:
             return []
         self.check_deadline("resolver.exact_many")
+        dispatcher = self._block_dispatcher
+        if dispatcher is not None:
+            dispatched = dispatcher(pairs)
+            if dispatched is not None:
+                return dispatched
         kernel = self._batch_kernel
         if kernel is not None:
             breaker = self._batch_breaker

@@ -123,6 +123,13 @@ RULE_FIXTURES = [
         "src/repro/engine/scratch.py",
     ),
     (
+        "NED-WIRE01",
+        'payload = {"kind": "knn"}\n',
+        "from repro.serving.protocol import F_KIND, KIND_KNN\n"
+        "payload = {F_KIND: KIND_KNN}\n",
+        "src/repro/serving/scratch.py",
+    ),
+    (
         "NED-EXC01",
         "try:\n    work()\nexcept:\n    pass\n",
         "try:\n    work()\nexcept ValueError:\n    pass\n",
@@ -222,6 +229,32 @@ class TestScoping:
     def test_custom_fault_spec_opt_out_is_not_flagged(self):
         source = 'spec = FaultSpec("app.site", custom=True)\n'
         assert active_ids(lint(source, "src/repro/scratch.py")) == []
+
+    def test_wire_vocabulary_scoped_to_serving(self):
+        source = 'value = payload["kind"]\nif value == "knn":\n    pass\n'
+        # Inside the serving package: both the subscript key and the
+        # comparison operand are flagged.
+        hits = active_ids(lint(source, "src/repro/serving/scratch.py"))
+        assert hits.count("NED-WIRE01") == 2
+        # protocol.py is where the vocabulary *is defined* — exempt.
+        assert "NED-WIRE01" not in active_ids(
+            lint(source, "src/repro/serving/protocol.py")
+        )
+        # Outside serving the same strings are ordinary literals.
+        assert "NED-WIRE01" not in active_ids(
+            lint(source, "src/repro/engine/scratch.py")
+        )
+
+    def test_wire_vocabulary_ignores_non_wire_positions(self):
+        # Attribute probes and plain variable assignments are not payload
+        # construction; "node"/"mode" as getattr names must not be flagged.
+        source = (
+            'node = getattr(item, "node", None)\n'
+            'mode = "mode"\n'
+        )
+        assert "NED-WIRE01" not in active_ids(
+            lint(source, "src/repro/serving/scratch.py")
+        )
 
 
 class TestSuppressions:
